@@ -1,0 +1,43 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures in
+simulated time and prints it paper-vs-measured.  pytest-benchmark wraps the
+harness (so host-side runtime is tracked too), but the numbers that matter
+are the virtual-time results in the printed tables, which are also attached
+to ``benchmark.extra_info``.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline; they are printed regardless via the terminal reporter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, run_fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and print its table."""
+    result_holder = {}
+
+    def target():
+        result_holder["result"] = run_fn(*args, **kwargs)
+        return result_holder["result"]
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    result = result_holder["result"]
+    results = result if isinstance(result, tuple) else (result,)
+    for item in results:
+        print()
+        print(item.render())
+        benchmark.extra_info[item.exp_id] = [
+            [str(cell) for cell in row] for row in item.rows
+        ]
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture flavour of :func:`run_and_report`."""
+    def _run(run_fn, *args, **kwargs):
+        return run_and_report(benchmark, run_fn, *args, **kwargs)
+    return _run

@@ -1,0 +1,43 @@
+"""Extension experiments: primitive family (§6.1) and the THP ledger (§2.3)."""
+
+from __future__ import annotations
+
+from repro.bench import primitives, thp_bench
+from conftest import run_and_report
+
+
+def test_primitive_family_latency(benchmark):
+    result = run_and_report(benchmark, primitives.run_invocation_latency)
+    times = {row[0]: row[1] for row in result.rows}
+    # vfork/clone are cheapest (no address-space work at all)...
+    assert times["vfork"] < times["odfork"]
+    assert times["clone_vm"] < times["odfork"]
+    # ...but among the primitives with fork's semantics, odfork wins big.
+    assert times["odfork"] < times["fork"] / 30
+    # posix_spawn is parent-size independent but pays image startup.
+    assert times["odfork"] < times["posix_spawn"] < times["fork"]
+
+
+def test_forkserver_vs_exec(benchmark):
+    result = run_and_report(benchmark, primitives.run_forkserver_vs_exec)
+    times = {row[0]: row[1] for row in result.rows}
+    # The fork server exists because exec-per-input repays initialisation
+    # every run; odfork then shrinks the fork server's own cost.
+    assert times["forkserver"] < times["execve"] / 10
+    assert times["od-forkserver"] < times["forkserver"] / 10
+
+
+def test_thp_tradeoff_ledger(benchmark):
+    result = run_and_report(benchmark, thp_bench.run)
+    by_config = {row[0]: row for row in result.rows}
+    fork_ms = 1
+    fault_us = 2
+    pause_ms = 3
+    # THP and odfork both fix fork latency...
+    assert by_config["THP + fork"][fork_ms] < by_config["4k pages + fork"][fork_ms] / 20
+    assert by_config["4k pages + odfork"][fork_ms] < by_config["4k pages + fork"][fork_ms] / 20
+    # ...but THP's faults are ~16x slower than odfork's worst case and it
+    # needs a promotion pause; odfork needs neither.
+    assert by_config["THP + fork"][fault_us] > by_config["4k pages + odfork"][fault_us] * 10
+    assert by_config["THP + fork"][pause_ms] > 50
+    assert by_config["4k pages + odfork"][pause_ms] == 0

@@ -1,0 +1,30 @@
+"""Figure 2: classic fork latency vs memory size, sequential + concurrent.
+
+Shape assertions: latency grows linearly with mapped memory; the 1 GB
+point lands near the paper's 6.5 ms; three concurrent forkers degrade each
+fork by roughly the paper's 3.4x.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig2
+from conftest import run_and_report
+
+
+def test_fig2_fork_scaling(benchmark):
+    result = run_and_report(benchmark, fig2.run, quick=True)
+    rows = result.row_map("size_gb")
+
+    one_gb_ms = rows[1][result.headers.index("seq_mean_ms")]
+    assert 5.5 < one_gb_ms < 8.0, "1 GB fork should be ~6.5 ms"
+
+    # Linearity: the fitted slope should predict the largest point well.
+    slope = fig2.linearity_check(result)
+    largest = max(rows)
+    predicted = slope * largest
+    measured = rows[largest][result.headers.index("seq_mean_ms")]
+    assert 0.7 < predicted / measured < 1.4, "fork cost must scale linearly"
+
+    conc_ms = rows[1][result.headers.index("conc3_mean_ms")]
+    assert 2.5 < conc_ms / one_gb_ms < 4.5, \
+        "3x concurrency should degrade per-fork latency ~3.4x"

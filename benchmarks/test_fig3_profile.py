@@ -1,0 +1,21 @@
+"""Figure 3: the fork leaf-loop profile (compound_head dominates)."""
+
+from __future__ import annotations
+
+from repro.bench import fig3
+from repro.timing import costs
+from conftest import run_and_report
+
+
+def test_fig3_profile(benchmark):
+    result = run_and_report(benchmark, fig3.run)
+    measured = {row[0]: row[1] for row in result.rows}
+
+    # compound_head is the hot spot, as in the paper's perf capture.
+    assert measured[costs.FN_COMPOUND_HEAD] > 55.0
+    assert measured[costs.FN_COMPOUND_HEAD] == max(measured.values())
+    # The atomic refcount increment and READ_ONCE loads follow.
+    assert 10.0 < measured[costs.FN_PAGE_REF_INC] < 20.0
+    assert 10.0 < measured[costs.FN_READ_ONCE] < 20.0
+    # Everything sums to ~100 % of the leaf loop.
+    assert abs(sum(measured.values()) - 100.0) < 1.0

@@ -1,0 +1,20 @@
+"""Figure 4: fork latency with 2 MiB huge pages."""
+
+from __future__ import annotations
+
+from repro.bench import fig4
+from conftest import run_and_report
+
+
+def test_fig4_hugepage_fork(benchmark):
+    result = run_and_report(benchmark, fig4.run, quick=True)
+    rows = result.row_map("size_gb")
+    mean_index = result.headers.index("mean_ms")
+
+    one_gb_ms = rows[1][mean_index]
+    assert 0.12 < one_gb_ms < 0.25, "1 GB huge-page fork should be ~0.17 ms"
+
+    # Still grows with size (one PMD entry per 2 MiB), but far flatter
+    # than the 4 KiB series: ~50x better at 1 GB per the paper.
+    assert rows[4][mean_index] > rows[0.5][mean_index]
+    assert one_gb_ms < 6.5 / 25, "huge pages must beat 4 KiB fork by >25x"

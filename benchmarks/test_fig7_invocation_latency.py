@@ -1,0 +1,33 @@
+"""Figure 7: the headline result — invocation latency of the three forks.
+
+Shape assertions: odfork < huge pages < fork at every size; the odfork
+speedup at 1 GB is in the paper's 65x neighbourhood and grows with size.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig7
+from conftest import run_and_report
+
+
+def test_fig7_invocation_latency(benchmark):
+    result = run_and_report(benchmark, fig7.run, quick=True)
+    fork_i = result.headers.index("fork_ms")
+    huge_i = result.headers.index("fork_huge_ms")
+    odf_i = result.headers.index("odfork_ms")
+    speedup_i = result.headers.index("speedup_x")
+
+    for row in result.rows:
+        assert row[odf_i] < row[huge_i] < row[fork_i], \
+            f"ordering violated at {row[0]} GB"
+
+    rows = result.row_map("size_gb")
+    speedup_1gb = rows[1][speedup_i]
+    assert 40 < speedup_1gb < 100, "1 GB speedup should be ~65x"
+
+    # The advantage grows with size (towards 270x at 50 GB).
+    speedups = [row[speedup_i] for row in result.rows]
+    assert speedups == sorted(speedups), "speedup must grow with size"
+
+    # odfork stays in the microsecond range across the sweep.
+    assert all(row[odf_i] < 1.0 for row in result.rows)

@@ -1,0 +1,35 @@
+"""Figure 8: overall time reduction vs fraction of memory accessed."""
+
+from __future__ import annotations
+
+from repro.bench import fig8
+from repro.workloads.accessmix import PAPER_READ_MIXES
+from conftest import run_and_report
+
+
+def test_fig8_overall(benchmark):
+    result = run_and_report(benchmark, fig8.run, quick=True)
+    points = fig8.curve_endpoints(result)
+
+    mixes = [f"{int(m * 100)}% read" for m in PAPER_READ_MIXES]
+    fractions = sorted({fraction for _, fraction in points})
+
+    # ~99 % reduction when nothing is accessed after fork.
+    for mix in mixes:
+        assert points[(mix, 0.0)] > 95.0
+
+    # Reduction decays monotonically as more memory is accessed.
+    for mix in mixes:
+        curve = [points[(mix, f)] for f in fractions]
+        assert all(a >= b - 0.5 for a, b in zip(curve, curve[1:])), \
+            f"{mix} curve must decay"
+
+    # More reads -> higher reduction, at every accessed fraction > 0.
+    for fraction in fractions[1:]:
+        ordered = [points[(mix, fraction)] for mix in mixes]
+        assert all(a >= b - 0.2 for a, b in zip(ordered, ordered[1:])), \
+            f"mix ordering violated at fraction {fraction}"
+
+    # Endpoints stay positive (the paper's 8 % / 4 % at 100 % accessed).
+    assert 5.0 < points[("100% read", 1.0)] < 14.0
+    assert 2.0 < points[("0% read", 1.0)] < 7.0

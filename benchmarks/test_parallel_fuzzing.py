@@ -1,0 +1,21 @@
+"""Extension: concurrent fork-server instances (§2.1 / §5.3.2)."""
+
+from __future__ import annotations
+
+from repro.bench import parallel
+from conftest import run_and_report
+
+
+def test_parallel_fuzzing_scaling(benchmark):
+    result = run_and_report(benchmark, parallel.run, duration_s=1.5)
+    fork_per = result.column("fork_per_inst")
+    odf_per = result.column("odf_per_inst")
+    advantage = result.column("advantage_x")
+
+    # Classic fork: per-instance throughput degrades with contention.
+    assert fork_per[0] > fork_per[1] > fork_per[2]
+    # On-demand-fork never runs the contended leaf loop: flat.
+    assert odf_per[2] > odf_per[0] * 0.95
+    # So its advantage widens monotonically (the §5.3.2 closing claim).
+    assert advantage[0] < advantage[1] < advantage[2]
+    assert advantage[2] > 2 * advantage[0] * 0.9

@@ -1,0 +1,19 @@
+"""Extension: fuzzing reset mechanisms — fork vs odfork vs snapshot (§6.1)."""
+
+from __future__ import annotations
+
+from repro.bench import snapshot_bench
+from conftest import run_and_report
+
+
+def test_reset_mechanisms(benchmark):
+    result = run_and_report(benchmark, snapshot_bench.run, duration_s=3.0)
+    rates = {row[0]: row[1] for row in result.rows}
+
+    # Both fork-free-ish mechanisms crush classic fork...
+    assert rates["odfork server"] > rates["fork server"] * 2.5
+    assert rates["snapshot/restore"] > rates["fork server"] * 2.5
+    # ...and land in the same regime as each other (within ~35 %): the
+    # §6.1 argument is about semantics, not speed.
+    ratio = rates["odfork server"] / rates["snapshot/restore"]
+    assert 0.65 < ratio < 1.55

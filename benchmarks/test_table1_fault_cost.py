@@ -1,0 +1,28 @@
+"""Table 1: worst-case page-fault handling cost for the three variants."""
+
+from __future__ import annotations
+
+from repro.bench import table1
+from conftest import run_and_report
+
+
+def test_table1_fault_cost(benchmark):
+    result = run_and_report(benchmark, table1.run, runs=10)
+    rows = result.row_map("type")
+    ms_i = result.headers.index("measured_ms")
+
+    fork_ms = rows["Fork"][ms_i]
+    huge_ms = rows["Fork w/ huge pages"][ms_i]
+    odf_ms = rows["On-demand-fork"][ms_i]
+
+    # Ordering: fork < odfork << huge pages.
+    assert fork_ms < odf_ms < huge_ms
+
+    # Paper ratios: odfork ~5.3x fork; huge pages ~16x odfork.
+    assert 3.0 < odf_ms / fork_ms < 8.0
+    assert 10.0 < huge_ms / odf_ms < 25.0
+
+    # Absolute neighbourhoods (ms).
+    assert 0.0015 < fork_ms < 0.004
+    assert 0.009 < odf_ms < 0.016
+    assert 0.15 < huge_ms < 0.25

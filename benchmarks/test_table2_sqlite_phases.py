@@ -1,0 +1,21 @@
+"""Table 2: SQLite unit-test phase breakdown (init dominates)."""
+
+from __future__ import annotations
+
+from repro.bench import table2_3
+from conftest import run_and_report
+
+
+def test_table2_sqlite_phases(benchmark):
+    result = run_and_report(benchmark, table2_3.run_table2, repeats=1)
+    rows = result.row_map("phase")
+    ms_i = result.headers.index("measured_ms")
+    pct_i = result.headers.index("relative_pct")
+
+    # Initialisation ~24 s and >99.9 % of the total.
+    assert 20_000 < rows["Initialization"][ms_i] < 30_000
+    assert rows["Initialization"][pct_i] > 99.5
+
+    # Forking ~13 ms; the test body well under a millisecond.
+    assert 10 < rows["Forking"][ms_i] < 17
+    assert rows["Testing"][ms_i] < 1.0

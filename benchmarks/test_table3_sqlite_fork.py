@@ -1,0 +1,27 @@
+"""Table 3: per-test fork+test cost, classic fork vs on-demand-fork."""
+
+from __future__ import annotations
+
+from repro.bench import table2_3
+from conftest import run_and_report
+
+
+def test_table3_sqlite_fork(benchmark):
+    result = run_and_report(benchmark, table2_3.run_table3, repeats=5)
+    rows = result.row_map("variant")
+    fork_i = result.headers.index("fork_ms")
+    test_i = result.headers.index("test_ms")
+    fork_pct_i = result.headers.index("fork_pct")
+
+    # Paper: 13.15 -> 0.12 ms fork time (99.1 % shorter).
+    reduction = 1 - rows["odfork"][fork_i] / rows["fork"][fork_i]
+    assert reduction > 0.97
+
+    # Under classic fork, forking dominates the per-test cost (98.6 %);
+    # under odfork the test body takes the bulk.
+    assert rows["fork"][fork_pct_i] > 95.0
+    assert rows["odfork"][fork_pct_i] < 60.0
+
+    # The odfork test body is slightly slower (deferred table copies).
+    assert rows["odfork"][test_i] > rows["fork"][test_i]
+    assert rows["odfork"][test_i] < rows["fork"][test_i] * 2.5

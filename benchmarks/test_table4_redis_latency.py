@@ -1,0 +1,32 @@
+"""Table 4: Redis request latency percentiles during snapshotting."""
+
+from __future__ import annotations
+
+from repro.bench import table4_5
+from conftest import run_and_report
+
+
+def test_table4_redis_latency(benchmark):
+    result = run_and_report(benchmark, table4_5.run_table4,
+                            n_requests=900_000)
+    by_variant = {}
+    for variant, pct, measured, _paper in result.rows:
+        by_variant.setdefault(variant, {})[pct] = measured
+
+    fork = by_variant["fork"]
+    odf = by_variant["odfork"]
+
+    # Median latency is pipeline queueing, similar for both (~4 ms).
+    assert 3.0 < fork[50] < 5.5
+    assert 3.0 < odf[50] < 5.5
+    assert abs(fork[50] - odf[50]) / fork[50] < 0.2
+
+    # The extreme tail: classic fork's block (~7.4 ms) lands on top of the
+    # queueing delay; odfork's tail is only the COW burst.
+    assert fork[99.99] > fork[50] + 5.0
+    assert odf[99.99] < fork[99.99] * 0.8
+    assert odf[99.99] > odf[50]  # COW burst still visible
+
+    # At least one snapshot happened in each run.
+    assert result.extras["fork"]["snapshots"] >= 1
+    assert result.extras["odfork"]["snapshots"] >= 1

@@ -1,0 +1,22 @@
+"""Table 5: Redis time-to-fork when taking snapshots."""
+
+from __future__ import annotations
+
+from repro.bench import table4_5
+from conftest import run_and_report
+
+
+def test_table5_redis_fork(benchmark):
+    result = run_and_report(benchmark, table4_5.run_table5, n_snapshots=5)
+    rows = result.row_map("variant")
+    mean_i = result.headers.index("mean_ms")
+    std_i = result.headers.index("std_ms")
+
+    # Paper: 7.40 ms -> 0.12 ms (98.4 % reduction).
+    assert 6.0 < rows["fork"][mean_i] < 9.5
+    assert 0.08 < rows["odfork"][mean_i] < 0.22
+    reduction = 1 - rows["odfork"][mean_i] / rows["fork"][mean_i]
+    assert reduction > 0.96
+
+    # odfork's fork time is also far more predictable (lower stddev).
+    assert rows["odfork"][std_i] < rows["fork"][std_i]

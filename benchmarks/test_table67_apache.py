@@ -1,0 +1,30 @@
+"""Tables 6 and 7: Apache prefork latency — the negative control."""
+
+from __future__ import annotations
+
+from repro.bench import table6_7
+from conftest import run_and_report
+
+
+def test_table67_apache(benchmark):
+    table6, table7 = run_and_report(benchmark, table6_7.run, repeats=3)
+
+    rows6 = table6.row_map("variant")
+    mean_i = table6.headers.index("mean_us")
+    fork_mean = rows6["fork"][mean_i]
+    odf_mean = rows6["odfork"][mean_i]
+
+    # Mean latency ~34 us for both; the difference is within noise (<5 %).
+    assert 25 < fork_mean < 45
+    assert 25 < odf_mean < 45
+    assert abs(fork_mean - odf_mean) / fork_mean < 0.05
+
+    # Percentiles likewise differ by a few percent at most.
+    by_variant = {}
+    for variant, pct, measured, _paper in table7.rows:
+        by_variant.setdefault(variant, {})[pct] = measured
+    for pct in (50, 75, 90, 99):
+        fork_v = by_variant["fork"][pct]
+        odf_v = by_variant["odfork"][pct]
+        assert abs(fork_v - odf_v) / fork_v < 0.15, \
+            f"p{pct} diverged more than noise"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Serverless cold vs warm starts: the §2.4.3 scenario.
+
+A lambda platform keeps one *initialised* runtime process per function
+(interpreter + libraries + user code loaded: hundreds of MB).  Each
+invocation needs a fresh, isolated copy of that state:
+
+* cold start: posix_spawn a new runtime and re-initialise everything;
+* warm start (classic fork): clone the initialised runtime — pay the
+  page-table copy;
+* warm start (on-demand-fork): clone it in microseconds.
+
+Run:  python examples/serverless_lambdas.py
+"""
+
+from repro import MIB, Machine
+from repro.analysis import mean
+
+
+RUNTIME_STATE_MB = 384          # interpreter + deps + user module
+HANDLER_TOUCH_BYTES = 256 * 1024  # what one invocation actually touches
+
+
+class LambdaPlatform:
+    def __init__(self, machine):
+        self.machine = machine
+        self.runtime_binary = machine.kernel.fs.create(
+            "/opt/runtime", size=8 * MIB)
+        self.runtime_binary.set_initial_contents(b"\x7fELF lambda runtime")
+        self.warm_runtime = self._initialise_runtime()
+
+    def _initialise_runtime(self):
+        proc = self.machine.spawn_process("runtime")
+        heap = proc.mmap(RUNTIME_STATE_MB * MIB, name="runtime-heap")
+        proc.touch_range(heap, RUNTIME_STATE_MB * MIB, write=True)
+        proc.heap = heap  # stash for handlers
+        return proc
+
+    def invoke_cold(self):
+        watch = self.machine.stopwatch()
+        instance = self.warm_runtime.posix_spawn(self.runtime_binary)
+        heap = instance.mmap(RUNTIME_STATE_MB * MIB)
+        instance.touch_range(heap, RUNTIME_STATE_MB * MIB, write=True)
+        instance.touch(heap, HANDLER_TOUCH_BYTES, write=True)
+        startup_ns = watch.elapsed_ns
+        instance.exit()
+        self.warm_runtime.wait()
+        return startup_ns
+
+    def invoke_warm(self, use_odfork):
+        runtime = self.warm_runtime
+        watch = self.machine.stopwatch()
+        instance = runtime.odfork() if use_odfork else runtime.fork()
+        instance.touch(runtime.heap, HANDLER_TOUCH_BYTES, write=True)
+        startup_ns = watch.elapsed_ns
+        with self.machine.cost.background():
+            instance.exit()
+            runtime.wait()
+        return startup_ns
+
+
+def main():
+    machine = Machine(phys_mb=2048)
+    platform = LambdaPlatform(machine)
+
+    cold = [platform.invoke_cold() for _ in range(3)]
+    warm_fork = [platform.invoke_warm(use_odfork=False) for _ in range(10)]
+    warm_odf = [platform.invoke_warm(use_odfork=True) for _ in range(10)]
+
+    print(f"lambda runtime state    : {RUNTIME_STATE_MB} MB")
+    print(f"cold start (spawn+init) : {mean(cold) / 1e6:9.2f} ms")
+    print(f"warm start (fork)       : {mean(warm_fork) / 1e6:9.2f} ms")
+    print(f"warm start (odfork)     : {mean(warm_odf) / 1e6:9.2f} ms")
+    print(f"odfork vs fork          : {mean(warm_fork) / mean(warm_odf):8.0f}x")
+    print(f"odfork vs cold          : {mean(cold) / mean(warm_odf):8.0f}x")
+    print("\nper-invocation isolation verified:",
+          "handler writes never reach the warm runtime")
+    probe = platform.warm_runtime.read(platform.warm_runtime.heap, 8)
+    instance = platform.warm_runtime.odfork()
+    instance.write(platform.warm_runtime.heap, b"SCRATCH!")
+    assert platform.warm_runtime.read(platform.warm_runtime.heap, 8) == probe
+    instance.exit()
+    platform.warm_runtime.wait()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

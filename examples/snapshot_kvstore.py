@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Snapshotting a key-value store: the Redis scenario (paper §5.3.3).
+
+A 512 MB in-memory store serves pipelined traffic while taking fork-based
+snapshots.  With classic fork every snapshot blocks the server for
+milliseconds — visible straight in the tail latency; with on-demand-fork
+the block shrinks to ~0.1 ms and the tail collapses.
+
+Run:  python examples/snapshot_kvstore.py
+"""
+
+from repro import Machine
+from repro.analysis import latency_percentiles
+from repro.apps import KVStore, MemtierClient
+
+
+def run_variant(use_odfork, n_requests=250_000):
+    machine = Machine(phys_mb=2048, noise_sigma=0.04, seed=7)
+    store = KVStore(machine, data_mb=512, use_odfork=use_odfork,
+                    snapshot_min_interval_ms=60.0)
+    client = MemtierClient(store, pipeline_depth=500)
+    latencies = client.run(n_requests)
+    pct = latency_percentiles(latencies, (50, 99, 99.9, 99.99))
+    fork_times = store.fork_ns_samples
+    store.shutdown()
+    return pct, fork_times, store.snapshots_taken
+
+
+def main():
+    for label, use_odfork in (("fork", False), ("on-demand-fork", True)):
+        pct, fork_times, snapshots = run_variant(use_odfork)
+        mean_fork_ms = sum(fork_times) / len(fork_times) / 1e6
+        print(f"\n=== snapshots via {label} ===")
+        print(f"snapshots taken : {snapshots}")
+        print(f"mean fork time  : {mean_fork_ms:.3f} ms")
+        for p, v in pct.items():
+            print(f"  p{p:<6}: {v / 1e6:7.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

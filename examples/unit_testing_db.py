@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fork-based unit testing on a shared initialised database (§5.3.2).
+
+Initialising a realistic database takes tens of seconds; each unit test
+takes a fraction of a millisecond.  Forking the initialised process per
+test amortises initialisation while giving every test a pristine state —
+and the child's mutations provably never leak into the parent.
+
+Run:  python examples/unit_testing_db.py
+"""
+
+from repro import Machine
+from repro.apps import Column, MiniDB, execute_sql
+
+
+def build_database(machine):
+    harness = machine.spawn_process("test-harness")
+    db = MiniDB(harness, heap_mb=64)
+    db.create_table("accounts", [
+        Column("id", "int"),
+        Column("owner", "str", indexed=True),
+        Column("balance", "int"),
+    ], primary_key="id")
+    for i in range(2_000):
+        db.insert("accounts", {"id": i, "owner": f"user{i % 50}",
+                               "balance": 100 + i})
+    return harness, db
+
+
+def test_transfer(db):
+    """Unit test: balance transfer conserves total funds."""
+    before = sum(r["balance"] for r in db.select("accounts",
+                                                 where=("owner", "=", "user7")))
+    db.update("accounts", {"balance": 0}, where=("id", "=", 7))
+    db.update("accounts", {"balance": before}, where=("id", "=", 57))
+    rows = db.select("accounts", where=("id", "=", 57))
+    assert rows[0]["balance"] == before
+
+
+def test_delete_account(db):
+    """Unit test: deletion removes exactly the matching rows."""
+    n_before = db.count("accounts")
+    deleted = db.delete("accounts", where=("id", "=", 1234))
+    assert deleted == 1
+    assert db.count("accounts") == n_before - 1
+
+
+def test_sql_surface(db):
+    """Unit test: the SQL layer rejects malformed statements cleanly."""
+    assert execute_sql(db, "SELECT COUNT(*) FROM accounts") > 0
+    try:
+        execute_sql(db, "SELEKT * FROM accounts")
+    except Exception as error:
+        print(f"    (malformed SQL rejected: {error})")
+
+
+def main():
+    machine = Machine(phys_mb=512)
+    watch = machine.stopwatch()
+    harness, db = build_database(machine)
+    print(f"initialisation: {watch.elapsed_ms:.1f} ms simulated")
+
+    harness.set_odfork_default(True)  # every fork below is on-demand
+
+    for test in (test_transfer, test_delete_account, test_sql_surface):
+        child = harness.fork(test.__name__)
+        fork_us = harness.last_fork_ns / 1e3
+        child_db = db.view_for(child)
+        watch = machine.stopwatch()
+        test(child_db)
+        test_us = watch.elapsed_us
+        child.exit()
+        harness.wait()
+        print(f"{test.__name__:22s} fork {fork_us:7.1f} us, "
+              f"test {test_us:7.1f} us  [PASS]")
+
+    # The parent's state is untouched by any test.
+    assert db.count("accounts") == 2_000
+    assert db.select("accounts", where=("id", "=", 1234)), \
+        "row deleted by a test must still exist in the parent"
+    print("parent state verified pristine after all tests")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""On-demand-fork (EuroSys '21) reproduction.
+
+A simulated Linux virtual-memory subsystem with copy-on-write page tables:
+classic ``fork`` and the paper's ``on-demand-fork`` side by side, on real
+hierarchical paging structures, with a calibrated timing model.
+
+Quick start::
+
+    from repro import Machine, GIB, MIB
+
+    m = Machine(phys_mb=4096)
+    parent = m.spawn_process("parent")
+    buf = parent.mmap(256 * MIB)
+    parent.touch_range(buf, 256 * MIB)          # fill with data
+    child = parent.odfork()                     # microsecond fork
+    print(parent.last_fork_ns / 1e3, "us")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from .core import GIB, MIB, Machine, Process
+from .errors import (
+    BusError,
+    ConfigurationError,
+    InvalidArgumentError,
+    KernelBug,
+    OutOfMemoryError,
+    ProcessError,
+    ReproError,
+    SegmentationFault,
+)
+from .kernel.vma import (
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_HUGETLB,
+    MAP_POPULATE,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+)
+from .kernel.kernel import MADV_DONTNEED, MADV_HUGEPAGE, MADV_NOHUGEPAGE
+from .timing.costs import CostParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Process",
+    "CostParams",
+    "MIB",
+    "GIB",
+    "ReproError",
+    "ConfigurationError",
+    "InvalidArgumentError",
+    "SegmentationFault",
+    "BusError",
+    "OutOfMemoryError",
+    "ProcessError",
+    "KernelBug",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "MAP_PRIVATE",
+    "MAP_SHARED",
+    "MAP_ANONYMOUS",
+    "MAP_HUGETLB",
+    "MAP_POPULATE",
+    "MAP_FIXED",
+    "MADV_DONTNEED",
+    "MADV_HUGEPAGE",
+    "MADV_NOHUGEPAGE",
+]

@@ -1,0 +1,27 @@
+"""Profiling, statistics, tables, and time-series analysis helpers."""
+
+from .profiler import Profiler
+from .stats import (
+    latency_percentiles,
+    mean,
+    percentile,
+    reduction_pct,
+    stddev,
+    summary,
+)
+from .tables import render_ascii_chart, render_series, render_table
+from .timeseries import ThroughputSeries
+
+__all__ = [
+    "Profiler",
+    "mean",
+    "stddev",
+    "percentile",
+    "summary",
+    "latency_percentiles",
+    "reduction_pct",
+    "render_table",
+    "render_ascii_chart",
+    "render_series",
+    "ThroughputSeries",
+]

@@ -1,0 +1,72 @@
+"""Statistics helpers for benchmark reporting.
+
+The paper reports averages, minima, standard deviations, and latency
+percentiles; these helpers compute them the same way the evaluation tools
+do (memtier-style nearest-rank percentiles, wrk-style summaries).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidArgumentError
+
+
+def mean(values):
+    """Arithmetic mean (rejects empty input)."""
+    values = list(values)
+    if not values:
+        raise InvalidArgumentError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values):
+    """Population standard deviation (what the paper's tables report)."""
+    values = list(values)
+    if not values:
+        raise InvalidArgumentError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values, pct):
+    """Nearest-rank percentile on a sorted copy (``pct`` in [0, 100])."""
+    if not 0 <= pct <= 100:
+        raise InvalidArgumentError(f"percentile {pct} out of range")
+    ordered = sorted(values)
+    if not ordered:
+        raise InvalidArgumentError("percentile of empty sequence")
+    if pct == 0:
+        return ordered[0]
+    # Guard against float artifacts (99.9/100*10000 -> 9990.000000000002).
+    rank = math.ceil(round(pct / 100.0 * len(ordered), 9))
+    return ordered[rank - 1]
+
+
+def summary(values):
+    """``dict`` with the headline statistics for a sample."""
+    ordered = sorted(values)
+    if not ordered:
+        raise InvalidArgumentError("summary of empty sequence")
+    return {
+        "n": len(ordered),
+        "mean": mean(ordered),
+        "std": stddev(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": percentile(ordered, 50),
+        "p99": percentile(ordered, 99),
+    }
+
+
+def latency_percentiles(values, points=(50, 90, 95, 99, 99.9, 99.99)):
+    """The percentile set Table 4 of the paper reports."""
+    ordered = sorted(values)
+    return {pct: percentile(ordered, pct) for pct in points}
+
+
+def reduction_pct(baseline, improved):
+    """Percentage reduction of ``improved`` relative to ``baseline``."""
+    if baseline == 0:
+        raise InvalidArgumentError("baseline is zero")
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,95 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+Every benchmark prints its result in the same shape the paper presents it
+(a table's rows, or a figure's x/y series), alongside the paper's numbers
+where EXPERIMENTS.md records them, so "shape holds" is checkable at a
+glance from the bench output.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers, rows, title=None):
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name, xs, ys, x_label="x", y_label="y"):
+    """A figure series as aligned columns."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return render_table([x_label, y_label], rows, title=name)
+
+
+def render_ascii_chart(xs, ys, width=64, height=12, title=None,
+                       y_label="y"):
+    """A simple scatter/line chart in monospace (for figure series).
+
+    Benchmarks print their throughput-over-time curves this way so the
+    Figure 9/10 *shapes* (flat with dips) are visible in plain terminals.
+    """
+    xs = list(xs)
+    ys = list(ys)
+    if not xs or len(xs) != len(ys):
+        return "(no data)"
+    y_min = min(ys)
+    y_max = max(ys)
+    span = (y_max - y_min) or 1.0
+    x_min = min(xs)
+    x_span = (max(xs) - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _fmt(float(y_max))
+    bottom_label = _fmt(float(y_min))
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(pad)
+        elif i == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + f"  x: {_fmt(float(x_min))} .. "
+                 f"{_fmt(float(max(xs)))}  ({y_label})")
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 100:
+            return f"{cell:.1f}"
+        if magnitude >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def _numeric(text):
+    try:
+        float(text.replace("x", "").replace("%", ""))
+        return True
+    except ValueError:
+        return False

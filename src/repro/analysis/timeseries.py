@@ -1,0 +1,63 @@
+"""Event time series: throughput-over-time curves for Figures 9 and 10.
+
+The fuzzing experiments report executions/second sampled over a campaign.
+``ThroughputSeries`` collects event timestamps (virtual nanoseconds) and
+buckets them into per-interval rates.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidArgumentError
+from ..timing.clock import NSEC_PER_SEC
+
+
+class ThroughputSeries:
+    """Collects event timestamps and produces a rate-per-bucket series."""
+
+    def __init__(self, bucket_seconds=5.0):
+        if bucket_seconds <= 0:
+            raise InvalidArgumentError("bucket size must be positive")
+        self.bucket_ns = int(bucket_seconds * NSEC_PER_SEC)
+        self._timestamps = []
+
+    def record(self, now_ns):
+        """Record one event at virtual time ``now_ns``."""
+        self._timestamps.append(now_ns)
+
+    @property
+    def count(self):
+        """Number of recorded events."""
+        return len(self._timestamps)
+
+    def buckets(self):
+        """``(times_s, rates_per_s)`` arrays over the observed span."""
+        if not self._timestamps:
+            return [], []
+        start = min(self._timestamps)
+        end = max(self._timestamps)
+        n_buckets = (end - start) // self.bucket_ns + 1
+        counts = [0] * n_buckets
+        for ts in self._timestamps:
+            counts[(ts - start) // self.bucket_ns] += 1
+        seconds_per_bucket = self.bucket_ns / NSEC_PER_SEC
+        times = [
+            (start / NSEC_PER_SEC) + (i + 0.5) * seconds_per_bucket
+            for i in range(n_buckets)
+        ]
+        rates = [c / seconds_per_bucket for c in counts]
+        return times, rates
+
+    def buckets_complete(self):
+        """Like :meth:`buckets` but without the trailing partial bucket,
+        whose artificially low rate would distort a chart."""
+        times, rates = self.buckets()
+        if len(times) > 1:
+            return times[:-1], rates[:-1]
+        return times, rates
+
+    def average_rate(self):
+        """Events per second over the whole campaign."""
+        if len(self._timestamps) < 2:
+            return 0.0
+        span_s = (max(self._timestamps) - min(self._timestamps)) / NSEC_PER_SEC
+        return (len(self._timestamps) - 1) / span_s if span_s > 0 else 0.0

@@ -1,0 +1,49 @@
+"""Simulated applications: the paper's real-world workloads."""
+
+from .fuzzer import CoverageMap, ForkServerFuzzer, Mutator
+from .httpd import PreforkServer
+from .kvstore import KVStore
+from .minidb import Column, MiniDB, MiniDBError
+from .sql import SQLParseError, execute_sql, tokenize
+from .sqlite_workload import (
+    PAPER_DB_MB,
+    SQL_DICTIONARY,
+    SQL_SEEDS,
+    UNIT_TEST_RESIDENT_MB,
+    build_schema,
+    load_fuzz_database,
+    run_sql_in_child,
+)
+from .support import CowDict, CowSet, SlotArena
+from .traffic import MemtierClient, WrkClient
+from .vmclone import VM_FUZZ_SEEDS, GuestPanic, VirtualMachine, clone_throughput_demo
+
+__all__ = [
+    "KVStore",
+    "MemtierClient",
+    "WrkClient",
+    "MiniDB",
+    "MiniDBError",
+    "Column",
+    "execute_sql",
+    "tokenize",
+    "SQLParseError",
+    "ForkServerFuzzer",
+    "CoverageMap",
+    "Mutator",
+    "VirtualMachine",
+    "GuestPanic",
+    "VM_FUZZ_SEEDS",
+    "clone_throughput_demo",
+    "PreforkServer",
+    "CowDict",
+    "CowSet",
+    "SlotArena",
+    "PAPER_DB_MB",
+    "UNIT_TEST_RESIDENT_MB",
+    "SQL_DICTIONARY",
+    "SQL_SEEDS",
+    "build_schema",
+    "load_fuzz_database",
+    "run_sql_in_child",
+]

@@ -1,0 +1,75 @@
+"""A prefork HTTP server: the Apache stand-in (§5.3.5, the negative control).
+
+Apache's prefork MPM forks a small pool of worker processes at startup and
+then serves each connection in a worker — no further forking on the hot
+path, and the control process maps only ~7 MB.  The paper uses it to show
+that workloads outside On-demand-fork's target profile neither benefit nor
+regress; the model reproduces that by making request latency dominated by
+request handling, with fork appearing only at startup.
+"""
+
+from __future__ import annotations
+
+from ..core.machine import MIB
+from ..errors import InvalidArgumentError
+
+#: Apache maps ~7 MB of virtual memory before forking workers (§5.3.5).
+CONTROL_PROCESS_MB = 7
+#: Default worker pool (Apache's prefork default cap is 256).
+DEFAULT_WORKERS = 32
+#: Request handling cost: parse + handler + response write.  Fitted to the
+#: paper's ~34 us mean response latency.
+REQUEST_BASE_NS = 30_000
+REQUEST_JITTER_NS = 8_000
+#: Rare slow requests (scheduling hiccups, cold paths) shape the p99/max.
+SLOW_REQUEST_PROB = 0.012
+SLOW_REQUEST_EXTRA_NS = 30_000
+
+
+class PreforkServer:
+    """Control process + forked worker pool."""
+
+    def __init__(self, machine, n_workers=DEFAULT_WORKERS, use_odfork=False,
+                 name="httpd"):
+        if n_workers <= 0:
+            raise InvalidArgumentError("need at least one worker")
+        self.machine = machine
+        self.use_odfork = use_odfork
+        self.control = machine.spawn_process(name)
+        # Configuration, code, and shared scoreboard: ~7 MB resident.
+        region = self.control.mmap(CONTROL_PROCESS_MB * MIB, name="httpd-core")
+        self.control.populate(region, CONTROL_PROCESS_MB * MIB)
+        self.scoreboard = region
+        self.startup_fork_ns = []
+        self.workers = []
+        for i in range(n_workers):
+            worker = (self.control.odfork(f"worker-{i}") if use_odfork
+                      else self.control.fork(f"worker-{i}"))
+            self.startup_fork_ns.append(self.control.last_fork_ns)
+            self.workers.append(worker)
+        self._next_worker = 0
+
+    def handle_request(self, rng):
+        """Serve one request on the next worker (round robin)."""
+        worker = self.workers[self._next_worker]
+        self._next_worker = (self._next_worker + 1) % len(self.workers)
+        cost = self.machine.cost
+        jitter = rng.random_sample()
+        cost.charge("httpd_request",
+                    REQUEST_BASE_NS + jitter * REQUEST_JITTER_NS)
+        if rng.random_sample() < SLOW_REQUEST_PROB:
+            cost.charge("httpd_slow_request",
+                        min(rng.exponential(SLOW_REQUEST_EXTRA_NS), 400_000))
+        # The worker touches request/response buffers in its own heap
+        # (COW-shared with the control process until first write).
+        offset = int(jitter * (CONTROL_PROCESS_MB * MIB - 8192))
+        worker.touch(self.scoreboard + offset, 512, write=True)
+
+    def shutdown(self):
+        """Stop all workers and the control process."""
+        for worker in self.workers:
+            worker.exit()
+            self.control.wait(worker.pid)
+        self.workers = []
+        self.control.exit()
+        self.machine.init_process.wait()

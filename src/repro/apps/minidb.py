@@ -1,0 +1,502 @@
+"""MiniDB: a small in-memory relational engine (the SQLite stand-in).
+
+The paper's §5.3.1/§5.3.2 experiments need a database engine with:
+
+* a large initialised in-memory state (a 1078 MB database with integer and
+  string columns and foreign-key constraints),
+* cheap point operations (SELECT / DELETE / UPDATE with predicates) whose
+  cost is dwarfed by initialisation,
+* a query surface a fuzzer can feed (see :mod:`repro.apps.sql`).
+
+MiniDB provides exactly that.  Row payloads live in *simulated memory*
+(fixed-size record slots in one big mapping), so loading the database
+faults in the real footprint and forked children copy-on-write real pages.
+Query-layer metadata (schemas, indexes, free lists) is Python state; fork
+children receive copy-on-write overlays (:mod:`repro.apps.support`) so a
+short-lived child can mutate rows without perturbing the parent — the same
+isolation the real fork gives SQLite's heap.
+
+Two storage fidelities:
+
+* ``store_bytes=True`` (default, for tests and small datasets): rows are
+  really encoded into simulated memory and decoded on read.
+* ``store_bytes=False`` (benchmark scale): row values stay in Python; the
+  record slots are still *touched* (faulted, COWed, charged) but bytes are
+  not materialised, keeping host RAM flat at gigabyte scale.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.machine import MIB
+from ..errors import InvalidArgumentError, ReproError
+from .support import CowDict, CowSet, SlotArena
+
+#: Fitted so loading the paper's 1078 MB database takes ~24.19 s of
+#: simulated time (Table 2: initialisation dominates testing).
+INSERT_COST_NS = 13_390
+#: Per-row predicate-evaluation cost during scans and index probes.
+ROW_EVAL_COST_NS = 110
+#: Fixed per-statement execution cost (parse/plan/begin/commit).
+STATEMENT_BASE_NS = 9_000
+
+TYPE_INT = "int"
+TYPE_STR = "str"
+TYPE_BLOB = "blob"
+_STR_BYTES = 64
+_INT_FMT = "<q"
+
+
+class MiniDBError(ReproError):
+    """Schema or constraint violation (MiniDB's SQLITE_CONSTRAINT etc.)."""
+
+
+class Column:
+    """One typed column; optionally indexed or foreign-keyed.
+
+    ``blob`` columns carry an explicit ``size`` and exist to give rows a
+    realistic footprint (SQLite pages hold far more payload than keys);
+    they are not comparable in WHERE clauses.
+    """
+
+    def __init__(self, name, ctype, indexed=False, references=None, size=None):
+        if ctype not in (TYPE_INT, TYPE_STR, TYPE_BLOB):
+            raise InvalidArgumentError(f"unknown column type {ctype!r}")
+        if ctype == TYPE_BLOB and (size is None or size <= 0):
+            raise InvalidArgumentError("blob columns need a positive size")
+        self.name = name
+        self.ctype = ctype
+        self.indexed = indexed
+        # references = (table_name, column_name) for a foreign key.
+        self.references = references
+        self.size = size
+
+    @property
+    def byte_size(self):
+        """Bytes this column occupies in the fixed-size record."""
+        if self.ctype == TYPE_INT:
+            return 8
+        if self.ctype == TYPE_STR:
+            return _STR_BYTES
+        return self.size
+
+
+class TableSchema:
+    """Column layout and record encoding for one table."""
+
+    def __init__(self, name, columns, primary_key):
+        self.name = name
+        self.columns = list(columns)
+        self.by_name = {c.name: c for c in self.columns}
+        if primary_key not in self.by_name:
+            raise InvalidArgumentError(f"primary key {primary_key!r} not a column")
+        self.primary_key = primary_key
+        self.by_name[primary_key].indexed = True
+        self.record_size = sum(c.byte_size for c in self.columns)
+        self._offsets = {}
+        offset = 0
+        for c in self.columns:
+            self._offsets[c.name] = offset
+            offset += c.byte_size
+
+    def encode(self, row):
+        """Encode a row dict into record bytes."""
+        out = bytearray(self.record_size)
+        for c in self.columns:
+            offset = self._offsets[c.name]
+            value = row[c.name]
+            if c.ctype == TYPE_INT:
+                struct.pack_into(_INT_FMT, out, offset, int(value))
+            elif c.ctype == TYPE_STR:
+                data = str(value).encode()[:_STR_BYTES]
+                out[offset:offset + len(data)] = data
+            else:
+                data = bytes(value)[:c.byte_size]
+                out[offset:offset + len(data)] = data
+        return bytes(out)
+
+    def decode(self, data):
+        """Decode record bytes back into a row dict."""
+        row = {}
+        for c in self.columns:
+            offset = self._offsets[c.name]
+            if c.ctype == TYPE_INT:
+                row[c.name] = struct.unpack_from(_INT_FMT, data, offset)[0]
+            elif c.ctype == TYPE_STR:
+                raw = data[offset:offset + _STR_BYTES]
+                row[c.name] = raw.split(b"\x00", 1)[0].decode()
+            else:
+                row[c.name] = bytes(data[offset:offset + c.byte_size])
+        return row
+
+
+class TableData:
+    """Runtime state of one table: slots, row values, indexes."""
+
+    def __init__(self, schema, arena):
+        self.schema = schema
+        self.arena = arena
+        # slot -> row dict (None values when store_bytes handles payloads)
+        self.rows = CowDict()
+        # column name -> CowDict(value -> tuple of slots)
+        self.indexes = CowDict()
+        for column in schema.columns:
+            if column.indexed:
+                self.indexes[column.name] = CowDict()
+        # Bulk-loaded rows are *synthetic*: slots [0, synthetic_count) hold
+        # rows generated by synthetic_fn(slot) with primary key == slot.
+        # Updates override via `rows`, deletes via `tombstones`; millions
+        # of loaded rows then cost no per-row Python state.
+        self.synthetic_count = 0
+        self.synthetic_fn = None
+        self.tombstones = CowSet()
+
+    def overlay(self):
+        """A fork-child view: shared bases, private deltas."""
+        child = TableData.__new__(TableData)
+        child.schema = self.schema
+        child.arena = self.arena.overlay()
+        child.rows = CowDict.overlay(self.rows)
+        child.indexes = CowDict()
+        for name in self.indexes.keys():
+            child.indexes[name] = CowDict.overlay(self.indexes[name])
+        child.synthetic_count = self.synthetic_count
+        child.synthetic_fn = self.synthetic_fn
+        child.tombstones = CowSet.overlay(self.tombstones)
+        return child
+
+    def is_live_synthetic(self, slot):
+        """Whether ``slot`` is an untouched bulk-loaded row."""
+        return (
+            0 <= slot < self.synthetic_count
+            and slot not in self.tombstones
+            and slot not in self.rows
+        )
+
+    def live_slots(self):
+        """All live slots: explicit rows plus surviving synthetic ones."""
+        for slot in self.rows.keys():
+            yield slot
+        for slot in range(self.synthetic_count):
+            if slot not in self.tombstones and slot not in self.rows:
+                yield slot
+
+    def pk_probe(self, value):
+        """Slots whose primary key equals ``value`` (index + synthetic)."""
+        slots = list(self.index_lookup(self.schema.primary_key, value))
+        if (
+            isinstance(value, int)
+            and 0 <= value < self.synthetic_count
+            and value not in self.tombstones
+            and value not in slots
+        ):
+            # Synthetic rows are keyed by construction: pk == slot, and an
+            # overriding update keeps the pk, so the probe always holds.
+            slots.append(value)
+        return slots
+
+    # Index values are stored as tuples so overlay children never mutate a
+    # container owned by the parent.
+    def index_add(self, column, value, slot):
+        """Register ``slot`` under ``value`` in a secondary index."""
+        index = self.indexes[column]
+        index[value] = index.get(value, ()) + (slot,)
+
+    def index_remove(self, column, value, slot):
+        """Drop ``slot`` from ``value``'s index entry."""
+        index = self.indexes[column]
+        slots = tuple(s for s in index.get(value, ()) if s != slot)
+        if slots:
+            index[value] = slots
+        else:
+            index.pop(value, None)
+
+    def index_lookup(self, column, value):
+        """Slots indexed under ``value`` (a tuple; empty if none)."""
+        return self.indexes[column].get(value, ())
+
+
+class MiniDB:
+    """The database engine bound to one simulated process."""
+
+    def __init__(self, proc, heap_mb=1200, store_bytes=True):
+        self.proc = proc
+        self.machine = proc.machine
+        self.store_bytes = store_bytes
+        heap_bytes = int(heap_mb) * MIB
+        self.heap_base = proc.mmap(heap_bytes, name="minidb-heap")
+        self.heap_bytes = heap_bytes
+        self._heap_cursor = 0
+        self.tables = {}
+        self.rows_loaded = 0
+
+    # ---- schema ----------------------------------------------------------
+
+    def create_table(self, name, columns, primary_key, region_mb=None):
+        """Create a table and carve its record-slot region from the heap."""
+        if name in self.tables:
+            raise MiniDBError(f"table {name!r} exists")
+        schema = TableSchema(name, columns, primary_key)
+        # Reserve a slot region: explicit size, or a share of what is left.
+        remaining = self.heap_bytes - self._heap_cursor
+        if region_mb is not None:
+            region = int(region_mb) * MIB
+            if region > remaining:
+                raise MiniDBError(f"region for {name!r} exceeds heap")
+        else:
+            region = remaining // max(1, (4 - len(self.tables)))
+        n_slots = region // schema.record_size
+        if n_slots < 1:
+            raise MiniDBError(f"no room for table {name!r} in the heap")
+        arena = SlotArena(self.heap_base + self._heap_cursor,
+                          schema.record_size, n_slots)
+        self._heap_cursor += n_slots * schema.record_size
+        if self._heap_cursor > self.heap_bytes:
+            raise MiniDBError("heap exhausted by table regions")
+        self.tables[name] = TableData(schema, arena)
+        return self.tables[name]
+
+    def _table(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise MiniDBError(f"no such table: {name}") from None
+
+    # ---- constraint checks ----------------------------------------------------
+
+    def _check_foreign_keys(self, table, row):
+        for column in table.schema.columns:
+            if column.references is None:
+                continue
+            ref_table, ref_column = column.references
+            target = self._table(ref_table)
+            valid = target.index_lookup(ref_column, row[column.name])
+            if not valid and ref_column == target.schema.primary_key:
+                valid = target.pk_probe(row[column.name])
+            if not valid:
+                raise MiniDBError(
+                    f"FOREIGN KEY violation: {table.schema.name}.{column.name}"
+                    f" -> {ref_table}.{ref_column} = {row[column.name]!r}"
+                )
+
+    # ---- DML ---------------------------------------------------------------------
+
+    def insert(self, table_name, row, charge=True):
+        """Insert one row (uniqueness + FK checks); returns its slot."""
+        table = self._table(table_name)
+        schema = table.schema
+        missing = [c.name for c in schema.columns if c.name not in row]
+        if missing:
+            raise MiniDBError(f"missing columns {missing}")
+        pk_value = row[schema.primary_key]
+        if table.pk_probe(pk_value):
+            raise MiniDBError(f"UNIQUE violation on {schema.primary_key}")
+        self._check_foreign_keys(table, row)
+
+        slot = table.arena.alloc()
+        addr = table.arena.addr_of(slot)
+        if self.store_bytes:
+            self.proc.write(addr, schema.encode(row))
+            table.rows[slot] = None
+        else:
+            self.proc.touch(addr, schema.record_size, write=True)
+            table.rows[slot] = dict(row)
+        for column in schema.columns:
+            if column.indexed:
+                table.index_add(column.name, row[column.name], slot)
+        if charge:
+            self.machine.cost.charge("minidb_insert", INSERT_COST_NS)
+        self.rows_loaded += 1
+        return slot
+
+    def bulk_load_synthetic(self, table_name, n_rows, row_fn):
+        """Load ``n_rows`` generated rows without per-row Python state.
+
+        ``row_fn(slot)`` must return a row whose primary key equals the
+        slot number.  The record region is faulted in (bulk), and the
+        per-row engine cost (encode, B-tree insert, constraint checks) is
+        charged in one sum — this is what makes the paper's 24-second,
+        million-row initialisation simulable.
+        """
+        table = self._table(table_name)
+        if table.synthetic_count or table.rows.get(0) is not None:
+            raise MiniDBError("bulk load must precede other inserts")
+        if self.store_bytes:
+            raise MiniDBError("bulk synthetic load requires store_bytes=False")
+        probe = row_fn(0)
+        if probe[table.schema.primary_key] != 0:
+            raise MiniDBError("synthetic primary key must equal the slot")
+        if n_rows > table.arena.n_slots:
+            raise MiniDBError(
+                f"{n_rows} rows exceed {table.schema.name}'s slot region"
+            )
+        table.synthetic_count = n_rows
+        table.synthetic_fn = row_fn
+        table.arena._next_fresh = n_rows
+        region_bytes = n_rows * table.schema.record_size
+        self.proc.touch_range(table.arena.base_addr, region_bytes, write=True)
+        self.machine.cost.charge("minidb_insert", INSERT_COST_NS * n_rows)
+        self.rows_loaded += n_rows
+
+    def _read_row(self, table, slot):
+        addr = table.arena.addr_of(slot)
+        if self.store_bytes:
+            data = self.proc.read(addr, table.schema.record_size)
+            return table.schema.decode(data)
+        self.proc.touch(addr, table.schema.record_size, write=False)
+        if slot in table.rows:
+            return dict(table.rows[slot])
+        if table.is_live_synthetic(slot) or slot < table.synthetic_count:
+            return dict(table.synthetic_fn(slot))
+        raise MiniDBError(f"no row at slot {slot}")
+
+    def _candidate_slots(self, table, where):
+        """Slots to evaluate: index probe when possible, else full scan.
+
+        Primary-key equality is always a probe (explicit index plus the
+        synthetic keyspace).  Other indexed columns are probes only on
+        tables without synthetic rows — synthetic rows are not present in
+        secondary indexes, so correctness requires a scan there.
+        """
+        for condition in self._conditions(where):
+            column, op, value = condition
+            if op == "=" and column == table.schema.primary_key:
+                return table.pk_probe(value)
+        for condition in self._conditions(where):
+            column, op, value = condition
+            if op == "=" and column in table.indexes and not table.synthetic_count:
+                return list(table.index_lookup(column, value))
+        return list(table.live_slots())
+
+    @staticmethod
+    def _conditions(where):
+        """Normalise a where clause into a list of condition tuples."""
+        if where is None:
+            return []
+        if where[0] == "and":
+            return list(where[1])
+        return [where]
+
+    def _validate_where(self, table, where):
+        for column, _op, _value in self._conditions(where):
+            if column not in table.schema.by_name:
+                raise MiniDBError(f"no such column: {column}")
+
+    @classmethod
+    def _matches(cls, row, where):
+        if where is None:
+            return True
+        if where[0] == "and":
+            return all(cls._matches(row, cond) for cond in where[1])
+        column, op, value = where
+        actual = row[column]
+        if op == "=":
+            return actual == value
+        if op == "<":
+            return actual < value
+        if op == ">":
+            return actual > value
+        if op == "!=":
+            return actual != value
+        raise MiniDBError(f"unsupported operator {op!r}")
+
+    def select(self, table_name, where=None, limit=None):
+        """Rows matching ``where`` (``(column, op, value)`` or ``None``)."""
+        table = self._table(table_name)
+        self.machine.cost.charge("minidb_statement", STATEMENT_BASE_NS)
+        self._validate_where(table, where)
+        results = []
+        for slot in self._candidate_slots(table, where):
+            self.machine.cost.charge("minidb_row", ROW_EVAL_COST_NS)
+            row = self._read_row(table, slot)
+            if self._matches(row, where):
+                results.append(row)
+                if limit is not None and len(results) >= limit:
+                    break
+        return results
+
+    def delete(self, table_name, where=None):
+        """Delete matching rows; returns the count."""
+        table = self._table(table_name)
+        self.machine.cost.charge("minidb_statement", STATEMENT_BASE_NS)
+        self._validate_where(table, where)
+        deleted = 0
+        for slot in self._candidate_slots(table, where):
+            self.machine.cost.charge("minidb_row", ROW_EVAL_COST_NS)
+            row = self._read_row(table, slot)
+            if not self._matches(row, where):
+                continue
+            addr = table.arena.addr_of(slot)
+            self.proc.touch(addr, table.schema.record_size, write=True)
+            if slot >= table.synthetic_count:
+                for column in table.schema.columns:
+                    if column.indexed:
+                        table.index_remove(column.name, row[column.name], slot)
+            if slot in table.rows:
+                del table.rows[slot]
+            if slot < table.synthetic_count:
+                table.tombstones.add(slot)
+            else:
+                table.arena.free(slot)
+            deleted += 1
+        return deleted
+
+    def update(self, table_name, assignments, where=None):
+        """Set ``assignments`` (dict) on matching rows; returns the count."""
+        table = self._table(table_name)
+        schema = table.schema
+        self.machine.cost.charge("minidb_statement", STATEMENT_BASE_NS)
+        self._validate_where(table, where)
+        for column in assignments:
+            if column not in schema.by_name:
+                raise MiniDBError(f"no such column: {column}")
+        if schema.primary_key in assignments:
+            raise MiniDBError("updating the primary key is not supported")
+        updated = 0
+        for slot in self._candidate_slots(table, where):
+            self.machine.cost.charge("minidb_row", ROW_EVAL_COST_NS)
+            row = self._read_row(table, slot)
+            if not self._matches(row, where):
+                continue
+            new_row = dict(row)
+            new_row.update(assignments)
+            self._check_foreign_keys(table, new_row)
+            addr = table.arena.addr_of(slot)
+            if self.store_bytes:
+                self.proc.write(addr, schema.encode(new_row))
+            else:
+                self.proc.touch(addr, schema.record_size, write=True)
+                table.rows[slot] = new_row
+            # Synthetic rows were never entered into secondary indexes, so
+            # only explicitly inserted rows have index entries to maintain.
+            if slot >= table.synthetic_count:
+                for column in schema.columns:
+                    if column.indexed and new_row[column.name] != row[column.name]:
+                        table.index_remove(column.name, row[column.name], slot)
+                        table.index_add(column.name, new_row[column.name], slot)
+            updated += 1
+        return updated
+
+    def count(self, table_name):
+        """Number of live rows in the table."""
+        table = self._table(table_name)
+        explicit_new = sum(1 for slot in table.rows.keys()
+                           if slot >= table.synthetic_count)
+        overridden_or_synth = table.synthetic_count - len(table.tombstones)
+        return explicit_new + overridden_or_synth
+
+    # ---- fork support ------------------------------------------------------------
+
+    def view_for(self, child_proc):
+        """MiniDB bound to a fork child: COW metadata over shared memory."""
+        child = MiniDB.__new__(MiniDB)
+        child.proc = child_proc
+        child.machine = child_proc.machine
+        child.store_bytes = self.store_bytes
+        child.heap_base = self.heap_base
+        child.heap_bytes = self.heap_bytes
+        child._heap_cursor = self._heap_cursor
+        child.rows_loaded = self.rows_loaded
+        child.tables = {name: data.overlay() for name, data in self.tables.items()}
+        return child

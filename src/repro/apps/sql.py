@@ -1,0 +1,345 @@
+"""A small SQL front end for MiniDB — the fuzzing target surface.
+
+The AFL experiment (§5.3.1) fuzzes SQLite through its query interface with
+a dictionary of table and column names.  This module gives MiniDB the same
+surface: a hand-written tokenizer, recursive-descent parser, and executor
+for a practical SQL subset::
+
+    SELECT * FROM t WHERE col = 5 LIMIT 3
+    SELECT a, b FROM t WHERE name != 'x' AND v > 2
+    DELETE FROM t WHERE id > 100
+    UPDATE t SET v = 7, name = 'y' WHERE id = 3 AND v < 9
+    INSERT INTO t (id, v) VALUES (1, 2)
+    SELECT COUNT(*) FROM t
+
+Every distinct lexer/parser/executor decision reports an *edge* to an
+optional coverage hook — the instrumentation AFL's LLVM pass would insert —
+so coverage-guided fuzzing has real signal, and malformed inputs exercise
+real error paths (the short executions that dominate fuzzing).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import ReproError
+from .minidb import MiniDBError
+
+_KEYWORDS = {
+    "select", "from", "where", "limit", "delete", "update", "set",
+    "insert", "into", "values", "count", "and",
+}
+_SYMBOLS = {"=", "<", ">", "!=", ",", "(", ")", "*"}
+
+
+class SQLParseError(ReproError):
+    """Lexical or syntactic rejection (a fuzzer's bread and butter)."""
+
+
+class Token:
+    """One lexeme: kind ('kw'/'ident'/'int'/'str'/'sym'/'eof') + value."""
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind, value):
+        self.kind = kind    # 'kw' | 'ident' | 'int' | 'str' | 'sym' | 'eof'
+        self.value = value
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _stable_edge(*parts):
+    """Deterministic edge id (Python's hash() is salted per process)."""
+    return zlib.crc32(repr(parts).encode()) & 0xFFFF
+
+
+def _edge(coverage, edge_id):
+    if coverage is not None:
+        coverage(edge_id)
+
+
+def _is_ascii_digit(ch):
+    # str.isdigit() accepts characters like '²' that int() rejects — a
+    # classic lexer bug this project's own fuzzing surface found.
+    return "0" <= ch <= "9"
+
+
+def tokenize(text, coverage=None):
+    """Lex ``text`` into tokens, reporting one edge per decision point."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            _edge(coverage, 1)
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                _edge(coverage, _stable_edge("kw", lowered))
+                tokens.append(Token("kw", lowered))
+            else:
+                _edge(coverage, 2)
+                tokens.append(Token("ident", word))
+            i = j
+        elif _is_ascii_digit(ch) or (
+            ch == "-" and i + 1 < n and _is_ascii_digit(text[i + 1])
+        ):
+            _edge(coverage, 3)
+            j = i + 1
+            while j < n and _is_ascii_digit(text[j]):
+                j += 1
+            tokens.append(Token("int", int(text[i:j])))
+            i = j
+        elif ch == "'":
+            _edge(coverage, 4)
+            j = text.find("'", i + 1)
+            if j < 0:
+                _edge(coverage, 5)
+                raise SQLParseError("unterminated string literal")
+            tokens.append(Token("str", text[i + 1:j]))
+            i = j + 1
+        elif ch == "!" and i + 1 < n and text[i + 1] == "=":
+            _edge(coverage, 6)
+            tokens.append(Token("sym", "!="))
+            i += 2
+        elif ch in _SYMBOLS:
+            _edge(coverage, _stable_edge("sym", ch))
+            tokens.append(Token("sym", ch))
+            i += 1
+        else:
+            _edge(coverage, 7)
+            raise SQLParseError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", None))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing a statement dict."""
+
+    def __init__(self, tokens, coverage=None):
+        self.tokens = tokens
+        self.pos = 0
+        self.coverage = coverage
+
+    def _edge(self, edge_id):
+        _edge(self.coverage, edge_id)
+
+    def peek(self):
+        """The next token without consuming it."""
+        return self.tokens[self.pos]
+
+    def next(self):
+        """Consume and return the next token."""
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_kw(self, word):
+        """Consume exactly the keyword ``word`` or reject."""
+        token = self.next()
+        if token.kind != "kw" or token.value != word:
+            self._edge(100)
+            raise SQLParseError(f"expected {word.upper()}, got {token!r}")
+        self._edge(_stable_edge("expect", word))
+
+    def expect_sym(self, sym):
+        """Consume exactly the symbol ``sym`` or reject."""
+        token = self.next()
+        if token.kind != "sym" or token.value != sym:
+            self._edge(101)
+            raise SQLParseError(f"expected {sym!r}, got {token!r}")
+
+    def ident(self):
+        """Consume an identifier token or reject."""
+        token = self.next()
+        if token.kind != "ident":
+            self._edge(102)
+            raise SQLParseError(f"expected identifier, got {token!r}")
+        return token.value
+
+    def literal(self):
+        """Consume an int or string literal or reject."""
+        token = self.next()
+        if token.kind not in ("int", "str"):
+            self._edge(103)
+            raise SQLParseError(f"expected literal, got {token!r}")
+        self._edge(104 if token.kind == "int" else 105)
+        return token.value
+
+    # ---- statements -----------------------------------------------------
+
+    def parse(self):
+        """Parse one full statement; rejects trailing tokens."""
+        token = self.peek()
+        if token.kind != "kw":
+            self._edge(110)
+            raise SQLParseError(f"statement must start with a keyword, got {token!r}")
+        handlers = {
+            "select": self.parse_select,
+            "delete": self.parse_delete,
+            "update": self.parse_update,
+            "insert": self.parse_insert,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            self._edge(111)
+            raise SQLParseError(f"unsupported statement {token.value!r}")
+        self._edge(_stable_edge("stmt", token.value))
+        statement = handler()
+        if self.peek().kind != "eof":
+            self._edge(112)
+            raise SQLParseError(f"trailing tokens at {self.peek()!r}")
+        return statement
+
+    def parse_select(self):
+        """SELECT [cols|*|COUNT(*)] FROM t [WHERE ...] [LIMIT n]."""
+        self.expect_kw("select")
+        token = self.peek()
+        columns = None
+        is_count = False
+        if token.kind == "sym" and token.value == "*":
+            self._edge(120)
+            self.next()
+        elif token.kind == "kw" and token.value == "count":
+            self._edge(121)
+            self.next()
+            self.expect_sym("(")
+            self.expect_sym("*")
+            self.expect_sym(")")
+            is_count = True
+        else:
+            self._edge(122)
+            columns = [self.ident()]
+            while self.peek().kind == "sym" and self.peek().value == ",":
+                self.next()
+                columns.append(self.ident())
+        self.expect_kw("from")
+        table = self.ident()
+        where = self.parse_where_opt()
+        limit = None
+        if self.peek().kind == "kw" and self.peek().value == "limit":
+            self._edge(123)
+            self.next()
+            limit_token = self.next()
+            if limit_token.kind != "int" or limit_token.value < 0:
+                self._edge(124)
+                raise SQLParseError("LIMIT needs a non-negative integer")
+            limit = limit_token.value
+        return {"op": "select", "table": table, "columns": columns,
+                "where": where, "limit": limit, "count": is_count}
+
+    def parse_delete(self):
+        """DELETE FROM t [WHERE ...]."""
+        self.expect_kw("delete")
+        self.expect_kw("from")
+        table = self.ident()
+        return {"op": "delete", "table": table, "where": self.parse_where_opt()}
+
+    def parse_update(self):
+        """UPDATE t SET col = lit[, ...] [WHERE ...]."""
+        self.expect_kw("update")
+        table = self.ident()
+        self.expect_kw("set")
+        assignments = {}
+        while True:
+            column = self.ident()
+            self.expect_sym("=")
+            assignments[column] = self.literal()
+            if self.peek().kind == "sym" and self.peek().value == ",":
+                self._edge(130)
+                self.next()
+                continue
+            break
+        return {"op": "update", "table": table, "set": assignments,
+                "where": self.parse_where_opt()}
+
+    def parse_insert(self):
+        """INSERT INTO t (cols) VALUES (lits)."""
+        self.expect_kw("insert")
+        self.expect_kw("into")
+        table = self.ident()
+        self.expect_sym("(")
+        columns = [self.ident()]
+        while self.peek().kind == "sym" and self.peek().value == ",":
+            self.next()
+            columns.append(self.ident())
+        self.expect_sym(")")
+        self.expect_kw("values")
+        self.expect_sym("(")
+        values = [self.literal()]
+        while self.peek().kind == "sym" and self.peek().value == ",":
+            self.next()
+            values.append(self.literal())
+        self.expect_sym(")")
+        if len(columns) != len(values):
+            self._edge(140)
+            raise SQLParseError("column/value count mismatch")
+        return {"op": "insert", "table": table,
+                "row": dict(zip(columns, values))}
+
+    def parse_condition(self):
+        """One ``col op literal`` comparison."""
+        column = self.ident()
+        op_token = self.next()
+        if op_token.kind != "sym" or op_token.value not in ("=", "<", ">", "!="):
+            self._edge(151)
+            raise SQLParseError(f"bad comparison operator {op_token!r}")
+        self._edge(_stable_edge("whereop", op_token.value))
+        return (column, op_token.value, self.literal())
+
+    def parse_where_opt(self):
+        """WHERE cond [AND cond]... — returns None, one condition tuple,
+        or an ``("and", [conds])`` conjunction."""
+        if not (self.peek().kind == "kw" and self.peek().value == "where"):
+            return None
+        self._edge(150)
+        self.next()
+        conditions = [self.parse_condition()]
+        while self.peek().kind == "kw" and self.peek().value == "and":
+            self._edge(152)
+            self.next()
+            conditions.append(self.parse_condition())
+        if len(conditions) == 1:
+            return conditions[0]
+        return ("and", conditions)
+
+
+def execute_sql(db, text, coverage=None):
+    """Parse and run one statement against ``db``; returns the result.
+
+    Raises :class:`SQLParseError` or :class:`MiniDBError` on the error
+    paths fuzzers spend most of their time in.
+    """
+    statement = Parser(tokenize(text, coverage), coverage).parse()
+    op = statement["op"]
+    _edge(coverage, _stable_edge("exec", op))
+    if op == "select":
+        rows = db.select(statement["table"], where=statement["where"],
+                         limit=statement["limit"])
+        if statement["count"]:
+            _edge(coverage, 200)
+            return len(rows)
+        if statement["columns"] is not None:
+            _edge(coverage, 201)
+            missing = [c for c in statement["columns"]
+                       if rows and c not in rows[0]]
+            if missing:
+                _edge(coverage, 202)
+                raise MiniDBError(f"no such column: {missing[0]}")
+            return [{c: r[c] for c in statement["columns"]} for r in rows]
+        return rows
+    if op == "delete":
+        return db.delete(statement["table"], where=statement["where"])
+    if op == "update":
+        return db.update(statement["table"], statement["set"],
+                         where=statement["where"])
+    if op == "insert":
+        return db.insert(statement["table"], statement["row"])
+    raise SQLParseError(f"unknown op {op!r}")  # pragma: no cover

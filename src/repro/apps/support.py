@@ -1,0 +1,192 @@
+"""Copy-on-write overlay containers for forked application state.
+
+The simulated applications keep query-layer metadata (indexes, free lists,
+schemas) as Python objects.  When a process forks, the child's view of that
+metadata must diverge without copying it — exactly the property fork gives
+real applications for free via virtual memory.  ``CowDict`` and ``CowSet``
+provide that: a child wraps the parent's structure in an overlay; reads
+fall through, writes land in a private delta, and the parent's structure
+is never touched.  Overlays nest, so fork lineages of any depth work.
+"""
+
+from __future__ import annotations
+
+_DELETED = object()
+
+
+class CowDict:
+    """A dict overlay: shared base, private delta, delete markers."""
+
+    def __init__(self, base=None):
+        self._base = base if base is not None else {}
+        self._delta = {}
+
+    @classmethod
+    def overlay(cls, parent):
+        """A child view of ``parent`` (another CowDict or plain dict)."""
+        return cls(base=parent)
+
+    def __getitem__(self, key):
+        if key in self._delta:
+            value = self._delta[key]
+            if value is _DELETED:
+                raise KeyError(key)
+            return value
+        return self._base[key]
+
+    def get(self, key, default=None):
+        """dict.get with overlay semantics."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, value):
+        self._delta[key] = value
+
+    def __delitem__(self, key):
+        if key not in self:
+            raise KeyError(key)
+        self._delta[key] = _DELETED
+
+    def __contains__(self, key):
+        if key in self._delta:
+            return self._delta[key] is not _DELETED
+        return key in self._base
+
+    def __len__(self):
+        return sum(1 for _ in self.keys())
+
+    def keys(self):
+        """All live keys: delta first, then unmasked base keys."""
+        for key in self._delta:
+            if self._delta[key] is not _DELETED:
+                yield key
+        base_keys = self._base.keys() if hasattr(self._base, "keys") else iter(self._base)
+        for key in base_keys:
+            if key not in self._delta:
+                yield key
+
+    def items(self):
+        """Live (key, value) pairs."""
+        for key in self.keys():
+            yield key, self[key]
+
+    def values(self):
+        """Live values."""
+        for key in self.keys():
+            yield self[key]
+
+    def setdefault(self, key, default):
+        """dict.setdefault with overlay semantics."""
+        try:
+            return self[key]
+        except KeyError:
+            self[key] = default
+            return default
+
+    def pop(self, key, *default):
+        """dict.pop with overlay semantics."""
+        try:
+            value = self[key]
+        except KeyError:
+            if default:
+                return default[0]
+            raise
+        del self[key]
+        return value
+
+
+class CowSet:
+    """A set overlay: shared base plus private adds/removes."""
+
+    def __init__(self, base=None):
+        self._base = base if base is not None else set()
+        self._added = set()
+        self._removed = set()
+
+    @classmethod
+    def overlay(cls, parent):
+        """A child view of ``parent`` (another CowSet or plain set)."""
+        return cls(base=parent)
+        """"""
+
+    def add(self, item):
+        """Add ``item`` to this view only."""
+        self._removed.discard(item)
+        if item not in self._base:
+            self._added.add(item)
+
+    def discard(self, item):
+        """Remove ``item`` from this view if present (never raises)."""
+        self._added.discard(item)
+        if item in self._base:
+            self._removed.add(item)
+
+    def remove(self, item):
+        """Remove ``item``; raises KeyError when absent."""
+        if item not in self:
+            raise KeyError(item)
+        self.discard(item)
+
+    def __contains__(self, item):
+        if item in self._added:
+            return True
+        if item in self._removed:
+            return False
+        return item in self._base
+
+    def __iter__(self):
+        yield from self._added
+        for item in self._base:
+            if item not in self._removed and item not in self._added:
+                yield item
+
+    def __len__(self):
+        return sum(1 for _ in self)
+
+
+class SlotArena:
+    """Fixed-size record slots carved from one simulated-memory region.
+
+    Applications store records at ``base + slot * record_size``; the arena
+    hands out and recycles slot numbers.  Fork children overlay the free
+    list so their allocations do not disturb the parent.
+    """
+
+    def __init__(self, base_addr, record_size, n_slots):
+        self.base_addr = base_addr
+        self.record_size = record_size
+        self.n_slots = n_slots
+        self._next_fresh = 0
+        self._free = []
+
+    def alloc(self):
+        """Hand out a free slot number (recycled before fresh)."""
+        if self._free:
+            return self._free.pop()
+        if self._next_fresh >= self.n_slots:
+            raise MemoryError("slot arena exhausted")
+        slot = self._next_fresh
+        self._next_fresh += 1
+        return slot
+
+    def free(self, slot):
+        """Recycle a slot for reuse."""
+        self._free.append(slot)
+
+    def addr_of(self, slot):
+        """Virtual address of a slot's record."""
+        return self.base_addr + slot * self.record_size
+
+    def overlay(self):
+        """A fork-child view sharing allocated state but not future allocs."""
+        child = SlotArena(self.base_addr, self.record_size, self.n_slots)
+        child._next_fresh = self._next_fresh
+        child._free = list(self._free)
+        return child
+
+    @property
+    def used_slots(self):
+        """Slots currently handed out."""
+        return self._next_fresh - len(self._free)

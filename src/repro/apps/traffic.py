@@ -1,0 +1,82 @@
+"""Load generators: memtier-style pipelined KV traffic and wrk-style HTTP.
+
+Both are closed-loop clients over the virtual clock.  The memtier model
+keeps ``connections x pipeline_depth`` requests outstanding: when a
+response arrives the client immediately pipelines a replacement, so each
+request's latency is its queueing delay plus service time.  That queueing
+is what turns a multi-millisecond fork block into the paper's Table 4 tail
+latencies — requests pipelined just before a snapshot wait for the fork
+*and* for everything queued ahead of them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+
+class MemtierClient:
+    """memtier_benchmark: 3 connections, pipeline depth 2000 (paper §5.3.3)."""
+
+    def __init__(self, store, connections=3, pipeline_depth=2000,
+                 write_ratio=0.10, seed=17):
+        if connections <= 0 or pipeline_depth <= 0:
+            raise InvalidArgumentError("connections/pipeline must be positive")
+        if not 0 <= write_ratio <= 1:
+            raise InvalidArgumentError("write ratio must be in [0, 1]")
+        self.store = store
+        self.outstanding = connections * pipeline_depth
+        self.write_ratio = write_ratio
+        self._rng = np.random.RandomState(seed)
+
+    def run(self, n_requests):
+        """Drive ``n_requests`` through the store; returns latencies (ns)."""
+        clock = self.store.machine.clock
+        keys = self._rng.randint(0, self.store.n_keys, size=n_requests)
+        writes = self._rng.random_sample(n_requests) < self.write_ratio
+        queue = deque([clock.now_ns] * self.outstanding)
+        latencies = np.empty(n_requests, dtype=np.int64)
+        store = self.store
+        for i in range(n_requests):
+            arrival = queue.popleft()
+            if writes[i]:
+                store.handle_set(int(keys[i]))
+            else:
+                store.handle_get(int(keys[i]))
+            completion = clock.now_ns
+            latencies[i] = completion - arrival
+            queue.append(completion)
+        store.reap_finished_children(force=True)
+        return latencies
+
+
+class WrkClient:
+    """wrk: fixed-duration closed-loop HTTP load (paper §5.3.5).
+
+    Unlike the single-threaded KV store, a prefork server has far more
+    workers than the client has connections, so requests never queue
+    behind one another: the reported latency is each request's service
+    time (what wrk measures per connection), while the virtual clock still
+    advances through every request to pace the session.
+    """
+
+    def __init__(self, server, connections=8, seed=23):
+        if connections <= 0:
+            raise InvalidArgumentError("connections must be positive")
+        self.server = server
+        self.connections = connections
+        self._rng = np.random.RandomState(seed)
+
+    def run_duration(self, seconds):
+        """Issue requests for ``seconds`` of virtual time; returns ns latencies."""
+        clock = self.server.machine.clock
+        deadline = clock.now_ns + int(seconds * 1e9)
+        latencies = []
+        while clock.now_ns < deadline:
+            start = clock.now_ns
+            self.server.handle_request(self._rng)
+            latencies.append(clock.now_ns - start)
+        return np.asarray(latencies, dtype=np.int64)

@@ -1,0 +1,42 @@
+"""Benchmark experiments: one module per paper table/figure."""
+
+from . import (
+    ablations,
+    parallel,
+    primitives,
+    snapshot_bench,
+    thp_bench,
+    fig2,
+    fig3,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2_3,
+    table4_5,
+    table6_7,
+)
+from .runner import ExperimentResult, print_result
+
+__all__ = [
+    "ExperimentResult",
+    "print_result",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "table2_3",
+    "table4_5",
+    "table6_7",
+    "ablations",
+    "parallel",
+    "primitives",
+    "snapshot_bench",
+    "thp_bench",
+]

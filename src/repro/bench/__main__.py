@@ -1,0 +1,140 @@
+"""Command-line experiment runner: ``python -m repro.bench [ids...]``.
+
+Runs the requested experiments (default: everything) and prints each
+paper-vs-measured table.  Useful for regenerating a single figure without
+the pytest harness::
+
+    python -m repro.bench fig7 table1
+    python -m repro.bench --list
+    python -m repro.bench --full fig2      # paper-scale sweep (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablations,
+    parallel,
+    snapshot_bench,
+    fig2,
+    fig3,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    primitives,
+    table1,
+    table2_3,
+    table4_5,
+    table6_7,
+    thp_bench,
+)
+from .runner import print_result
+
+
+def _quickable(module_run):
+    def run(full):
+        """Quick/full dispatcher for a sweep-style experiment."""
+        return module_run(quick=not full)
+    return run
+
+
+def _fixed(module_run, **kwargs):
+    def run(full):
+        """Fixed-argument dispatcher for a single-shot experiment."""
+        return module_run(**kwargs)
+    return run
+
+
+EXPERIMENTS = {
+    "fig2": _quickable(fig2.run),
+    "fig3": _fixed(fig3.run),
+    "fig4": _quickable(fig4.run),
+    "fig7": _quickable(fig7.run),
+    "fig8": _quickable(fig8.run),
+    "fig9": _fixed(fig9.run, duration_s=5.0),
+    "fig10": _fixed(fig10.run, duration_s=8.0),
+    "table1": _fixed(table1.run),
+    "table2": _fixed(table2_3.run_table2, repeats=1),
+    "table3": _fixed(table2_3.run_table3, repeats=5),
+    "table4": _fixed(table4_5.run_table4, n_requests=900_000),
+    "table5": _fixed(table4_5.run_table5),
+    "table6_7": _fixed(table6_7.run, repeats=3),
+    "ablation-upper": _fixed(ablations.run_upper_level_share),
+    "ablation-huge": _fixed(ablations.run_share_huge),
+    "ablation-contention": _fixed(ablations.run_contention_sweep),
+    "ext-parallel": _fixed(parallel.run),
+    "ext-primitives": _fixed(primitives.run_invocation_latency),
+    "ext-forkserver": _fixed(primitives.run_forkserver_vs_exec),
+    "ext-thp": _fixed(thp_bench.run),
+    "ext-snapshot": _fixed(snapshot_bench.run, duration_s=3.0),
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sweeps where available (slow)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump all results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    selected = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in selected if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown} "
+                     f"(--list shows the valid ones)")
+
+    collected = []
+    for exp_id in selected:
+        started = time.time()
+        result = EXPERIMENTS[exp_id](args.full)
+        results = result if isinstance(result, tuple) else (result,)
+        for item in results:
+            print_result(item)
+            collected.append(item)
+        print(f"  [{exp_id} regenerated in {time.time() - started:.1f}s "
+              f"host time]\n")
+    if args.json:
+        import json
+        payload = [
+            {"exp_id": item.exp_id, "title": item.title,
+             "headers": item.headers,
+             "rows": [[_jsonable(cell) for cell in row] for row in item.rows],
+             "notes": item.notes}
+            for item in collected
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(payload)} result tables to {args.json}")
+    return 0
+
+
+def _jsonable(cell):
+    try:
+        import json
+        json.dumps(cell)
+        return cell
+    except TypeError:
+        return str(cell)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Figure 2: classic fork execution time vs allocated memory size.
+
+Sequential and 3x-concurrent series over 0.5-50 GB.  The paper's headline
+anchor points: sequential 1 GB -> 6.5 ms average, 50 GB -> 253.9 ms;
+concurrent (3 instances) 1 GB -> 22.4 ms average.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import mean, summary
+from ..workloads.forkbench import PAPER_SIZE_TICKS_GB, VARIANT_FORK, run_latency_sweep
+from .runner import ExperimentResult
+
+QUICK_SIZES_GB = (0.5, 1, 2, 4)
+
+#: Paper anchors (ms) read from Figure 2 / §2.1 text.
+PAPER_SEQUENTIAL_MS = {0.5: 4.0, 1: 6.5, 50: 253.9}
+PAPER_CONCURRENT_MS = {1: 22.4}
+
+
+def run(quick=True, repeats=5, noise_sigma=0.04):
+    """Regenerate Figure 2 (fork latency vs size, seq + 3x concurrent)."""
+    sizes = QUICK_SIZES_GB if quick else PAPER_SIZE_TICKS_GB
+    sequential = run_latency_sweep(sizes_gb=sizes, variant=VARIANT_FORK,
+                                   repeats=repeats, noise_sigma=noise_sigma,
+                                   seed=21)
+    concurrent = run_latency_sweep(sizes_gb=sizes, variant=VARIANT_FORK,
+                                   repeats=repeats, concurrency=3,
+                                   noise_sigma=noise_sigma, seed=22)
+    rows = []
+    for size in sizes:
+        seq = summary(sequential[size])
+        conc = summary(concurrent[size])
+        rows.append([
+            size,
+            seq["mean"] / 1e6, seq["min"] / 1e6,
+            conc["mean"] / 1e6, conc["min"] / 1e6,
+            PAPER_SEQUENTIAL_MS.get(size, ""),
+            PAPER_CONCURRENT_MS.get(size, ""),
+        ])
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Fork execution time vs memory size (sequential and 3x concurrent)",
+        headers=["size_gb", "seq_mean_ms", "seq_min_ms",
+                 "conc3_mean_ms", "conc3_min_ms",
+                 "paper_seq_ms", "paper_conc_ms"],
+        rows=rows,
+        notes="growth is linear in mapped memory; concurrency degrades via "
+              "struct-page cacheline contention",
+        extras={"sequential_ns": sequential, "concurrent_ns": concurrent},
+    )
+
+
+def linearity_check(result):
+    """Fitted ms/GB of the sequential series (shape assertion helper)."""
+    sizes = result.column("size_gb")
+    means = result.column("seq_mean_ms")
+    # Least-squares slope through the measured points.
+    n = len(sizes)
+    sx = sum(sizes)
+    sy = sum(means)
+    sxx = sum(s * s for s in sizes)
+    sxy = sum(s * m for s, m in zip(sizes, means))
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx)

@@ -1,0 +1,56 @@
+"""Experiment plumbing: structured results with paper-vs-measured output.
+
+Every experiment module exposes ``run(...) -> ExperimentResult``.  The
+result carries the same rows the paper's table or figure reports, plus the
+paper's numbers where EXPERIMENTS.md records them, so the bench output is
+a side-by-side "shape holds?" check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_ascii_chart, render_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    exp_id: str                 # e.g. "fig7", "table4"
+    title: str
+    headers: list
+    rows: list
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+    # Optional figure series: list of (title, xs, ys) rendered as ASCII
+    # charts below the table.
+    charts: list = field(default_factory=list)
+
+    def render(self):
+        """The paper-style table (plus charts) as text."""
+        text = render_table(self.headers, self.rows,
+                            title=f"[{self.exp_id}] {self.title}")
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        for chart_title, xs, ys in self.charts:
+            text += "\n\n" + render_ascii_chart(xs, ys, title=chart_title)
+        return text
+
+    def column(self, header):
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_map(self, key_header):
+        """``{key: row}`` keyed by one column."""
+        index = self.headers.index(key_header)
+        return {row[index]: row for row in self.rows}
+
+
+def print_result(result):
+    """Print a rendered result and return it."""
+    print()
+    print(result.render())
+    print()
+    return result

@@ -1,0 +1,58 @@
+"""Extension experiment: the THP trade-off ledger (paper §2.3).
+
+The paper argues huge pages are the *wrong* fix for slow forks: they do
+make fork fast, but at the price of khugepaged pauses, 200 us COW faults,
+and expensive splits.  With khugepaged modelled, the whole ledger is
+measurable in one table: fork latency, worst-case fault latency, and the
+background promotion pause, for 4 KiB pages vs THP vs on-demand-fork.
+"""
+
+from __future__ import annotations
+
+from ..core.machine import GIB, Machine
+from ..paging.table import PMD_REGION_SIZE
+from .runner import ExperimentResult
+
+
+def _prepared(machine, size, thp=False):
+    p = machine.spawn_process("thp-bench")
+    addr = p.mmap(size)
+    p.touch_range(addr, size, write=True)
+    pause_ms = 0.0
+    if thp:
+        from ..kernel.kernel import MADV_HUGEPAGE
+        p.madvise(addr, size, MADV_HUGEPAGE)
+        watch = machine.stopwatch()
+        machine.run_khugepaged(p)
+        pause_ms = watch.elapsed_ms
+    return p, addr, pause_ms
+
+
+def run(size_gb=1):
+    """Regenerate the THP trade-off ledger."""
+    size = int(size_gb * GIB)
+    rows = []
+    for label, thp, odf in (("4k pages + fork", False, False),
+                            ("THP + fork", True, False),
+                            ("4k pages + odfork", False, True)):
+        machine = Machine(phys_mb=int((size_gb + 2) * 1024))
+        p, addr, pause_ms = _prepared(machine, size, thp=thp)
+        child = p.odfork() if odf else p.fork()
+        fork_ms = p.last_fork_ns / 1e6
+        # Worst-case first-write fault in the child, mid-region.
+        watch = machine.stopwatch()
+        child.touch(addr + size // 2 + PMD_REGION_SIZE, 1, write=True)
+        fault_us = watch.elapsed_us
+        with machine.cost.background():
+            child.exit()
+            p.wait()
+        rows.append([label, fork_ms, fault_us, pause_ms])
+    return ExperimentResult(
+        exp_id="ext-thp",
+        title=f"THP trade-off ledger, {size_gb} GB heap",
+        headers=["configuration", "fork_ms", "worst_fault_us",
+                 "khugepaged_pause_ms"],
+        rows=rows,
+        notes="THP buys fork speed with 200 us faults and promotion pauses; "
+              "odfork gets the fork speed with 12 us faults and no daemon",
+    )

@@ -1,0 +1,6 @@
+"""Public facade: the Machine and Process handles."""
+
+from .machine import GIB, MIB, Machine
+from .process import Process
+
+__all__ = ["Machine", "Process", "MIB", "GIB"]

@@ -1,0 +1,126 @@
+"""The :class:`Machine`: one simulated host, fully assembled.
+
+A Machine wires together every substrate — virtual clock, calibrated cost
+model, noise, profiler, physical frames, buddy allocator, and the kernel —
+and is the single entry point applications and benchmarks use.  The default
+configuration models the paper's testbed (16-core EPYC 7302P; physical
+memory is configurable because host-side numpy arrays scale with it).
+"""
+
+from __future__ import annotations
+
+from ..analysis.profiler import Profiler
+from ..errors import ConfigurationError
+from ..kernel.kernel import Kernel
+from ..mem.buddy import BuddyAllocator
+from ..mem.page import PAGE_SIZE, PG_RESERVED, PageStructArray
+from ..mem.physmem import PhysicalMemory
+from ..timing.clock import SimClock
+from ..timing.contention import contention_group
+from ..timing.costs import CostModel, CostParams
+from ..timing.noise import NoiseModel
+from .process import Process
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+class Machine:
+    """A simulated host: hardware model + kernel + process table."""
+
+    def __init__(self, phys_mb=4096, cost_params=None, noise_sigma=0.0,
+                 seed=0, n_cores=16):
+        if phys_mb <= 0:
+            raise ConfigurationError("machine needs physical memory")
+        self.n_cores = int(n_cores)
+        n_frames = int(phys_mb) * MIB // PAGE_SIZE
+        self.clock = SimClock()
+        self.profiler = Profiler()
+        noise = NoiseModel(seed=seed, sigma=noise_sigma) if noise_sigma > 0 else None
+        self.cost = CostModel(
+            clock=self.clock,
+            params=cost_params or CostParams(),
+            profiler=self.profiler,
+            noise=noise,
+        )
+        self.allocator = BuddyAllocator(n_frames)
+        self.pages = PageStructArray(n_frames)
+        self.phys = PhysicalMemory(n_frames)
+        self._reserve_frame_zero()
+        self.kernel = Kernel(self.clock, self.cost, self.allocator,
+                             self.pages, self.phys)
+        self._init_process = None
+
+    def _reserve_frame_zero(self):
+        """Keep pfn 0 out of circulation so a zero pfn is always a bug."""
+        pfn = self.allocator.alloc(0)
+        if pfn != 0:
+            raise ConfigurationError("expected the first allocation to be pfn 0")
+        self.pages.on_alloc(0, PG_RESERVED)
+
+    # ---- process management ------------------------------------------------
+
+    @property
+    def init_process(self):
+        """The machine's init process (created on first use)."""
+        if self._init_process is None:
+            task = self.kernel.create_init_task()
+            self._init_process = Process(self, task)
+        return self._init_process
+
+    def spawn_process(self, name):
+        """A new top-level process, child of init."""
+        init = self.init_process
+        task = self.kernel._new_task(parent=init.task, name=name)
+        return Process(self, task)
+
+    # ---- measurement helpers --------------------------------------------------
+
+    @property
+    def now_ns(self):
+        """Current virtual time in nanoseconds."""
+        return self.clock.now_ns
+
+    @property
+    def stats(self):
+        """Kernel-wide event counters (/proc/vmstat)."""
+        return self.kernel.stats
+
+    def stopwatch(self):
+        """A started stopwatch over the virtual clock."""
+        return self.clock.stopwatch()
+
+    def concurrency(self, n):
+        """Context manager declaring ``n`` concurrent forking processes."""
+        return contention_group(self.cost, n)
+
+    def run_khugepaged(self, process, policy=None, max_promotions=None):
+        """One khugepaged pass over a process (THP promotion, §2.3)."""
+        daemon = self.kernel.khugepaged(policy=policy)
+        return daemon.scan_mm(process.mm, max_promotions=max_promotions)
+
+    # ---- accounting / invariants -------------------------------------------------
+
+    def live_data_frames(self):
+        """Frames with a live refcount, excluding the reserved frame."""
+        return self.pages.live_frames() - 1
+
+    def used_frames(self):
+        """Allocated frames, excluding the reserved frame 0."""
+        return self.allocator.used_frames - 1
+
+    def check_frame_invariants(self):
+        """Cross-check allocator vs struct-page state (used by tests)."""
+        self.pages.check_no_negative()
+        self.allocator.check_consistency()
+
+    def memory_report(self):
+        """Machine-wide memory accounting summary."""
+        return {
+            "total_frames": self.allocator.n_frames,
+            "used_frames": self.used_frames(),
+            "free_frames": self.allocator.free_frames,
+            "live_tables": self.kernel.live_tables,
+            "page_cache_pages": len(self.kernel.page_cache),
+            "materialized_host_frames": self.phys.materialized_frames,
+        }

@@ -1,0 +1,202 @@
+"""User-level process handles.
+
+A :class:`Process` wraps a kernel task with the libc-flavoured API that
+examples and applications program against: ``mmap``/``munmap``/``mremap``/
+``mprotect``, ``read``/``write`` (byte-accurate, faulting like real loads
+and stores), bulk ``touch_range`` sweeps for gigabyte workloads, and the
+three process-creation calls the paper discusses — ``fork``, ``odfork``,
+and the procfs switch that reroutes the former to the latter.
+"""
+
+from __future__ import annotations
+
+from ..kernel.bulkops import access_range, populate_range
+from ..kernel.vma import (
+    MAP_ANONYMOUS,
+    MAP_HUGETLB,
+    MAP_POPULATE,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_READ,
+    PROT_WRITE,
+)
+
+
+class Process:
+    """A handle on one simulated process."""
+
+    def __init__(self, machine, task):
+        self.machine = machine
+        self.task = task
+
+    # ---- identity ------------------------------------------------------
+
+    @property
+    def pid(self):
+        """Process id."""
+        return self.task.pid
+
+    @property
+    def name(self):
+        """Human-readable task name."""
+        return self.task.name
+
+    @property
+    def alive(self):
+        """Whether the process can still run."""
+        return self.task.alive
+
+    @property
+    def kernel(self):
+        """The machine's kernel."""
+        return self.machine.kernel
+
+    @property
+    def mm(self):
+        """This process's address-space descriptor."""
+        return self.task.mm
+
+    def __repr__(self):
+        return f"Process(pid={self.pid}, name={self.name!r})"
+
+    # ---- memory mapping ----------------------------------------------------
+
+    def mmap(self, length, prot=PROT_READ | PROT_WRITE,
+             flags=MAP_PRIVATE | MAP_ANONYMOUS, file=None, offset=0,
+             addr=None, name=""):
+        """Map memory; returns the start address."""
+        return self.kernel.sys_mmap(self.task, length, prot, flags,
+                                    file=file, offset=offset, addr=addr,
+                                    name=name)
+
+    def mmap_huge(self, length, prot=PROT_READ | PROT_WRITE, populate=False):
+        """Anonymous private mapping backed by 2 MiB huge pages."""
+        flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB
+        if populate:
+            flags |= MAP_POPULATE
+        return self.kernel.sys_mmap(self.task, length, prot, flags)
+
+    def mmap_shared(self, length, prot=PROT_READ | PROT_WRITE, file=None,
+                    offset=0):
+        """Shared mapping (shmem when no file is given)."""
+        return self.kernel.sys_mmap(self.task, length, prot,
+                                    MAP_SHARED | (MAP_ANONYMOUS if file is None else 0),
+                                    file=file, offset=offset)
+
+    def munmap(self, addr, length):
+        """Unmap a range of this address space."""
+        self.kernel.sys_munmap(self.task, addr, length)
+
+    def mremap(self, old_addr, old_size, new_size, may_move=True):
+        """Resize/move a mapping; returns its (new) address."""
+        return self.kernel.sys_mremap(self.task, old_addr, old_size,
+                                      new_size, may_move=may_move)
+
+    def mprotect(self, addr, length, prot):
+        """Change protection on a range."""
+        self.kernel.sys_mprotect(self.task, addr, length, prot)
+
+    def madvise(self, addr, length, advice):
+        """MADV_DONTNEED / MADV_HUGEPAGE / MADV_NOHUGEPAGE (see kernel)."""
+        self.kernel.sys_madvise(self.task, addr, length, advice)
+
+    # ---- memory access --------------------------------------------------------
+
+    def write(self, addr, data):
+        """Byte-accurate store (takes real faults, COWs real pages)."""
+        self.kernel.mem_write(self.task, addr, data)
+
+    def read(self, addr, length):
+        """Byte-accurate load."""
+        return self.kernel.mem_read(self.task, addr, length)
+
+    def touch(self, addr, length=1, write=False):
+        """Fast single-access path: fault/COW like a real access, no bytes."""
+        return self.kernel.mem_touch(self.task, addr, length, write)
+
+    def touch_range(self, addr, length, write=True):
+        """Bulk sweep over a range; returns the fault-event counts."""
+        return access_range(self.kernel, self.task, addr, length,
+                            is_write=write)
+
+    def populate(self, addr, length):
+        """Pre-fault a range without charging access bandwidth."""
+        return populate_range(self.kernel, self.task, addr, length)
+
+    # ---- process lifecycle --------------------------------------------------------
+
+    def fork(self, name=None):
+        """Classic fork (or odfork when the procfs default reroutes it)."""
+        child_task = self.kernel.sys_fork(self.task, name=name)
+        return Process(self.machine, child_task)
+
+    def odfork(self, name=None):
+        """The paper's on-demand fork."""
+        child_task = self.kernel.sys_odfork(self.task, name=name)
+        return Process(self.machine, child_task)
+
+    def vfork(self, name=None):
+        """vfork: borrow this address space; this process suspends until
+        the child execs or exits (§6.1 semantics)."""
+        child_task = self.kernel.sys_vfork(self.task, name=name)
+        return Process(self.machine, child_task)
+
+    def clone_vm(self, name=None):
+        """clone(CLONE_VM): a thread-style child sharing this mm."""
+        child_task = self.kernel.sys_clone_vm(self.task, name=name)
+        return Process(self.machine, child_task)
+
+    def execve(self, binary, stack_bytes=None):
+        """Replace this process's image with ``binary`` (a SimFile)."""
+        return self.kernel.sys_execve(self.task, binary,
+                                      stack_bytes=stack_bytes)
+
+    def posix_spawn(self, binary, name=None):
+        """Spawn a child directly from a fresh image (clone+exec)."""
+        child_task = self.kernel.sys_posix_spawn(self.task, binary, name=name)
+        return Process(self.machine, child_task)
+
+    def brk(self, new_brk=None):
+        """Query or move the program break (malloc's sbrk heap)."""
+        return self.kernel.sys_brk(self.task, new_brk)
+
+    def smaps(self):
+        """Per-VMA residency breakdown (/proc/<pid>/smaps)."""
+        return self.kernel.proc_smaps(self.task)
+
+    def snapshot(self):
+        """In-place snapshot (restore()/discard() on the returned object)."""
+        return self.kernel.sys_snapshot(self.task)
+
+    def set_odfork_default(self, enabled=True):
+        """The procfs knob: plain fork() becomes on-demand for this task."""
+        self.kernel.set_odfork_default(self.task, enabled)
+
+    def exit(self, code=0):
+        """Terminate this process (tears down its mm)."""
+        self.kernel.sys_exit(self.task, code)
+
+    def wait(self, pid=None):
+        """Reap a zombie child; ``(pid, exit_code)`` or ``None``."""
+        return self.kernel.sys_wait(self.task, pid)
+
+    # ---- introspection -----------------------------------------------------------------
+
+    @property
+    def last_fork_ns(self):
+        """Duration of this process's most recent fork-family call."""
+        return self.task.last_fork_ns
+
+    @property
+    def rss_bytes(self):
+        """Resident set size in bytes."""
+        return self.mm.rss_bytes
+
+    @property
+    def mapped_bytes(self):
+        """Total mapped virtual memory in bytes."""
+        return self.mm.mapped_bytes()
+
+    def status(self):
+        """The /proc/<pid>/status analogue."""
+        return self.kernel.proc_status(self.task)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the simulated virtual-memory subsystem.
+
+Every error raised by the simulator derives from :class:`ReproError`, so
+callers can distinguish simulator failures from ordinary Python bugs.  The
+fault-related exceptions mirror the outcomes a real kernel produces:
+``SegmentationFault`` corresponds to delivering SIGSEGV, ``BusError`` to
+SIGBUS, and ``OutOfMemoryError`` to the OOM killer selecting the caller.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every simulator-raised error."""
+
+
+class ConfigurationError(ReproError):
+    """A machine or subsystem was configured inconsistently."""
+
+
+class InvalidArgumentError(ReproError):
+    """A syscall-level argument was rejected (the kernel's ``-EINVAL``)."""
+
+
+class SegmentationFault(ReproError):
+    """An access hit an unmapped address or violated VMA permissions.
+
+    Carries the faulting address and whether the access was a write so
+    tests can assert on the precise failure.
+    """
+
+    def __init__(self, address, is_write, reason=""):
+        self.address = address
+        self.is_write = is_write
+        self.reason = reason
+        kind = "write" if is_write else "read"
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"SIGSEGV: {kind} at {address:#x}{detail}")
+
+
+class BusError(ReproError):
+    """A file-backed access fell beyond the end of the backing file."""
+
+    def __init__(self, address, reason=""):
+        self.address = address
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"SIGBUS at {address:#x}{detail}")
+
+
+class OutOfMemoryError(ReproError):
+    """Physical memory was exhausted and the OOM policy killed the caller."""
+
+
+class ProcessError(ReproError):
+    """Process-lifecycle misuse (waiting on a non-child, dead task, ...)."""
+
+
+class KernelBug(ReproError):
+    """An internal invariant was violated; the analogue of ``BUG_ON``.
+
+    Raised instead of silently corrupting state so that tests catch
+    refcounting or paging-structure mistakes immediately.
+    """

@@ -1,0 +1,72 @@
+"""The simulated kernel: VM subsystem, tasks, syscalls."""
+
+from .bulkops import access_range, populate_range
+from .exec import sys_clone_vm, sys_execve, sys_posix_spawn, sys_vfork
+from .kernel import MADV_DONTNEED, MADV_HUGEPAGE, MADV_NOHUGEPAGE
+from .snapshot import Snapshot
+from .thp import Khugepaged, split_huge_entry
+from .fault import FaultHandler
+from .filesystem import SimFile, SimFS
+from .fork import copy_mm_classic
+from .kernel import Kernel, VMStats
+from .mm import MMStruct
+from .odfork import copy_mm_odf
+from .pagecache import PageCache
+from .task import STATE_DEAD, STATE_RUNNING, STATE_ZOMBIE, Task
+from .teardown import exit_mmap, zap_range
+from .vma import (
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_HUGETLB,
+    MAP_POPULATE,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    VMA,
+    VMAList,
+)
+
+__all__ = [
+    "Kernel",
+    "Khugepaged",
+    "Snapshot",
+    "split_huge_entry",
+    "MADV_DONTNEED",
+    "MADV_HUGEPAGE",
+    "MADV_NOHUGEPAGE",
+    "sys_vfork",
+    "sys_clone_vm",
+    "sys_execve",
+    "sys_posix_spawn",
+    "VMStats",
+    "MMStruct",
+    "Task",
+    "FaultHandler",
+    "PageCache",
+    "SimFS",
+    "SimFile",
+    "VMA",
+    "VMAList",
+    "access_range",
+    "populate_range",
+    "copy_mm_classic",
+    "copy_mm_odf",
+    "exit_mmap",
+    "zap_range",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "MAP_PRIVATE",
+    "MAP_SHARED",
+    "MAP_ANONYMOUS",
+    "MAP_HUGETLB",
+    "MAP_POPULATE",
+    "MAP_FIXED",
+    "STATE_RUNNING",
+    "STATE_ZOMBIE",
+    "STATE_DEAD",
+]

@@ -1,0 +1,286 @@
+"""Vectorised range access: the simulator's fast path for big memory.
+
+Python cannot take thirteen million individual page faults, so workloads
+that sweep gigabytes (the Figure 1 benchmark, the Figure 8 access mixes,
+application heaps) use :func:`access_range`, which performs *exactly* the
+same state transitions as the byte-path fault handler — demand-zero fills,
+data-page COW, shared-table COW, write-notify — but whole PTE tables at a
+time with numpy, charging the same per-event costs the one-at-a-time path
+would.  Equivalence between the two paths is pinned down by property tests
+(``tests/test_bulk_vs_bytewise.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SegmentationFault
+from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE, PG_ANON, PG_DIRTY, PG_FILE
+from ..paging.entries import (
+    BIT_ACCESSED,
+    BIT_DIRTY,
+    BIT_PRESENT,
+    BIT_PS,
+    BIT_RW,
+    BIT_USER,
+    PFN_SHIFT,
+    entry_pfn,
+    is_huge,
+    is_present,
+    is_writable,
+    present_mask,
+    writable_mask,
+)
+from ..paging.table import LEVEL_PTE, page_align_down, page_align_up
+from .tableops import (
+    copy_shared_pte_table,
+    count_file_pages,
+    free_anon_frames,
+    unshare_sole_owner,
+)
+
+_BASE_BITS = BIT_PRESENT | BIT_USER | BIT_ACCESSED
+
+
+def _entries_for(pfns, writable, dirty):
+    bits = _BASE_BITS | (BIT_RW if writable else np.uint64(0)) | (
+        BIT_DIRTY if dirty else np.uint64(0)
+    )
+    return (pfns.astype(np.uint64) << PFN_SHIFT) | bits
+
+
+def _check_coverage(mm, start, end, is_write):
+    """Validate that VMAs cover the range with adequate permissions."""
+    cursor = start
+    for vma in mm.vmas.overlapping(start, end):
+        if vma.start > cursor:
+            raise SegmentationFault(cursor, is_write, "gap in range")
+        if is_write and not vma.writable:
+            raise SegmentationFault(max(vma.start, start), True, "read-only VMA")
+        if not vma.readable:
+            raise SegmentationFault(max(vma.start, start), is_write, "PROT_NONE VMA")
+        cursor = vma.end
+        if cursor >= end:
+            return
+    raise SegmentationFault(cursor, is_write, "gap in range")
+
+
+def access_range(kernel, task, start, length, is_write, charge_memcpy=True):
+    """Touch ``[start, start+length)`` for read or write, in bulk.
+
+    Semantically identical to a sequential sweep of byte accesses: every
+    page becomes present, writes trigger (and charge) COW and shared-table
+    copies, permissions are enforced.  Returns a dict of event counts so
+    benchmarks can report what the sweep did.
+    """
+    if length <= 0:
+        return {}
+    task.require_alive()
+    mm = task.mm
+    first = page_align_down(start)
+    last = page_align_up(start + length)
+    _check_coverage(mm, first, last, is_write)
+    if charge_memcpy:
+        kernel.cost.charge_memcpy(length, is_write)
+
+    events = {
+        "demand_zero": 0, "cow_pages": 0, "table_copies": 0,
+        "write_notify": 0, "huge_faults": 0, "huge_cow": 0,
+    }
+    for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(first, last, alloc=True):
+        for plo, phi, vma in mm.vma_ranges_in_slot(lo, hi):
+            if vma.is_hugetlb:
+                _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index,
+                                  slot_start, is_write, events)
+            else:
+                _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index,
+                                   slot_start, plo, phi, is_write, events)
+    mm.tlb.flush_range(first, last)
+    kernel.stats.page_faults += (
+        events["demand_zero"] + events["cow_pages"] + events["write_notify"]
+        + events["huge_faults"] + events["huge_cow"]
+    )
+    kernel.stats.demand_zero_faults += events["demand_zero"]
+    kernel.stats.cow_faults += events["cow_pages"]
+    kernel.stats.huge_faults += events["huge_faults"]
+    kernel.stats.huge_cow_faults += events["huge_cow"]
+    return events
+
+
+def populate_range(kernel, task, start, length):
+    """MAP_POPULATE-style pre-fault of a fresh mapping (no memcpy charge)."""
+    return access_range(kernel, task, start, length, is_write=False,
+                        charge_memcpy=False)
+
+
+# --------------------------------------------------------------------- #
+
+def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
+                       lo, hi, is_write, events):
+    cost = kernel.cost
+    entry = pmd_table.entries[pmd_index]
+    if is_present(entry) and is_huge(entry):
+        # THP-promoted slot inside a normal VMA: PMD-granular access.
+        _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index,
+                          slot_start, is_write, events)
+        return
+    if not is_present(entry):
+        leaf = mm.alloc_table(LEVEL_PTE)
+        cost.charge_pte_table_alloc()
+        pmd_table.entries[pmd_index] = _entries_for(
+            np.uint64(leaf.pfn), writable=True, dirty=False)
+    else:
+        leaf = mm.resolve(int(entry_pfn(entry)))
+
+    lo_index = (lo - slot_start) // PAGE_SIZE
+    hi_index = (hi - slot_start) // PAGE_SIZE
+    sub = leaf.entries[lo_index:hi_index]
+    present = present_mask(sub)
+    need_fill = int(np.count_nonzero(~present))
+
+    shared = kernel.pages.pt_ref(leaf.pfn) > 1
+    if shared and (is_write or need_fill):
+        leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start)
+        events["table_copies"] += 1
+        sub = leaf.entries[lo_index:hi_index]
+        present = present_mask(sub)
+    elif is_write and not shared and not is_writable(pmd_table.entries[pmd_index]):
+        unshare_sole_owner(kernel, mm, pmd_table, pmd_index)
+
+    if need_fill:
+        _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
+                     sub, ~present, is_write, events)
+        present = present_mask(sub)
+
+    if not is_write:
+        sub[present] |= BIT_ACCESSED
+        return
+
+    writable = writable_mask(sub)
+    ro = present & ~writable
+    if ro.any():
+        if vma.needs_cow:
+            _bulk_cow(kernel, mm, leaf, lo_index, sub, ro, events)
+        elif vma.is_shared and vma.writable:
+            # Write-notify: restore permission in place, dirty the pages.
+            sub[ro] |= BIT_RW | BIT_DIRTY
+            cost.charge_fault_spurious()
+            events["write_notify"] += int(np.count_nonzero(ro))
+    sub[present & writable_mask(sub)] |= BIT_DIRTY | BIT_ACCESSED
+
+
+def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
+                 sub, absent, is_write, events):
+    cost = kernel.cost
+    n = int(np.count_nonzero(absent))
+    params = cost.params
+    if vma.is_file_backed:
+        # File pages come from the cache one index at a time; file-backed
+        # regions in the workloads are small (binaries, shmem segments).
+        absent_positions = np.nonzero(absent)[0]
+        writable_now = vma.writable and vma.is_shared
+        for pos in absent_positions.tolist():
+            vaddr = slot_start + (lo_index + pos) * PAGE_SIZE
+            page_index = vma.file_offset_of(vaddr) // PAGE_SIZE
+            pfn = kernel.page_cache.get_page(vma.file, page_index)
+            kernel.pages.ref_inc(pfn)
+            sub[pos] = _entries_for(np.uint64(pfn), writable_now,
+                                    dirty=is_write and writable_now)
+            cost.charge_page_cache_lookup()
+            cost.charge_fault_base()
+        mm.add_rss(n, file_backed=True)
+        kernel.stats.file_faults += n
+        events["demand_zero"] += 0
+        return
+    pfns = kernel.alloc_data_frames_bulk(mm, n)
+    kernel.pages.on_alloc_bulk(pfns, PG_ANON | (PG_DIRTY if is_write else 0))
+    sub[absent] = _entries_for(pfns, vma.writable, dirty=is_write)
+    mm.add_rss(n, file_backed=False)
+    cost.charge(
+        "bulk_demand_zero",
+        n * (params.fault_base + params.page_alloc + params.page_zero_4k),
+    )
+    events["demand_zero"] += n
+
+
+def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
+    """COW every read-only private page in the mask, vectorised."""
+    cost = kernel.cost
+    params = cost.params
+    positions = np.nonzero(ro_mask)[0]
+    old_pfns = entry_pfn(sub[positions]).astype(np.int64)
+
+    # The refcount-1 reuse fast path, applied per page like do_wp_page.
+    refs = kernel.pages.refcount[old_pfns]
+    file_flags = (kernel.pages.flags[old_pfns] & np.uint16(PG_FILE)) != 0
+    reusable = (refs == 1) & ~file_flags
+    if reusable.any():
+        reuse_positions = positions[reusable]
+        sub[reuse_positions] |= BIT_RW | BIT_DIRTY
+        kernel.stats.cow_reuse += int(np.count_nonzero(reusable))
+        cost.charge("bulk_cow_reuse",
+                    int(np.count_nonzero(reusable)) * params.fault_spurious)
+
+    copy_mask = ~reusable
+    n = int(np.count_nonzero(copy_mask))
+    if n == 0:
+        return
+    copy_positions = positions[copy_mask]
+    src = old_pfns[copy_mask]
+    dst = kernel.alloc_data_frames_bulk(mm, n)
+    kernel.pages.on_alloc_bulk(dst, PG_ANON | PG_DIRTY)
+    kernel.phys.copy_frames_bulk(src, dst)
+    n_file = count_file_pages(kernel, src)
+    zeroed = kernel.pages.ref_dec_bulk(src)
+    free_anon_frames(kernel, zeroed)
+    sub[copy_positions] = _entries_for(dst, writable=True, dirty=True)
+    if n_file:
+        mm.sub_rss(n_file, file_backed=True)
+        mm.add_rss(n_file, file_backed=False)
+    warmth = params.odf_cow_warmth if mm.odf_lineage else 1.0
+    cost.charge(
+        "bulk_cow_copy",
+        n * (params.fault_base + params.page_alloc + params.page_copy_4k * warmth),
+    )
+    events["cow_pages"] += n
+
+
+def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
+                      is_write, events):
+    cost = kernel.cost
+    params = cost.params
+    entry = pmd_table.entries[pmd_index]
+    if not is_present(entry):
+        head = kernel.alloc_huge_frame(mm)
+        kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER, PG_ANON)
+        pmd_table.entries[pmd_index] = _entries_for(
+            np.uint64(head), vma.writable, dirty=is_write) | BIT_PS
+        mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
+        cost.charge_fault_base()
+        cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+        events["huge_faults"] += 1
+        return
+    if is_write and not is_writable(entry):
+        head = int(entry_pfn(entry))
+        if kernel.pages.get_ref(head) == 1:
+            pmd_table.entries[pmd_index] = entry | BIT_RW | BIT_DIRTY
+            kernel.stats.cow_reuse += 1
+            cost.charge_fault_spurious()
+            return
+        new_head = kernel.alloc_huge_frame(mm)
+        kernel.pages.on_alloc_compound(new_head, HUGE_PAGE_ORDER, PG_ANON | PG_DIRTY)
+        for sub_pfn in range(1 << HUGE_PAGE_ORDER):
+            if kernel.phys.is_materialized(head + sub_pfn):
+                kernel.phys.copy_frame(head + sub_pfn, new_head + sub_pfn)
+        if kernel.pages.ref_dec(head) == 0:
+            kernel.free_huge_frame(head)
+        pmd_table.entries[pmd_index] = _entries_for(
+            np.uint64(new_head), writable=True, dirty=True) | BIT_PS
+        cost.charge_fault_base()
+        cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+        events["huge_cow"] += 1
+        return
+    if is_write:
+        pmd_table.entries[pmd_index] = entry | BIT_DIRTY | BIT_ACCESSED
+    else:
+        pmd_table.entries[pmd_index] = entry | BIT_ACCESSED

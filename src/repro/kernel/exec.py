@@ -1,0 +1,143 @@
+"""execve and the fork-alternative process-creation family (paper §6.1).
+
+The paper's related-work discussion contrasts fork with Linux's other
+creation primitives, each of which trades away the semantics the paper's
+use cases need:
+
+* ``vfork`` — no page-table copy, but the parent is suspended and the
+  child borrows the parent's address space until it execs or exits: no
+  COW, no concurrent execution.
+* ``clone(CLONE_VM)`` — parent and child *share* the address space
+  outright (thread-style): fast, but writes are mutually visible.
+* ``posix_spawn`` — fused clone+exec: the child starts from a fresh image,
+  never seeing the parent's memory at all.
+* ``execve`` — replaces the calling process's image; the cost AFL's fork
+  server exists to avoid paying per input.
+
+This module implements all four against the simulated VM so the §6.1
+trade-offs are measurable (see ``benchmarks/test_primitives.py``): only
+fork and on-demand-fork give concurrent-execution-plus-COW, and only
+on-demand-fork does so in microseconds.
+"""
+
+from __future__ import annotations
+
+from ..mem.page import PAGE_SIZE
+from ..errors import InvalidArgumentError
+from .mm import MMStruct
+from .teardown import exit_mmap
+from .vma import MAP_ANONYMOUS, MAP_PRIVATE, PROT_READ, PROT_WRITE
+
+#: Fixed execve cost: ELF parse, dynamic linking, libc init — the startup
+#: work testing frameworks amortise via fork servers (§5.3.1).
+EXECVE_FIXED_NS = 420_000
+#: Default stack reservation for a fresh image.
+EXEC_STACK_BYTES = 1 * 1024 * 1024
+
+
+def load_image(kernel, task, binary, stack_bytes=EXEC_STACK_BYTES,
+               touch_text=True):
+    """Map a binary into a *fresh* address space: text, stack, heap start.
+
+    Returns ``(text_addr, stack_addr)``.  The text is a private read-only
+    file mapping (§3.7's canonical case); touching it warms the page cache
+    the way the loader's relocations do.
+    """
+    if binary.size <= 0:
+        raise InvalidArgumentError("cannot exec an empty binary")
+    text_len = (binary.size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    text = kernel.sys_mmap(task, text_len, PROT_READ, MAP_PRIVATE,
+                           file=binary, name="text")
+    stack = kernel.sys_mmap(task, stack_bytes, PROT_READ | PROT_WRITE,
+                            MAP_PRIVATE | MAP_ANONYMOUS, name="stack")
+    if touch_text:
+        from .bulkops import populate_range
+        populate_range(kernel, task, text, text_len)
+    kernel.cost.charge("execve_load", EXECVE_FIXED_NS)
+    return text, stack
+
+
+def release_mm(kernel, task):
+    """Drop the task's reference on its address space (exec/exit path)."""
+    mm = task.mm
+    mm.users -= 1
+    if mm.users == 0 and not mm.dead:
+        exit_mmap(kernel, mm)
+
+
+def sys_execve(kernel, task, binary, stack_bytes=EXEC_STACK_BYTES):
+    """Replace the calling task's image with ``binary``.
+
+    Works for borrowed (vfork/CLONE_VM) address spaces: the old mm loses
+    one user (and is torn down only when unreferenced), the task gets a
+    fresh one, and a vfork-suspended parent resumes — exactly the point at
+    which real vfork unblocks.
+    """
+    task.require_alive()
+    kernel.cost.charge_syscall()
+    release_mm(kernel, task)
+    task.mm = MMStruct(kernel, owner_pid=task.pid)
+    result = load_image(kernel, task, binary, stack_bytes=stack_bytes)
+    _resume_vfork_parent(task)
+    return result
+
+
+def sys_vfork(kernel, task, name=None):
+    """vfork: the child borrows the parent's mm; the parent is suspended.
+
+    No page tables are copied and no COW is armed — the child sees (and
+    can corrupt!) the parent's memory, which is why vfork children may
+    only exec or exit.  The parent refuses to run until then.
+    """
+    task.require_alive()
+    kernel.cost.charge("vfork", kernel.cost.params.task_dup_fixed)
+    child = kernel._new_task(parent=task, name=name or f"{task.name}-vfork")
+    _borrow_mm(kernel, child, task)
+    child.vfork_parent = task
+    task.vfork_blocked = True
+    task.last_fork_ns = None
+    return child
+
+
+def sys_clone_vm(kernel, task, name=None):
+    """clone(CLONE_VM): thread-style full address-space sharing."""
+    task.require_alive()
+    kernel.cost.charge("clone_vm", kernel.cost.params.task_dup_fixed)
+    child = kernel._new_task(parent=task, name=name or f"{task.name}-thread")
+    _borrow_mm(kernel, child, task)
+    return child
+
+
+def sys_posix_spawn(kernel, task, binary, name=None):
+    """posix_spawn: child starts directly from a fresh image.
+
+    Internally clone+exec (as glibc implements it with CLONE_VM): nothing
+    of the parent's address space is copied or shared afterwards.
+    """
+    task.require_alive()
+    kernel.cost.charge("posix_spawn", kernel.cost.params.task_dup_fixed)
+    child = kernel._new_task(parent=task, name=name or f"{task.name}-spawned")
+    load_image(kernel, child, binary)
+    return child
+
+
+def on_task_exit(kernel, task):
+    """Exit-time hooks for borrowed address spaces and vfork parents."""
+    _resume_vfork_parent(task)
+    release_mm(kernel, task)
+
+
+def _borrow_mm(kernel, child, parent):
+    """Point the child at the parent's mm (replacing its fresh one)."""
+    fresh = child.mm
+    fresh.users -= 1
+    exit_mmap(kernel, fresh)
+    child.mm = parent.mm
+    parent.mm.users += 1
+
+
+def _resume_vfork_parent(task):
+    parent = getattr(task, "vfork_parent", None)
+    if parent is not None:
+        parent.vfork_blocked = False
+        task.vfork_parent = None

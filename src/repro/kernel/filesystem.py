@@ -1,0 +1,114 @@
+"""A tiny in-memory filesystem.
+
+File-backed mappings matter to the reproduction because §3.7 of the paper
+requires On-demand-fork to support them (executables are file-backed, and
+applications mmap files for I/O).  The simulator keeps files fully in
+memory — the paper's own evaluation avoids disk I/O as a confounding factor
+— and exposes just enough of a VFS for the page cache and mmap paths:
+create, resolve, read, write, truncate.
+
+Shared anonymous memory (``MAP_SHARED | MAP_ANONYMOUS``) is implemented the
+same way Linux does: each such mapping gets a private shmem file, so parent
+and child naturally observe each other's writes through the page cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import InvalidArgumentError
+from ..mem.page import PAGE_SIZE
+
+
+class SimFile:
+    """An in-memory file: a name, a size, and sparse page contents.
+
+    Contents live in the page cache once mapped or accessed; the file
+    itself only stores pages that were written *before* caching (initial
+    contents) plus its logical size.  ``initial_page`` hands the cache the
+    starting bytes for a page.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name, size=0):
+        if size < 0:
+            raise InvalidArgumentError("negative file size")
+        self.inode = next(SimFile._ids)
+        self.name = name
+        self.size = int(size)
+        self._initial = {}  # page index -> bytes(PAGE_SIZE)
+
+    def n_pages(self):
+        """Pages the file spans at its current size."""
+        return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def set_initial_contents(self, data, offset=0):
+        """Write initial bytes (pre-caching), growing the file if needed."""
+        if offset < 0:
+            raise InvalidArgumentError("negative offset")
+        end = offset + len(data)
+        self.size = max(self.size, end)
+        pos = 0
+        while pos < len(data):
+            page_index = (offset + pos) // PAGE_SIZE
+            page_off = (offset + pos) % PAGE_SIZE
+            take = min(PAGE_SIZE - page_off, len(data) - pos)
+            page = bytearray(self._initial.get(page_index, bytes(PAGE_SIZE)))
+            page[page_off:page_off + take] = data[pos:pos + take]
+            self._initial[page_index] = bytes(page)
+            pos += take
+
+    def initial_page(self, page_index):
+        """The starting contents of page ``page_index`` (zeros if sparse)."""
+        return self._initial.get(page_index, bytes(PAGE_SIZE))
+
+    def truncate(self, new_size):
+        """Change the file size, dropping truncated contents."""
+        if new_size < 0:
+            raise InvalidArgumentError("negative size")
+        if new_size < self.size:
+            first_dead = (new_size + PAGE_SIZE - 1) // PAGE_SIZE
+            for index in [i for i in self._initial if i >= first_dead]:
+                del self._initial[index]
+        self.size = int(new_size)
+
+    def __repr__(self):
+        return f"SimFile({self.name!r}, inode={self.inode}, size={self.size})"
+
+
+class SimFS:
+    """Flat-namespace file store."""
+
+    def __init__(self):
+        self._files = {}
+
+    def create(self, name, size=0):
+        """Create a new file; rejects duplicates."""
+        if name in self._files:
+            raise InvalidArgumentError(f"file exists: {name}")
+        f = SimFile(name, size)
+        self._files[name] = f
+        return f
+
+    def open(self, name):
+        """Look up an existing file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise InvalidArgumentError(f"no such file: {name}") from None
+
+    def exists(self, name):
+        """Whether a file with this name exists."""
+        return name in self._files
+
+    def unlink(self, name):
+        """Remove a file from the namespace."""
+        if name not in self._files:
+            raise InvalidArgumentError(f"no such file: {name}")
+        del self._files[name]
+
+    def make_shmem(self, size):
+        """Anonymous shared-memory object (``MAP_SHARED|MAP_ANONYMOUS``)."""
+        f = SimFile(f"shmem:{next(SimFile._ids)}", size)
+        return f

@@ -1,0 +1,164 @@
+"""Classic fork's address-space duplication (``copy_page_range``).
+
+This is the baseline the paper measures against: at fork time the parent's
+entire paging tree is replicated.  Upper levels are cheap (few nodes, §2.2);
+the cost is the leaf loop — for every present PTE the kernel resolves the
+``struct page`` (``vm_normal_page`` + ``compound_head``), bumps the page
+refcount atomically, and write-protects private-COW entries in both parent
+and child.  The loop here is vectorised per table, but charges exactly that
+per-entry machinery to the clock, split across the Figure 3 hot spots, with
+the struct-page portion scaled by the contention model when several forks
+run at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem.page import PTRS_PER_TABLE
+from ..paging.entries import BIT_RW, entry_pfn, is_huge, make_entry
+from ..paging.table import (
+    LEVEL_PGD,
+    LEVEL_PMD,
+    LEVEL_PTE,
+    LEVEL_PUD,
+    LEVEL_SPAN,
+)
+from .tableops import private_cow_mask, table_present_pfns
+
+
+def iter_parent_pmd_tables(mm):
+    """Yield ``(pmd_table, table_base_vaddr)`` for every PMD table in ``mm``.
+
+    Each PMD table covers 1 GiB of address space; odfork processes entries
+    a whole table at a time with vectorised operations.
+    """
+    pgd = mm.pgd
+    for pgd_index in pgd.present_indices().tolist():
+        pud = mm.resolve(pgd.child_pfn(pgd_index))
+        for pud_index in pud.present_indices().tolist():
+            pmd = mm.resolve(pud.child_pfn(pud_index))
+            base = (
+                pgd_index * LEVEL_SPAN[LEVEL_PGD]
+                + pud_index * LEVEL_SPAN[LEVEL_PUD]
+            )
+            yield pmd, base
+
+
+def iter_parent_pmds(mm):
+    """Yield ``(pmd_table, pmd_index, slot_start)`` for every present PMD
+    entry in ``mm``, in address order."""
+    for pmd, base in iter_parent_pmd_tables(mm):
+        for pmd_index in pmd.present_indices().tolist():
+            yield pmd, pmd_index, base + pmd_index * LEVEL_SPAN[LEVEL_PMD]
+
+
+class ChildTreeBuilder:
+    """Creates the child's upper paging levels lazily during a fork walk."""
+
+    def __init__(self, child_mm):
+        self.child_mm = child_mm
+        self._pud_cache = {}
+        self._pmd_cache = {}
+        self.upper_tables_created = 0
+
+    def pmd_for(self, slot_start):
+        """The child PMD table and index covering ``slot_start``."""
+        pmd_key = slot_start // LEVEL_SPAN[LEVEL_PUD]
+        pmd = self._pmd_cache.get(pmd_key)
+        if pmd is None:
+            pud_key = slot_start // LEVEL_SPAN[LEVEL_PGD]
+            pud = self._pud_cache.get(pud_key)
+            child = self.child_mm
+            if pud is None:
+                pud = child.alloc_table(LEVEL_PUD)
+                self.upper_tables_created += 1
+                pgd_index = pud_key % PTRS_PER_TABLE
+                child.pgd.set(pgd_index, make_entry(pud.pfn, writable=True, user=True))
+                self._pud_cache[pud_key] = pud
+            pmd = child.alloc_table(LEVEL_PMD)
+            self.upper_tables_created += 1
+            pud_index = pmd_key % PTRS_PER_TABLE
+            pud.set(pud_index, make_entry(pmd.pfn, writable=True, user=True))
+            self._pmd_cache[pmd_key] = pmd
+        pmd_index = (slot_start // LEVEL_SPAN[LEVEL_PMD]) % PTRS_PER_TABLE
+        return pmd, pmd_index
+
+    def pmd_table_for(self, table_base):
+        """The child PMD table mirroring the parent table at ``table_base``."""
+        return self.pmd_for(table_base)[0]
+
+
+def clone_vmas(parent_mm, child_mm):
+    """Copy the parent's VMA list into the child."""
+    for vma in parent_mm.vmas:
+        child_mm.add_vma(vma.clone())
+
+
+def copy_mm_classic(kernel, parent_mm, child_mm):
+    """Duplicate ``parent_mm`` into ``child_mm`` the traditional way."""
+    cost = kernel.cost
+    cost.charge_fork_fixed(len(parent_mm.vmas))
+    clone_vmas(parent_mm, child_mm)
+    builder = ChildTreeBuilder(child_mm)
+    drop_rw = np.uint64(~BIT_RW)
+    n_leaf_tables = 0
+    n_huge_entries = 0
+
+    for pmd, pmd_index, slot_start in iter_parent_pmds(parent_mm):
+        entry = pmd.entries[pmd_index]
+        child_pmd, child_index = builder.pmd_for(slot_start)
+
+        if is_huge(entry):
+            head = int(entry_pfn(entry))
+            kernel.pages.ref_inc(head)
+            cow_here = _slot_needs_cow(parent_mm, slot_start)
+            if cow_here:
+                entry &= drop_rw
+                pmd.entries[pmd_index] = entry
+            child_pmd.entries[child_index] = entry
+            cost.charge_copy_huge_entries(1)
+            n_huge_entries += 1
+            continue
+
+        parent_leaf = parent_mm.resolve(int(entry_pfn(entry)))
+        child_leaf = child_mm.alloc_table(LEVEL_PTE)
+        child_leaf.copy_entries_from(parent_leaf)
+
+        cow_mask = private_cow_mask(parent_mm, slot_start)
+        if cow_mask.any():
+            child_leaf.entries[cow_mask] &= drop_rw
+            if kernel.pages.pt_ref(parent_leaf.pfn) == 1:
+                # Dedicated parent table: write-protect it too, exactly as
+                # copy_one_pte does.  A shared parent table is left alone —
+                # its PMD entry already has RW=0, which protects every
+                # sharer, and the table-COW protocol owns its entry bits.
+                parent_leaf.entries[cow_mask] &= drop_rw
+
+        _, pfns = table_present_pfns(child_leaf)
+        if len(pfns):
+            kernel.pages.ref_inc_bulk(pfns)
+        cost.charge_pte_table_alloc()
+        cost.charge_copy_pte_entries(len(pfns))
+        child_pmd.set(child_index, make_entry(child_leaf.pfn, writable=True, user=True))
+        n_leaf_tables += 1
+
+    if n_leaf_tables:
+        # First-touch misses on struct page and allocator state; huge-only
+        # address spaces skip this, which is most of Figure 4's advantage.
+        cost.charge_fork_warmup()
+    elif n_huge_entries:
+        cost.charge_huge_fork_fixed()
+    cost.charge_upper_copy(builder.upper_tables_created)
+    child_mm.rss_anon_pages = parent_mm.rss_anon_pages
+    child_mm.rss_file_pages = parent_mm.rss_file_pages
+    child_mm.odf_lineage = parent_mm.odf_lineage
+    parent_mm.tlb.flush_all()
+    kernel.cost.charge_tlb_flush()
+    kernel.stats.forks += 1
+
+
+def _slot_needs_cow(mm, slot_start):
+    """Whether the (single) hugetlb VMA over this slot is private-COW."""
+    vma = mm.vmas.find(slot_start)
+    return vma is not None and vma.needs_cow

@@ -1,0 +1,606 @@
+"""The kernel facade: syscalls, task lifecycle, and user memory access.
+
+Everything an application (simulated process) can do goes through here:
+``mmap``/``munmap``/``mremap``/``mprotect``, both fork flavours, exit/wait,
+and byte-level loads and stores that translate through the TLB + software
+MMU and take page faults exactly where real accesses would.
+
+The two fork entry points match the paper's deployment story (§4):
+``sys_fork`` is the classic call, ``sys_odfork`` the new opt-in syscall,
+and a per-process procfs-style flag (``Task.odfork_default``) transparently
+reroutes plain ``fork`` for unmodified applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import (
+    InvalidArgumentError,
+    KernelBug,
+    OutOfMemoryError,
+    ProcessError,
+)
+from ..mem.buddy import OutOfFramesError
+from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE
+from ..paging.table import page_align_up, page_offset
+from ..paging.walk import MMUFault, Walker
+from .fault import FaultHandler
+from .filesystem import SimFS
+from .fork import copy_mm_classic
+from .mm import MMStruct
+from .odfork import copy_mm_odf
+from .pagecache import PageCache
+from .task import STATE_DEAD, STATE_ZOMBIE, Task
+from .teardown import zap_range
+from .vma import (
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_HUGETLB,
+    MAP_POPULATE,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_READ,
+    PROT_WRITE,
+    VMA,
+)
+
+
+MADV_DONTNEED = 4
+MADV_HUGEPAGE = 14
+MADV_NOHUGEPAGE = 15
+
+
+@dataclass
+class VMStats:
+    """Kernel-wide event counters (the model's /proc/vmstat)."""
+
+    forks: int = 0
+    odforks: int = 0
+    page_faults: int = 0
+    spurious_faults: int = 0
+    demand_zero_faults: int = 0
+    file_faults: int = 0
+    cow_faults: int = 0
+    cow_reuse: int = 0
+    huge_faults: int = 0
+    huge_cow_faults: int = 0
+    table_cow_copies: int = 0
+    table_unshares: int = 0
+    tables_shared: int = 0
+    oom_reclaims: int = 0
+    thp_collapses: int = 0
+    thp_splits: int = 0
+    snapshots_created: int = 0
+    snapshot_restores: int = 0
+
+    def snapshot(self):
+        """A plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
+
+class Kernel:
+    """Owns every machine-wide subsystem and exposes the syscall surface."""
+
+    def __init__(self, clock, cost, allocator, pages, phys):
+        self.clock = clock
+        self.cost = cost
+        self.allocator = allocator
+        self.pages = pages
+        self.phys = phys
+        self.fs = SimFS()
+        self.page_cache = PageCache(allocator, pages, phys)
+        self.stats = VMStats()
+        self._tables = {}
+        self.walker = Walker(self.resolve_table)
+        self.fault_handler = FaultHandler(self)
+        self.tasks = {}
+        self._next_pid = 1
+        self.init_task = None
+        # khugepaged is created lazily (imports thp on first use) and
+        # driven explicitly via Machine.run_khugepaged / direct calls.
+        self._khugepaged = None
+        # Live in-place snapshots (they hold page references; see
+        # kernel/snapshot.py and the test auditor).
+        self.live_snapshots = []
+
+    # ---- page-table registry (the model's page_address map) -------------
+
+    def register_table(self, table):
+        """Record a table frame in the pfn -> table map."""
+        if table.pfn in self._tables:
+            raise KernelBug(f"table frame {table.pfn} registered twice")
+        self._tables[table.pfn] = table
+
+    def unregister_table(self, table):
+        """Drop a table frame from the pfn -> table map."""
+        if self._tables.pop(table.pfn, None) is None:
+            raise KernelBug(f"table frame {table.pfn} not registered")
+
+    def resolve_table(self, pfn):
+        """The PageTable object backing a table frame."""
+        try:
+            return self._tables[pfn]
+        except KeyError:
+            raise KernelBug(f"no page table at pfn {pfn}") from None
+
+    @property
+    def live_tables(self):
+        """Number of registered table frames machine-wide."""
+        return len(self._tables)
+
+    # ---- frame allocation with reclaim ------------------------------------
+
+    def alloc_data_frame(self, mm):
+        """One frame for user data, reclaiming page cache under pressure."""
+        try:
+            return int(self.allocator.alloc(0))
+        except OutOfFramesError:
+            if self.page_cache.reclaim_clean(64):
+                self.stats.oom_reclaims += 1
+                return int(self.allocator.alloc(0))
+            raise OutOfMemoryError(
+                f"out of memory: {self.allocator.free_frames} frames free"
+            ) from None
+
+    def alloc_data_frames_bulk(self, mm, n):
+        """Bulk frame allocation with reclaim-on-pressure."""
+        try:
+            return self.allocator.alloc_bulk(n)
+        except OutOfFramesError:
+            freed = self.page_cache.reclaim_clean(n)
+            if freed:
+                self.stats.oom_reclaims += 1
+                return self.allocator.alloc_bulk(n)
+            raise OutOfMemoryError(f"out of memory allocating {n} frames") from None
+
+    def alloc_huge_frame(self, mm):
+        """One 2 MiB compound block with reclaim-on-pressure."""
+        try:
+            return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+        except OutOfFramesError:
+            if self.page_cache.reclaim_clean(1 << HUGE_PAGE_ORDER):
+                self.stats.oom_reclaims += 1
+                return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+            raise OutOfMemoryError("out of memory allocating a huge page") from None
+
+    def free_huge_frame(self, head):
+        """Free a compound block and its contents."""
+        self.pages.on_free(head)
+        for sub in range(1 << HUGE_PAGE_ORDER):
+            self.phys.zero(head + sub)
+        self.allocator.free(head, HUGE_PAGE_ORDER)
+
+    # ---- task lifecycle -----------------------------------------------------
+
+    def create_init_task(self, name="init"):
+        """The machine's first task (pid 1)."""
+        if self.init_task is not None:
+            raise ProcessError("init task already exists")
+        task = self._new_task(parent=None, name=name)
+        self.init_task = task
+        return task
+
+    def _new_task(self, parent, name):
+        pid = self._next_pid
+        self._next_pid += 1
+        mm = MMStruct(self, owner_pid=pid)
+        task = Task(pid, mm, parent=parent, name=name)
+        self.tasks[pid] = task
+        if parent is not None:
+            parent.adopt(task)
+        return task
+
+    def sys_fork(self, task, name=None):
+        """Classic fork — unless the caller's procfs flag reroutes it."""
+        if task.odfork_default:
+            return self.sys_odfork(task, name=name)
+        return self._do_fork(task, use_odf=False, name=name)
+
+    def sys_odfork(self, task, name=None):
+        """The paper's new system call: share last-level page tables."""
+        return self._do_fork(task, use_odf=True, name=name)
+
+    def _do_fork(self, task, use_odf, name):
+        task.require_alive()
+        start_ns = self.clock.now_ns
+        child = self._new_task(parent=task, name=name or f"{task.name}-child")
+        child.odfork_default = task.odfork_default
+        if use_odf:
+            copy_mm_odf(self, task.mm, child.mm)
+        else:
+            copy_mm_classic(self, task.mm, child.mm)
+        noise = self.cost.noise
+        if noise is not None and not self.cost.suspended:
+            # Correlated per-invocation overrun (see NoiseModel docs).
+            self.clock.advance((self.clock.now_ns - start_ns) * noise.syscall_jitter())
+        task.last_fork_ns = self.clock.now_ns - start_ns
+        task.fork_count += 1
+        return child
+
+    def sys_exit(self, task, exit_code=0):
+        """Terminate a task: tear down (or release) its mm, zombify."""
+        task.require_alive()
+        from .exec import on_task_exit
+        on_task_exit(self, task)
+        task.state = STATE_ZOMBIE
+        task.exit_code = exit_code
+        # Orphans are reparented to init, as on Unix.
+        for child in task.children:
+            child.parent = self.init_task
+            if self.init_task is not None and self.init_task is not task:
+                self.init_task.adopt(child)
+        task.children = []
+
+    def sys_wait(self, task, pid=None):
+        """Reap one zombie child; returns ``(pid, exit_code)`` or ``None``."""
+        task.require_alive()
+        child = task.reap_ready_child(pid)
+        if child is None:
+            if pid is not None and all(c.pid != pid for c in task.children):
+                raise ProcessError(f"pid {pid} is not a child of {task.name}")
+            return None
+        child.state = STATE_DEAD
+        task.children.remove(child)
+        del self.tasks[child.pid]
+        return child.pid, child.exit_code
+
+    # ---- memory-mapping syscalls ------------------------------------------------
+
+    def sys_mmap(self, task, length, prot, flags, file=None, offset=0,
+                 addr=None, name=""):
+        """Create a mapping; returns its start address."""
+        task.require_alive()
+        self.cost.charge_syscall()
+        if length <= 0:
+            raise InvalidArgumentError("mmap length must be positive")
+        granule = HUGE_PAGE_SIZE if flags & MAP_HUGETLB else PAGE_SIZE
+        size = (length + granule - 1) & ~(granule - 1)
+        if offset % PAGE_SIZE:
+            raise InvalidArgumentError("file offset must be page-aligned")
+
+        if flags & MAP_SHARED and flags & MAP_ANONYMOUS and file is None:
+            # Shared anonymous memory is shmem-backed, as in Linux.
+            file = self.fs.make_shmem(size)
+        mm = task.mm
+        if addr is not None and flags & MAP_FIXED:
+            if addr % granule:
+                raise InvalidArgumentError("MAP_FIXED address misaligned")
+            if mm.vmas.any_overlap(addr, addr + size):
+                self.sys_munmap(task, addr, size, _charge=False)
+        else:
+            addr = mm.find_free_area(size, align=granule)
+
+        vma = VMA(
+            start=addr, end=addr + size, prot=prot, flags=flags,
+            file=file, file_offset=offset, name=name,
+        )
+        mm.add_vma(vma)
+        if flags & MAP_POPULATE:
+            from .bulkops import populate_range
+            populate_range(self, task, addr, size)
+        return addr
+
+    def sys_munmap(self, task, addr, length, _charge=True):
+        """Unmap ``[addr, addr+length)``, splitting edge VMAs."""
+        task.require_alive()
+        if _charge:
+            self.cost.charge_syscall()
+        if addr % PAGE_SIZE or length <= 0:
+            raise InvalidArgumentError("munmap address/length invalid")
+        end = addr + page_align_up(length)
+        mm = task.mm
+        victims = mm.vmas.overlapping(addr, end)
+        if not victims:
+            return
+        for vma in victims:
+            granule = HUGE_PAGE_SIZE if vma.is_hugetlb else PAGE_SIZE
+            if (max(vma.start, addr) % granule) or (min(vma.end, end) % granule):
+                raise InvalidArgumentError("munmap range misaligned for mapping")
+        # Split edge VMAs so the range covers whole VMAs, then zap while the
+        # VMA geometry still describes the pages (table COW needs it).
+        for vma in list(mm.vmas.overlapping(addr, end)):
+            if vma.start < addr < vma.end:
+                vma = mm.split_vma(vma, addr)[1]
+            if vma.start < end < vma.end:
+                mm.split_vma(vma, end)
+        zap_range(self, mm, addr, end)
+        for vma in list(mm.vmas.overlapping(addr, end)):
+            mm.remove_vma(vma)
+
+    def sys_mprotect(self, task, addr, length, prot):
+        """Change protection; permission loss takes effect immediately.
+
+        Adding write permission never touches PTEs — COW and write-notify
+        faults upgrade pages lazily, as in Linux.  Removing it clears RW
+        bits in place, including inside shared tables: dropping permission
+        can only cause other sharers spurious (correct) faults, so unlike
+        unmap this does not need a table copy.
+        """
+        task.require_alive()
+        self.cost.charge_syscall()
+        if addr % PAGE_SIZE or length <= 0:
+            raise InvalidArgumentError("mprotect address/length invalid")
+        end = addr + page_align_up(length)
+        mm = task.mm
+        pieces = mm.vmas.overlapping(addr, end)
+        if not pieces:
+            raise InvalidArgumentError("mprotect over unmapped range")
+        for vma in list(mm.vmas.overlapping(addr, end)):
+            if vma.start < addr < vma.end:
+                vma = mm.split_vma(vma, addr)[1]
+            if vma.start < end < vma.end:
+                vma = mm.split_vma(vma, end)[0]
+            losing_write = vma.writable and not prot & PROT_WRITE
+            vma.prot = prot
+            if losing_write:
+                self._clear_write_bits(mm, vma.start, vma.end)
+        mm.tlb.flush_range(addr, end)
+        self.cost.charge_tlb_flush((end - addr) // PAGE_SIZE)
+
+    def _clear_write_bits(self, mm, start, end):
+        import numpy as np
+        from ..paging.entries import BIT_RW, entry_pfn, is_huge, is_present
+        drop = np.uint64(~BIT_RW)
+        for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(start, end):
+            entry = pmd_table.entries[pmd_index]
+            if not is_present(entry):
+                continue
+            if is_huge(entry):
+                whole = lo == slot_start and hi == slot_start + 2 * 1024 * 1024
+                vma = mm.vmas.find(slot_start) or mm.vmas.find(lo)
+                if not whole and (vma is None or not vma.is_hugetlb):
+                    # Partial protection change over a THP region: split
+                    # so the unaffected half keeps its permissions.
+                    from .thp import split_huge_entry
+                    split_huge_entry(self, mm, pmd_table, pmd_index,
+                                     slot_start)
+                    entry = pmd_table.entries[pmd_index]
+                else:
+                    pmd_table.entries[pmd_index] = entry & drop
+                    continue
+            leaf = mm.resolve(int(entry_pfn(entry)))
+            lo_index = (lo - slot_start) // PAGE_SIZE
+            hi_index = (hi - slot_start) // PAGE_SIZE
+            leaf.entries[lo_index:hi_index] &= drop
+            self.cost.charge_zap_entries(hi_index - lo_index)
+
+    def sys_mremap(self, task, old_addr, old_size, new_size, may_move=True):
+        """Resize (and possibly move) a mapping; returns the new address."""
+        task.require_alive()
+        self.cost.charge_syscall()
+        if old_addr % PAGE_SIZE or old_size <= 0 or new_size <= 0:
+            raise InvalidArgumentError("mremap arguments invalid")
+        old_size = page_align_up(old_size)
+        new_size = page_align_up(new_size)
+        mm = task.mm
+        vma = mm.vmas.find(old_addr)
+        if vma is None or vma.start != old_addr or vma.end < old_addr + old_size:
+            raise InvalidArgumentError("mremap range is not a single mapping")
+        if vma.is_hugetlb:
+            raise InvalidArgumentError("mremap on hugetlb not supported")
+
+        if new_size == old_size:
+            return old_addr
+        if new_size < old_size:
+            # Shrink in place: unmap the tail (a §3.3 COW-on-unmap case
+            # when the tail shares a PTE table with the surviving head).
+            self.sys_munmap(task, old_addr + new_size, old_size - new_size,
+                            _charge=False)
+            return old_addr
+        # Grow: extend in place when the next gap allows, else move.
+        grow_start = vma.end
+        delta = new_size - old_size
+        if not mm.vmas.any_overlap(grow_start, grow_start + delta):
+            mm.remove_vma(vma)
+            grown = vma.clone(end=vma.start + new_size)
+            mm.add_vma(grown)
+            return old_addr
+        if not may_move:
+            raise InvalidArgumentError("cannot grow in place and may_move=False")
+        from .mremap import move_mapping
+        return move_mapping(self, mm, vma, new_size)
+
+    def sys_vfork(self, task, name=None):
+        """vfork: borrow the parent's mm, suspend the parent (§6.1)."""
+        from .exec import sys_vfork
+        return sys_vfork(self, task, name=name)
+
+    def sys_clone_vm(self, task, name=None):
+        """clone(CLONE_VM): share the address space outright (§6.1)."""
+        from .exec import sys_clone_vm
+        return sys_clone_vm(self, task, name=name)
+
+    def sys_execve(self, task, binary, stack_bytes=None):
+        """Replace the task's image with ``binary``."""
+        from .exec import EXEC_STACK_BYTES, sys_execve
+        return sys_execve(self, task, binary,
+                          stack_bytes=stack_bytes or EXEC_STACK_BYTES)
+
+    def sys_posix_spawn(self, task, binary, name=None):
+        """posix_spawn: a child started from a fresh image (§6.1)."""
+        from .exec import sys_posix_spawn
+        return sys_posix_spawn(self, task, binary, name=name)
+
+    def sys_brk(self, task, new_brk=None):
+        """The program-break heap: query with ``None``, grow/shrink with an
+        address.  Backed by one anonymous VMA managed like glibc's heap."""
+        task.require_alive()
+        mm = task.mm
+        if getattr(mm, "brk_start", None) is None:
+            mm.brk_start = mm.find_free_area(1 << 30)  # reserve a window
+            mm.brk_end = mm.brk_start
+        if new_brk is None:
+            return mm.brk_end
+        self.cost.charge_syscall()
+        new_end = page_align_up(max(new_brk, mm.brk_start))
+        if new_end > mm.brk_start + (1 << 30):
+            raise InvalidArgumentError("brk beyond the heap window")
+        if new_end > mm.brk_end:
+            grown = VMA(start=mm.brk_end, end=new_end,
+                        prot=PROT_READ | PROT_WRITE,
+                        flags=MAP_PRIVATE | MAP_ANONYMOUS, name="heap")
+            mm.add_vma(grown)
+        elif new_end < mm.brk_end:
+            self.sys_munmap(task, new_end, mm.brk_end - new_end,
+                            _charge=False)
+        mm.brk_end = new_end
+        return mm.brk_end
+
+    def proc_smaps(self, task):
+        """The /proc/<pid>/smaps analogue: per-VMA residency breakdown."""
+        from ..paging.entries import entry_pfn, is_huge, is_present, present_mask
+        mm = task.mm
+        report = []
+        for vma in mm.vmas:
+            resident = 0
+            for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(
+                    vma.start, vma.end):
+                entry = pmd_table.entries[pmd_index]
+                if not is_present(entry):
+                    continue
+                if is_huge(entry):
+                    resident += min(hi, slot_start + HUGE_PAGE_SIZE) - lo
+                    continue
+                leaf = mm.resolve(int(entry_pfn(entry)))
+                lo_index = (lo - slot_start) // PAGE_SIZE
+                hi_index = (hi - slot_start) // PAGE_SIZE
+                sub = leaf.entries[lo_index:hi_index]
+                resident += int(present_mask(sub).sum()) * PAGE_SIZE
+            report.append({
+                "start": vma.start,
+                "end": vma.end,
+                "size_bytes": vma.size,
+                "rss_bytes": resident,
+                "name": vma.name or ("anon" if vma.is_anonymous else vma.file.name),
+                "perms": ("r" if vma.readable else "-")
+                         + ("w" if vma.writable else "-")
+                         + ("s" if vma.is_shared else "p"),
+            })
+        return report
+
+    def sys_snapshot(self, task):
+        """Create an in-place snapshot of the task's address space (§6.1,
+        the Xu et al. fork-less primitive)."""
+        from .snapshot import Snapshot
+        return Snapshot.create(self, task)
+
+    def khugepaged(self, policy=None):
+        """The THP promotion daemon (created on first use)."""
+        from .thp import Khugepaged
+        if self._khugepaged is None:
+            self._khugepaged = Khugepaged(self, policy=policy or "madvise")
+        elif policy is not None:
+            self._khugepaged.policy = policy
+        return self._khugepaged
+
+    def sys_madvise(self, task, addr, length, advice):
+        """madvise: MADV_DONTNEED / MADV_HUGEPAGE / MADV_NOHUGEPAGE.
+
+        DONTNEED zaps the range (next access demand-faults fresh state,
+        the fuzzers' cheap reset); the THP advices toggle per-VMA
+        eligibility for khugepaged (§2.3's opt-in default policy).
+        """
+        task.require_alive()
+        self.cost.charge_syscall()
+        if addr % PAGE_SIZE or length <= 0:
+            raise InvalidArgumentError("madvise address/length invalid")
+        end = addr + page_align_up(length)
+        mm = task.mm
+        if not mm.vmas.overlapping(addr, end):
+            raise InvalidArgumentError("madvise over unmapped range")
+        if advice == MADV_DONTNEED:
+            zap_range(self, mm, addr, end)
+            return
+        if advice in (MADV_HUGEPAGE, MADV_NOHUGEPAGE):
+            for vma in list(mm.vmas.overlapping(addr, end)):
+                if vma.start < addr < vma.end:
+                    vma = mm.split_vma(vma, addr)[1]
+                if vma.start < end < vma.end:
+                    vma = mm.split_vma(vma, end)[0]
+                vma.thp_enabled = advice == MADV_HUGEPAGE
+                vma.thp_disabled = advice == MADV_NOHUGEPAGE
+            return
+        raise InvalidArgumentError(f"unknown madvise advice {advice}")
+
+    # ---- procfs-style configuration ----------------------------------------------
+
+    def set_odfork_default(self, task, enabled):
+        """The paper's procfs switch: reroute plain fork() for this task."""
+        task.odfork_default = bool(enabled)
+
+    def proc_status(self, task):
+        """The /proc/<pid>/status analogue."""
+        mm = task.mm
+        return {
+            "pid": task.pid,
+            "name": task.name,
+            "state": task.state,
+            "vm_size_bytes": 0 if mm.dead else mm.mapped_bytes(),
+            "vm_rss_bytes": mm.rss_bytes,
+            "nr_pte_tables": mm.nr_pte_tables,
+            "odfork_enabled": task.odfork_default,
+        }
+
+    # ---- user memory access (byte path) ---------------------------------------------
+
+    def _translate_for_access(self, task, addr, is_write):
+        mm = task.mm
+        hit = mm.tlb.lookup(addr, is_write)
+        if hit is not None:
+            return hit.pfn
+        for _ in range(4):
+            try:
+                tr = self.walker.translate(mm.pgd, addr, is_write)
+                mm.tlb.insert(addr, tr.pfn, tr.writable, tr.huge)
+                return tr.pfn
+            except MMUFault:
+                self.fault_handler.handle(task, addr, is_write)
+        raise KernelBug(f"fault loop did not converge at {addr:#x}")
+
+    def mem_write(self, task, addr, data):
+        """Store bytes into the task's address space (may fault/COW)."""
+        task.require_alive()
+        self.cost.charge_memcpy(len(data), is_write=True)
+        pos = 0
+        while pos < len(data):
+            vaddr = addr + pos
+            off = page_offset(vaddr)
+            take = min(PAGE_SIZE - off, len(data) - pos)
+            pfn = self._translate_for_access(task, vaddr, is_write=True)
+            self.phys.write(pfn, off, data[pos:pos + take])
+            pos += take
+
+    def mem_touch(self, task, addr, length, is_write):
+        """Access a small range without moving bytes.
+
+        The fast path for application request loops (key-value stores,
+        row operations): takes the same TLB/walk/fault path as real loads
+        and stores, charges bandwidth, but never materialises host-side
+        buffers.  Returns the number of pages traversed.
+        """
+        task.require_alive()
+        if length <= 0:
+            return 0
+        self.cost.charge_memcpy(length, is_write)
+        first = addr & ~(PAGE_SIZE - 1)
+        last = addr + length - 1
+        n_pages = ((last - first) // PAGE_SIZE) + 1
+        for i in range(n_pages):
+            self._translate_for_access(task, first + i * PAGE_SIZE, is_write)
+        return n_pages
+
+    def mem_read(self, task, addr, length):
+        """Load bytes from the task's address space (may fault)."""
+        task.require_alive()
+        self.cost.charge_memcpy(length, is_write=False)
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            vaddr = addr + pos
+            off = page_offset(vaddr)
+            take = min(PAGE_SIZE - off, length - pos)
+            pfn = self._translate_for_access(task, vaddr, is_write=False)
+            out += self.phys.read(pfn, off, take)
+            pos += take
+        return bytes(out)

@@ -1,0 +1,265 @@
+"""The per-process memory descriptor (``mm_struct``).
+
+Owns the paging tree root (PGD), the VMA list, and the address-space
+counters.  Heavy operations — population, fault handling, fork copies,
+teardown — live in sibling modules and operate *on* an ``MMStruct``; this
+module provides the structural plumbing they share:
+
+* allocating and freeing page-table nodes (page tables are pages: each is
+  backed by a frame flagged ``PG_PAGETABLE``, and leaf tables get the
+  paper's §3.5 refcount, initialised to one in the constructor);
+* walking/creating the upper levels down to a PMD slot;
+* iterating the PMD slots that cover an address range — the unit at which
+  On-demand-fork shares, copies, and zaps.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidArgumentError, KernelBug
+from ..mem.page import HUGE_PAGE_SIZE, PAGE_SIZE, PG_PAGETABLE
+from ..paging.entries import entry_pfn, is_huge, is_present, make_entry
+from ..paging.table import (
+    LEVEL_PGD,
+    LEVEL_PMD,
+    LEVEL_PTE,
+    LEVEL_PUD,
+    PMD_REGION_SIZE,
+    PageTable,
+    VA_LIMIT,
+    table_index,
+)
+from ..paging.tlb import TLB
+from .vma import VMAList
+
+#: Default placement window for anonymous mappings (mirrors the mmap area
+#: of a 48-bit address space; low enough to leave room for fixed mappings).
+MMAP_FLOOR = 0x0000_1000_0000_0000 >> 4   # 0x100_0000_0000
+MMAP_CEILING = VA_LIMIT
+
+
+class MMStruct:
+    """One process's address space."""
+
+    def __init__(self, kernel, owner_pid=0):
+        self.kernel = kernel
+        self.owner_pid = owner_pid
+        # mm_users: tasks referencing this address space (vfork/CLONE_VM
+        # children borrow it; teardown happens when the count hits zero).
+        self.users = 1
+        self.vmas = VMAList()
+        self.tlb = TLB()
+        self.rss_anon_pages = 0
+        self.rss_file_pages = 0
+        self.nr_pte_tables = 0       # PMD entries pointing at leaf tables
+        self.nr_upper_tables = 0     # PUD/PMD tables (excludes the PGD)
+        self.dead = False
+        # Set once this address space has been part of an odfork (either
+        # side).  COW faults in such lineages get the §5.2.4 cache-warmth
+        # discount: shared tables and untouched struct pages leave more of
+        # the cache hierarchy to user data.
+        self.odf_lineage = False
+        self.pgd = self.alloc_table(LEVEL_PGD)
+
+    # ---- page-table node lifecycle -------------------------------------
+
+    def alloc_table(self, level):
+        """Allocate a page-table node backed by a fresh frame.
+
+        Leaf (PTE) tables start with the §3.5 reference count of one; the
+        count tracks how many processes share the table and guards both
+        premature free and the fault handler's shared/dedicated decision.
+        """
+        kernel = self.kernel
+        pfn = int(kernel.allocator.alloc(0))
+        kernel.pages.on_alloc(pfn, PG_PAGETABLE)
+        table = PageTable(level, pfn)
+        kernel.register_table(table)
+        if level == LEVEL_PTE:
+            kernel.pages.pt_refcount[pfn] = 1
+            self.nr_pte_tables += 1
+        elif level != LEVEL_PGD:
+            self.nr_upper_tables += 1
+        return table
+
+    def free_table_frame(self, table):
+        """Release a table node's frame (callers handle entry accounting)."""
+        kernel = self.kernel
+        kernel.unregister_table(table)
+        kernel.pages.on_free(table.pfn)
+        kernel.phys.zero(table.pfn)
+        kernel.allocator.free(table.pfn, 0)
+
+    def resolve(self, pfn):
+        """The PageTable object at ``pfn`` (kernel registry)."""
+        return self.kernel.resolve_table(pfn)
+
+    # ---- walking ----------------------------------------------------------
+
+    def walk_to_pmd(self, vaddr, alloc=False):
+        """Return ``(pmd_table, index)`` for ``vaddr``.
+
+        With ``alloc`` the missing upper levels are created (charged as
+        upper-table work); without it, returns ``None`` when any upper
+        level is absent.
+        """
+        table = self.pgd
+        for level in (LEVEL_PGD, LEVEL_PUD):
+            index = table_index(vaddr, level)
+            entry = table.entries[index]
+            if not is_present(entry):
+                if not alloc:
+                    return None
+                child = self.alloc_table(level - 1)
+                self.kernel.cost.charge_upper_copy()
+                table.set(index, make_entry(child.pfn, writable=True, user=True))
+                table = child
+            else:
+                table = self.resolve(int(entry_pfn(entry)))
+        return table, table_index(vaddr, LEVEL_PMD)
+
+    def get_pte_table(self, vaddr):
+        """The leaf table mapping ``vaddr``, or ``None`` (huge or absent)."""
+        slot = self.walk_to_pmd(vaddr, alloc=False)
+        if slot is None:
+            return None
+        pmd_table, index = slot
+        entry = pmd_table.entries[index]
+        if not is_present(entry) or is_huge(entry):
+            return None
+        return self.resolve(int(entry_pfn(entry)))
+
+    def pmd_slots(self, start, end, alloc=False):
+        """Iterate PMD slots covering ``[start, end)``.
+
+        Yields ``(pmd_table, index, slot_start, lo, hi)`` where
+        ``[lo, hi)`` is the portion of the 2 MiB slot inside the range.
+        Slots whose upper levels are absent are skipped unless ``alloc``.
+        """
+        if start % PAGE_SIZE or end % PAGE_SIZE:
+            raise InvalidArgumentError("range must be page-aligned")
+        addr = start & ~(PMD_REGION_SIZE - 1)
+        while addr < end:
+            slot_end = addr + PMD_REGION_SIZE
+            walked = self.walk_to_pmd(addr, alloc=alloc)
+            if walked is not None:
+                pmd_table, index = walked
+                yield pmd_table, index, addr, max(addr, start), min(slot_end, end)
+            addr = slot_end
+
+    def upper_tables(self):
+        """All PUD and PMD tables reachable from the PGD (for teardown)."""
+        found = []
+        for pgd_index in self.pgd.present_indices():
+            pud = self.resolve(self.pgd.child_pfn(int(pgd_index)))
+            found.append(pud)
+            for pud_index in pud.present_indices():
+                pmd = self.resolve(pud.child_pfn(int(pud_index)))
+                found.append(pmd)
+        return found
+
+    def leaf_tables(self):
+        """All (pmd_table, index, leaf_table) triples in this address space."""
+        result = []
+        for pgd_index in self.pgd.present_indices():
+            pud = self.resolve(self.pgd.child_pfn(int(pgd_index)))
+            for pud_index in pud.present_indices():
+                pmd = self.resolve(pud.child_pfn(int(pud_index)))
+                for pmd_index in pmd.present_indices():
+                    entry = pmd.entries[pmd_index]
+                    if is_huge(entry):
+                        continue
+                    leaf = self.resolve(int(entry_pfn(entry)))
+                    result.append((pmd, int(pmd_index), leaf))
+        return result
+
+    # ---- VMA management ---------------------------------------------------
+
+    def find_free_area(self, size, align=PAGE_SIZE):
+        """First-fit aligned gap for a new mapping."""
+        addr = self.vmas.find_gap(size, MMAP_FLOOR, MMAP_CEILING, align)
+        if addr is None:
+            raise InvalidArgumentError("address space exhausted")
+        return addr
+
+    def add_vma(self, vma):
+        """Insert a VMA into this address space."""
+        self.vmas.insert(vma)
+        return vma
+
+    def remove_vma(self, vma):
+        """Remove a VMA from this address space."""
+        self.vmas.remove(vma)
+
+    def split_vma(self, vma, addr):
+        """Split ``vma`` at ``addr``; returns the (left, right) pieces."""
+        granule = HUGE_PAGE_SIZE if vma.is_hugetlb else PAGE_SIZE
+        if addr % granule:
+            raise InvalidArgumentError(f"split address {addr:#x} misaligned")
+        if not vma.start < addr < vma.end:
+            raise InvalidArgumentError("split point outside VMA")
+        right = vma.clone(start=addr)
+        self.vmas.remove(vma)
+        left = vma.clone(end=addr)
+        self.vmas.insert(left)
+        self.vmas.insert(right)
+        return left, right
+
+    def vma_ranges_in_slot(self, slot_start, slot_end):
+        """``(lo, hi, vma)`` pieces of VMAs inside a PMD slot.
+
+        The table-COW path uses this to decide, entry by entry, whether
+        write permission must be dropped (private COW regions) or kept
+        (shared mappings) when a shared PTE table is copied.
+        """
+        pieces = []
+        for vma in self.vmas.overlapping(slot_start, slot_end):
+            pieces.append((max(vma.start, slot_start), min(vma.end, slot_end), vma))
+        return pieces
+
+    def has_other_mapping_in_slot(self, slot_start, slot_end, zap_start, zap_end):
+        """Does any mapping in the slot survive outside the zapped range?
+
+        This is the §3.3 condition: a shared PTE table can be dropped with
+        a bare refcount decrement only if nothing else of this process
+        lives under it; otherwise the table must be copied first.
+        """
+        for vma in self.vmas.overlapping(slot_start, slot_end):
+            lo = max(vma.start, slot_start)
+            hi = min(vma.end, slot_end)
+            if lo < zap_start or hi > zap_end:
+                return True
+        return False
+
+    # ---- counters -----------------------------------------------------------
+
+    def add_rss(self, n_pages, file_backed=False):
+        """Account ``n_pages`` newly resident pages."""
+        if file_backed:
+            self.rss_file_pages += n_pages
+        else:
+            self.rss_anon_pages += n_pages
+
+    def sub_rss(self, n_pages, file_backed=False):
+        """Account ``n_pages`` released pages."""
+        if file_backed:
+            self.rss_file_pages -= n_pages
+            if self.rss_file_pages < 0:
+                raise KernelBug("file RSS underflow")
+        else:
+            self.rss_anon_pages -= n_pages
+            if self.rss_anon_pages < 0:
+                raise KernelBug("anon RSS underflow")
+
+    @property
+    def rss_pages(self):
+        """Resident pages (anon + file)."""
+        return self.rss_anon_pages + self.rss_file_pages
+
+    @property
+    def rss_bytes(self):
+        """Resident set size in bytes."""
+        return self.rss_pages * PAGE_SIZE
+
+    def mapped_bytes(self):
+        """Total mapped virtual memory in bytes."""
+        return self.vmas.total_mapped_bytes()

@@ -1,0 +1,93 @@
+"""``mremap`` relocation: moving page-table entries between addresses.
+
+Moving a mapping clears entries at the old location and installs them at
+the new one.  With shared PTE tables this is another §3.3 COW-on-modify
+case, on *both* sides:
+
+* an old-range slot whose table is shared must be copied before its
+  entries can be cleared (other sharers still need them);
+* a new-range slot can land under a shared table too (the free gap may sit
+  inside a 2 MiB slot partially covered by a neighbouring shared mapping),
+  in which case installing entries also forces a copy first.
+
+Entry moves transfer page ownership between table objects, so data-page
+refcounts are untouched — exactly why mremap is cheap compared with
+copying.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelBug
+from ..mem.page import PAGE_SIZE
+from ..paging.entries import ENTRY_NONE, entry_pfn, is_huge, is_present, make_entry
+from ..paging.table import LEVEL_PTE, level_base, table_index
+from .tableops import copy_shared_pte_table, put_pte_table, table_present_pfns
+
+
+def _dedicated_leaf_for(kernel, mm, vaddr):
+    """The dedicated PTE table covering ``vaddr``, creating/copying as needed."""
+    pmd_table, pmd_index = mm.walk_to_pmd(vaddr, alloc=True)
+    entry = pmd_table.entries[pmd_index]
+    if not is_present(entry):
+        leaf = mm.alloc_table(LEVEL_PTE)
+        kernel.cost.charge_pte_table_alloc()
+        pmd_table.set(pmd_index, make_entry(leaf.pfn, writable=True, user=True))
+        return pmd_table, pmd_index, leaf
+    if is_huge(entry):
+        raise KernelBug("mremap target collided with a huge mapping")
+    leaf = mm.resolve(int(entry_pfn(entry)))
+    if kernel.pages.pt_ref(leaf.pfn) > 1:
+        leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index,
+                                     level_base(vaddr, 2))
+    return pmd_table, pmd_index, leaf
+
+
+def move_mapping(kernel, mm, vma, new_size):
+    """Relocate ``vma`` to a fresh area of ``new_size`` bytes; returns it."""
+    old_start, old_end = vma.start, vma.end
+    # A 2 MiB-aligned target keeps the destination slots disjoint from the
+    # source slots even when the free gap is adjacent to the old mapping.
+    from ..paging.table import PMD_REGION_SIZE
+    new_start = mm.find_free_area(new_size, align=PMD_REGION_SIZE)
+    new_vma = vma.clone(start=new_start, end=new_start + new_size)
+    new_vma.file_offset = vma.file_offset
+    # Install the new VMA first: table-COW decisions on both sides need the
+    # final geometry.
+    mm.add_vma(new_vma)
+
+    moved = 0
+    for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(old_start, old_end):
+        entry = pmd_table.entries[pmd_index]
+        if not is_present(entry):
+            continue
+        if is_huge(entry):
+            raise KernelBug("mremap over hugetlb should have been rejected")
+        leaf = mm.resolve(int(entry_pfn(entry)))
+        if kernel.pages.pt_ref(leaf.pfn) > 1:
+            leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start)
+        lo_index = (lo - slot_start) // PAGE_SIZE
+        hi_index = (hi - slot_start) // PAGE_SIZE
+        indices, _ = table_present_pfns(leaf, lo_index, hi_index)
+        for index in indices.tolist():
+            old_vaddr = slot_start + index * PAGE_SIZE
+            new_vaddr = new_start + (old_vaddr - old_start)
+            _, _, target_leaf = _dedicated_leaf_for(kernel, mm, new_vaddr)
+            target_index = table_index(new_vaddr, LEVEL_PTE)
+            if target_leaf.is_present(target_index):
+                raise KernelBug("mremap target entry already present")
+            # Ownership transfer: the entry (and its page reference) moves
+            # from the old table object to the new one.
+            target_leaf.entries[target_index] = leaf.entries[index]
+            leaf.entries[index] = ENTRY_NONE
+            moved += 1
+        if leaf.is_empty():
+            pmd_table.clear(pmd_index)
+            mm.nr_pte_tables -= 1
+            put_pte_table(kernel, mm, leaf, account_rss=False)
+
+    kernel.cost.charge_zap_entries(moved)   # clearing old entries
+    kernel.cost.charge_copy_pte_entries(0)  # attribution anchor
+    mm.remove_vma(vma)
+    mm.tlb.flush_range(old_start, old_end)
+    kernel.cost.charge_tlb_flush((old_end - old_start) // PAGE_SIZE)
+    return new_start

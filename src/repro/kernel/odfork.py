@@ -1,0 +1,103 @@
+"""On-demand-fork's address-space duplication (the paper's contribution).
+
+Instead of replicating the leaf level, the child *shares* every last-level
+PTE table with the parent (§3.1):
+
+* the upper three levels are copied (they are a ~1/512 fraction of the
+  tree, §2.2 — which is why sharing stops here);
+* each shared leaf table's reference counter is incremented;
+* write permission is disabled **once per table** by clearing the RW bit in
+  the PMD entries of both parent and child — the hierarchical-attribute
+  override (§3.2) write-protects the whole 2 MiB region without touching a
+  single leaf entry;
+* no data-page refcount is touched: the skipped ``compound_head`` /
+  ``page_ref_inc`` per-PTE loop is precisely the 65x-270x invocation-time
+  win of Figure 7.
+
+The deferred work happens later, in the fault handler, one table at a
+time (:func:`~repro.kernel.tableops.copy_shared_pte_table`).
+
+The implementation is vectorised at PMD-table granularity (one numpy pass
+per 1 GiB of address space), both for host-speed and for fidelity: the
+real implementation's cost is likewise dominated by one refcount increment
+and one entry write per shared table, not by per-page work.
+
+Huge (PMD-level) entries have no leaf table to share; by default they are
+copied eagerly like classic fork, which matches the paper's implementation
+("only supports 4 kB pages").  The generalisation sketched in §4 — sharing
+2 MiB mappings with a single permission drop per entry — is available as
+the ``share_huge`` ablation flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..paging.entries import BIT_PS, BIT_RW, entry_pfn, present_mask
+from .fork import (
+    ChildTreeBuilder,
+    _slot_needs_cow,
+    clone_vmas,
+    iter_parent_pmd_tables,
+)
+from ..paging.table import LEVEL_PMD, LEVEL_SPAN
+
+
+def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
+    """Share ``parent_mm``'s leaf tables into ``child_mm`` (§3.1, §3.5)."""
+    cost = kernel.cost
+    cost.charge_odfork_fixed(len(parent_mm.vmas))
+    clone_vmas(parent_mm, child_mm)
+    builder = ChildTreeBuilder(child_mm)
+    drop_rw = np.uint64(~BIT_RW)
+    shared_tables = 0
+
+    for parent_pmd, table_base in iter_parent_pmd_tables(parent_mm):
+        entries = parent_pmd.entries
+        present = present_mask(entries)
+        if not present.any():
+            continue
+        child_pmd = builder.pmd_table_for(table_base)
+        huge = (entries & BIT_PS) != np.uint64(0)
+        leaf_positions = present & ~huge
+
+        if leaf_positions.any():
+            # Vectorised §3.5: one refcount increment per shared table and
+            # one write-protected PMD entry on each side.
+            pfns = entry_pfn(entries[leaf_positions]).astype(np.int64)
+            kernel.pages.pt_refcount[pfns] += 1
+            protected = entries[leaf_positions] & drop_rw
+            entries[leaf_positions] = protected
+            child_pmd.entries[leaf_positions] = protected
+            count = int(np.count_nonzero(leaf_positions))
+            shared_tables += count
+            child_mm.nr_pte_tables += count
+
+        huge_positions = np.nonzero(present & huge)[0]
+        for pmd_index in huge_positions.tolist():
+            entry = entries[pmd_index]
+            head = int(entry_pfn(entry))
+            kernel.pages.ref_inc(head)
+            slot_start = table_base + pmd_index * LEVEL_SPAN[LEVEL_PMD]
+            if _slot_needs_cow(parent_mm, slot_start) or share_huge:
+                entry &= drop_rw
+                entries[pmd_index] = entry
+            child_pmd.entries[pmd_index] = entry
+            if share_huge:
+                # §4 generalisation: one permission-drop per 2 MiB entry,
+                # charged like a table share instead of the eager copy.
+                cost.charge_share_tables(1)
+            else:
+                cost.charge_copy_huge_entries(1)
+
+    cost.charge_share_tables(shared_tables)
+    cost.charge_upper_copy(builder.upper_tables_created)
+    child_mm.rss_anon_pages = parent_mm.rss_anon_pages
+    child_mm.rss_file_pages = parent_mm.rss_file_pages
+    parent_mm.odf_lineage = True
+    child_mm.odf_lineage = True
+    parent_mm.tlb.flush_all()
+    kernel.cost.charge_tlb_flush()
+    kernel.stats.odforks += 1
+    kernel.stats.tables_shared += shared_tables
+    return shared_tables

@@ -1,0 +1,169 @@
+"""In-place snapshot/restore: the fork-less alternative (paper §6.1).
+
+Xu et al. (CCS '17) designed a snapshot/restore primitive for fuzzing that
+*reuses the calling process* instead of forking: snapshot write-protects
+the address space and records its state; restore rolls modified pages back
+and re-arms the protection.  The paper discusses it as related work — it
+avoids fork's page-table copies but "it is not clear whether it can be
+safely applied to broader types of workloads" (kernel state outside memory
+is not covered, and there is no concurrent parent/child execution).
+
+The implementation here rides the same machinery On-demand-fork uses:
+
+* ``create`` walks the leaf level once, write-protects private-COW entries
+  (so subsequent writes COW instead of destroying the saved state), stores
+  a copy of every leaf table's entries, and takes one page reference per
+  present entry — the snapshot owns the saved pages like a table object
+  would (the §3.6 ownership rule).
+* Writes after the snapshot fault and COW normally: the old page survives
+  because the snapshot holds a reference.
+* ``restore`` diffs each live table against its saved entries, releases
+  the pages written since the snapshot, and reinstates the saved
+  (write-protected) entries — re-taking table-ownership references so the
+  snapshot can be restored again and again.
+* ``discard`` drops the snapshot's references.
+
+Restriction (documented, enforced): snapshots cover a single process with
+dedicated tables.  Combining with table sharing would need shared-table
+COW semantics in ``restore``; the experiment this primitive exists for
+(fuzzing resets) never does that, and ``create`` unshares proactively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError, KernelBug
+from ..mem.page import PAGE_SIZE
+from ..paging.entries import BIT_RW, entry_pfn, is_huge, is_present, present_mask
+from ..paging.table import PMD_REGION_SIZE
+from .fork import iter_parent_pmds
+from .tableops import copy_shared_pte_table, free_anon_frames, private_cow_mask
+
+#: Cost per saved/diffed leaf table: one pass over 512 entries, comparable
+#: to the odfork share cost plus the protect write.
+SNAPSHOT_PER_TABLE_NS = 380
+RESTORE_PER_TABLE_NS = 520
+#: Per-restored-entry work: refcount transfer + entry write + free batching.
+RESTORE_PER_ENTRY_NS = 24
+
+
+class Snapshot:
+    """Saved leaf-level state of one address space."""
+
+    def __init__(self, kernel, mm):
+        self.kernel = kernel
+        self.mm = mm
+        # (pmd_table, pmd_index, slot_start) -> saved entries copy
+        self.saved = {}
+        self.live = True
+        self.restores = 0
+
+    # ---- creation --------------------------------------------------------
+
+    @classmethod
+    def create(cls, kernel, task):
+        """Snapshot ``task``'s address space; returns the Snapshot."""
+        task.require_alive()
+        mm = task.mm
+        if mm.users != 1:
+            raise InvalidArgumentError(
+                "snapshot requires an unshared address space"
+            )
+        kernel.cost.charge_syscall()
+        snapshot = cls(kernel, mm)
+        drop_rw = np.uint64(~BIT_RW)
+        for pmd_table, pmd_index, slot_start in list(iter_parent_pmds(mm)):
+            entry = pmd_table.entries[pmd_index]
+            if is_huge(entry):
+                raise InvalidArgumentError(
+                    "snapshot over huge mappings is not supported"
+                )
+            leaf = mm.resolve(int(entry_pfn(entry)))
+            if kernel.pages.pt_ref(leaf.pfn) > 1:
+                # Unshare proactively: restore must own its tables.
+                leaf = copy_shared_pte_table(kernel, mm, pmd_table,
+                                             pmd_index, slot_start)
+            cow = private_cow_mask(mm, slot_start)
+            protect = cow & present_mask(leaf.entries)
+            if protect.any():
+                leaf.entries[protect] &= drop_rw
+            saved = leaf.entries.copy()
+            snapshot.saved[(pmd_table, pmd_index, slot_start)] = saved
+            pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
+            if len(pfns):
+                kernel.pages.ref_inc_bulk(pfns)  # the snapshot's references
+            kernel.cost.charge("snapshot_save_table", SNAPSHOT_PER_TABLE_NS)
+        mm.tlb.flush_all()
+        kernel.cost.charge_tlb_flush()
+        kernel.stats.snapshots_created += 1
+        kernel.live_snapshots.append(snapshot)
+        return snapshot
+
+    # ---- helpers ------------------------------------------------------------
+
+    def _require_live(self):
+        if not self.live:
+            raise InvalidArgumentError("snapshot was discarded")
+        if self.mm.dead:
+            raise InvalidArgumentError("snapshotted process has exited")
+
+    def _current_leaf(self, pmd_table, pmd_index):
+        entry = pmd_table.entries[pmd_index]
+        if not is_present(entry) or is_huge(entry):
+            raise KernelBug("snapshotted slot disappeared (unsupported op?)")
+        return self.mm.resolve(int(entry_pfn(entry)))
+
+    # ---- restore ---------------------------------------------------------------
+
+    def restore(self):
+        """Roll every page written since the snapshot back to saved state."""
+        self._require_live()
+        kernel = self.kernel
+        restored_entries = 0
+        for (pmd_table, pmd_index, slot_start), saved in self.saved.items():
+            leaf = self._current_leaf(pmd_table, pmd_index)
+            kernel.cost.charge("snapshot_diff_table", RESTORE_PER_TABLE_NS)
+            changed = leaf.entries != saved
+            if not changed.any():
+                continue
+            positions = np.nonzero(changed)[0]
+            current = leaf.entries[positions]
+            current_present = present_mask(current)
+            drop_pfns = entry_pfn(current[current_present]).astype(np.int64)
+            if len(drop_pfns):
+                zeroed = kernel.pages.ref_dec_bulk(drop_pfns)
+                free_anon_frames(kernel, zeroed)
+            saved_slice = saved[positions]
+            saved_present = present_mask(saved_slice)
+            keep_pfns = entry_pfn(saved_slice[saved_present]).astype(np.int64)
+            if len(keep_pfns):
+                # Re-take the table-ownership references for the pages the
+                # table is about to map again; the snapshot keeps its own.
+                kernel.pages.ref_inc_bulk(keep_pfns)
+            leaf.entries[positions] = saved_slice
+            restored_entries += len(positions)
+            kernel.cost.charge("snapshot_restore_entries",
+                               RESTORE_PER_ENTRY_NS * len(positions))
+            self.mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+        self.restores += 1
+        kernel.stats.snapshot_restores += 1
+        kernel.cost.charge_tlb_flush()
+        return restored_entries
+
+    # ---- discard -----------------------------------------------------------------
+
+    def discard(self):
+        """Release the snapshot's page references."""
+        if not self.live:
+            return
+        kernel = self.kernel
+        for (_pmd, _idx, _slot), saved in self.saved.items():
+            pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
+            if len(pfns):
+                zeroed = kernel.pages.ref_dec_bulk(pfns)
+                free_anon_frames(kernel, zeroed)
+        self.saved.clear()
+        self.live = False
+        if self in kernel.live_snapshots:
+            kernel.live_snapshots.remove(self)

@@ -1,0 +1,191 @@
+"""Shared PTE-table operations: the heart of On-demand-fork.
+
+This module implements the paper's §3.4–§3.6 mechanism:
+
+* **Ownership rule.**  Every :class:`PageTable` *object* owns one reference
+  on each data page its present entries map, regardless of how many
+  processes share the table (sharing is tracked separately by the table's
+  own §3.5 refcount).  Classic fork creates new table objects, so it bumps
+  page refcounts; odfork shares the object, so it does not — that skipped
+  work is precisely the savings the paper measures.
+
+* **Table COW** (:func:`copy_shared_pte_table`).  On the first write fault
+  in a 2 MiB region mapped by a shared table, the faulting process gets a
+  dedicated copy: entries are duplicated (accessed bits preserved, §3.2),
+  write permission is dropped for private-COW ranges in *both* the copy and
+  the original (see DESIGN.md §3 for why the original must be downgraded
+  too), page refcounts are taken for the copy's references, and the shared
+  table's refcount is decremented.
+
+* **Table put** (:func:`put_pte_table`).  Drops one sharer's reference;
+  on reaching zero the destructor releases the table's page references,
+  frees pages that hit zero, and returns the table frame — the §3.6 rule
+  that a page is freeable only when no table that could reach it survives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelBug
+from ..mem.page import PAGE_SIZE, PG_FILE, PTRS_PER_TABLE
+from ..paging.entries import (
+    BIT_RW,
+    entry_pfn,
+    make_entry,
+    present_mask,
+)
+from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
+
+
+def table_present_pfns(table, lo_index=0, hi_index=PTRS_PER_TABLE):
+    """pfns of present entries in ``table.entries[lo_index:hi_index]``.
+
+    Returns ``(indices, pfns)`` as int64 arrays; indices are absolute.
+    """
+    sub = table.entries[lo_index:hi_index]
+    mask = present_mask(sub)
+    indices = np.nonzero(mask)[0] + lo_index
+    pfns = entry_pfn(table.entries[indices]).astype(np.int64)
+    return indices, pfns
+
+
+_ALL_COW = np.ones(PTRS_PER_TABLE, dtype=bool)
+_NO_COW = np.zeros(PTRS_PER_TABLE, dtype=bool)
+
+
+def private_cow_mask(mm, slot_start):
+    """Boolean[512]: entries whose range falls in a private-COW VMA.
+
+    Used when write permission must be dropped at PTE granularity: COW
+    (private writable) ranges lose RW; shared mappings and read-only
+    ranges keep their bits.
+
+    Fast path: when a single VMA covers the whole slot (the common case in
+    large mappings), returns a shared read-only constant mask — callers
+    must not mutate the result.
+    """
+    slot_end = slot_start + PMD_REGION_SIZE
+    vma = mm.vmas.find(slot_start)
+    if vma is not None and vma.end >= slot_end:
+        return _ALL_COW if vma.needs_cow else _NO_COW
+    mask = np.zeros(PTRS_PER_TABLE, dtype=bool)
+    for lo, hi, vma in mm.vma_ranges_in_slot(slot_start, slot_end):
+        if vma.needs_cow:
+            first = (lo - slot_start) // PAGE_SIZE
+            last = (hi - slot_start) // PAGE_SIZE
+            mask[first:last] = True
+    return mask
+
+
+def count_file_pages(kernel, pfns):
+    """How many of ``pfns`` are page-cache pages (for RSS bookkeeping)."""
+    if len(pfns) == 0:
+        return 0
+    return int(np.count_nonzero(kernel.pages.flags[pfns] & PG_FILE))
+
+
+def free_anon_frames(kernel, pfns):
+    """Free anonymous frames whose refcount reached zero."""
+    if len(pfns) == 0:
+        return
+    flags = kernel.pages.flags[pfns]
+    if np.any(flags & PG_FILE):
+        raise KernelBug("file page refcount dropped to zero outside the cache")
+    kernel.pages.on_free_bulk(pfns)
+    kernel.phys.zero_bulk(pfns)
+    kernel.allocator.free_bulk(pfns)
+
+
+def release_table_references(kernel, mm, table, charge=True):
+    """Destructor body: drop the table's page references, free the frame."""
+    indices, pfns = table_present_pfns(table)
+    if len(pfns):
+        zeroed = kernel.pages.ref_dec_bulk(pfns)
+        free_anon_frames(kernel, zeroed)
+        if charge:
+            kernel.cost.charge_zap_entries(len(pfns))
+    if charge:
+        kernel.cost.charge_table_free()
+    mm.free_table_frame(table)
+
+
+def put_pte_table(kernel, mm, table, account_rss=True, charge=True):
+    """Drop one sharer's reference on a leaf table (§3.5 lifecycle).
+
+    ``mm`` is the process releasing its reference; its RSS shrinks by the
+    pages the table currently maps whether or not the table survives,
+    because those pages are no longer reachable from this address space.
+    Returns the new refcount.
+    """
+    if account_rss:
+        _, pfns = table_present_pfns(table)
+        n_file = count_file_pages(kernel, pfns)
+        mm.sub_rss(n_file, file_backed=True)
+        mm.sub_rss(len(pfns) - n_file, file_backed=False)
+    if charge:
+        kernel.cost.charge_table_put()
+    new_count = kernel.pages.pt_ref_dec(table.pfn)
+    if new_count == 0:
+        release_table_references(kernel, mm, table, charge=charge)
+    return new_count
+
+
+def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
+    """COW a shared PTE table for ``mm`` (paper §3.4).
+
+    Allocates a dedicated table, copies all 512 entries (preserving
+    accessed bits), write-protects private-COW entries in both copies,
+    takes page references for the new table, points the PMD entry at the
+    copy with write permission restored, and releases one reference on the
+    shared table.  Returns the new dedicated table.
+    """
+    old_table = mm.resolve(pmd_table.child_pfn(pmd_index))
+    if kernel.pages.pt_ref(old_table.pfn) <= 1:
+        raise KernelBug("copy_shared_pte_table on a dedicated table")
+
+    new_table = mm.alloc_table(LEVEL_PTE)
+    new_table.copy_entries_from(old_table)
+
+    cow_mask = private_cow_mask(mm, slot_start)
+    if cow_mask.any():
+        drop = np.uint64(~BIT_RW)
+        # Both copies: the new table so this process's writes still COW at
+        # page granularity, and the original so a later sole owner cannot
+        # silently regain write access to still-shared pages.
+        new_table.entries[cow_mask] &= drop
+        old_table.entries[cow_mask] &= drop
+
+    indices, pfns = table_present_pfns(new_table)
+    if len(pfns):
+        kernel.pages.ref_inc_bulk(pfns)
+
+    kernel.cost.charge_table_cow_copy(len(pfns))
+    pmd_table.set(pmd_index, make_entry(new_table.pfn, writable=True, user=True))
+
+    # One fewer sharer of the old table.  RSS does not change: this mm
+    # still maps the same pages, now through its own copy — and its PMD
+    # entry count is likewise unchanged (alloc_table counted the copy, so
+    # un-count the table the entry no longer points to).
+    mm.nr_pte_tables -= 1
+    remaining = kernel.pages.pt_ref_dec(old_table.pfn)
+    if remaining == 0:
+        raise KernelBug("shared table refcount hit zero during COW copy")
+    kernel.stats.table_cow_copies += 1
+    mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+    return new_table
+
+
+def unshare_sole_owner(kernel, mm, pmd_table, pmd_index):
+    """§3.4: the last sharer flips its PMD write bit back on.
+
+    When every other sharer has copied the table away, the remaining
+    process's writes still fault (PMD RW=0).  The handler recognises the
+    refcount of one and re-enables the PMD write bit; leaf entries keep
+    whatever protection the COW protocol left them, so data-page COW
+    still triggers where needed.
+    """
+    entry = pmd_table.entries[pmd_index]
+    pmd_table.entries[pmd_index] = entry | BIT_RW
+    kernel.cost.charge_pt_unshare_flip()
+    kernel.stats.table_unshares += 1

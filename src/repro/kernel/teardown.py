@@ -1,0 +1,185 @@
+"""Unmapping and address-space teardown.
+
+``zap_range`` is the shared engine behind ``munmap``, ``mremap`` shrinking,
+and process exit.  Its interaction with shared PTE tables implements §3.3
+of the paper:
+
+* a shared table whose whole 2 MiB slot is being unmapped is released with
+  a bare refcount decrement — the entries must be *preserved* because other
+  processes in the fork lineage still translate through them;
+* a shared table that is only partially unmapped is first copied
+  (copy-on-write applied to the unmap operation itself), and the copy is
+  then zapped like any dedicated table.
+
+Teardown cost is a first-class part of the model: the paper's fuzzing
+workloads are bounded by fork + child-exit, and the per-entry
+``zap_pte_range`` work (refcount decrements, free batching) is what makes
+classic fork's exits expensive while odfork children exit in microseconds.
+The shared-table release is vectorised at PMD-table granularity on the
+exit path (``account_rss=False``), mirroring how cheap the real operation
+is: one refcount decrement per table, no per-page work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError, KernelBug
+from ..mem.page import HUGE_PAGE_ORDER, PAGE_SIZE
+from ..paging.entries import (
+    BIT_PS,
+    ENTRY_NONE,
+    entry_pfn,
+    is_huge,
+    is_present,
+    present_mask,
+)
+from ..paging.table import LEVEL_PMD, LEVEL_SPAN, PMD_REGION_SIZE
+from .fork import iter_parent_pmd_tables
+from .tableops import (
+    copy_shared_pte_table,
+    count_file_pages,
+    free_anon_frames,
+    put_pte_table,
+    table_present_pfns,
+)
+
+
+def zap_range(kernel, mm, start, end, account_rss=True):
+    """Clear all translations for ``[start, end)`` and release pages."""
+    if start % PAGE_SIZE or end % PAGE_SIZE:
+        raise InvalidArgumentError("zap range must be page-aligned")
+    for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(start, end):
+        entry = pmd_table.entries[pmd_index]
+        if not is_present(entry):
+            continue
+        if is_huge(entry):
+            whole_slot = lo == slot_start and hi == slot_start + PMD_REGION_SIZE
+            vma = mm.vmas.find(slot_start)
+            is_thp = vma is None or not vma.is_hugetlb
+            if not whole_slot and is_thp:
+                # A partially unmapped THP region: split back to 4 KiB
+                # pages, then fall through to the normal leaf zap.
+                from .thp import split_huge_entry
+                split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start)
+                entry = pmd_table.entries[pmd_index]
+            else:
+                _zap_huge(kernel, mm, pmd_table, pmd_index, slot_start, lo,
+                          hi, account_rss)
+                continue
+
+        leaf = mm.resolve(int(entry_pfn(entry)))
+        whole_slot = lo == slot_start and hi == slot_start + PMD_REGION_SIZE
+        if kernel.pages.pt_ref(leaf.pfn) > 1:
+            if whole_slot:
+                # §3.3 fast path: drop our reference, preserve the entries
+                # for the other sharers.
+                pmd_table.clear(pmd_index)
+                mm.nr_pte_tables -= 1
+                put_pte_table(kernel, mm, leaf, account_rss=account_rss)
+                continue
+            # §3.3 slow path: other VMAs of this process still live under
+            # this table, so take a private copy before clearing entries.
+            leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start)
+
+        _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss)
+        if leaf.is_empty():
+            pmd_table.clear(pmd_index)
+            mm.nr_pte_tables -= 1
+            put_pte_table(kernel, mm, leaf, account_rss=False)
+
+    mm.tlb.flush_range(start, end)
+    kernel.cost.charge_tlb_flush((end - start) // PAGE_SIZE)
+
+
+def _zap_huge(kernel, mm, pmd_table, pmd_index, slot_start, lo, hi,
+              account_rss=True):
+    if lo != slot_start or hi != slot_start + PMD_REGION_SIZE:
+        raise InvalidArgumentError("hugetlb mappings unmap at 2 MiB granularity")
+    head = int(entry_pfn(pmd_table.entries[pmd_index]))
+    pmd_table.clear(pmd_index)
+    if account_rss:
+        mm.sub_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
+    kernel.cost.charge_zap_entries(1)
+    if kernel.pages.ref_dec(head) == 0:
+        kernel.free_huge_frame(head)
+
+
+def _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss=True):
+    lo_index = (lo - slot_start) // PAGE_SIZE
+    hi_index = (hi - slot_start) // PAGE_SIZE
+    indices, pfns = table_present_pfns(leaf, lo_index, hi_index)
+    if len(pfns):
+        if account_rss:
+            n_file = count_file_pages(kernel, pfns)
+            mm.sub_rss(n_file, file_backed=True)
+            mm.sub_rss(len(pfns) - n_file, file_backed=False)
+        zeroed = kernel.pages.ref_dec_bulk(pfns)
+        free_anon_frames(kernel, zeroed)
+        kernel.cost.charge_zap_entries(len(pfns))
+    leaf.entries[lo_index:hi_index] = ENTRY_NONE
+
+
+def _exit_release_pmd_table(kernel, mm, pmd_table, table_base):
+    """Release every mapping a PMD table reaches, vectorised.
+
+    Only safe on the exit path: the whole address space is going away, so
+    per-table RSS accounting is unnecessary.  Shared leaf tables are
+    released with one bulk refcount decrement; tables whose count reaches
+    zero, dedicated tables, and huge entries fall back to the per-slot
+    logic.
+    """
+    entries = pmd_table.entries
+    present = present_mask(entries)
+    if not present.any():
+        return
+    huge = (entries & BIT_PS) != np.uint64(0)
+    leaf_positions = np.nonzero(present & ~huge)[0]
+    if len(leaf_positions):
+        pfns = entry_pfn(entries[leaf_positions]).astype(np.int64)
+        refs = kernel.pages.pt_refcount[pfns]
+        surviving = refs > 1
+        if surviving.any():
+            drop_positions = leaf_positions[surviving]
+            kernel.pages.pt_refcount[pfns[surviving]] -= 1
+            entries[drop_positions] = ENTRY_NONE
+            mm.nr_pte_tables -= len(drop_positions)
+            kernel.cost.charge_table_put(len(drop_positions))
+        for position in leaf_positions[~surviving].tolist():
+            leaf = mm.resolve(int(entry_pfn(entries[position])))
+            slot_start = table_base + position * LEVEL_SPAN[LEVEL_PMD]
+            _zap_dedicated_entries(kernel, mm, leaf, slot_start, slot_start,
+                                   slot_start + PMD_REGION_SIZE, account_rss=False)
+            entries[position] = ENTRY_NONE
+            mm.nr_pte_tables -= 1
+            put_pte_table(kernel, mm, leaf, account_rss=False)
+    for position in np.nonzero(present & huge)[0].tolist():
+        slot_start = table_base + position * LEVEL_SPAN[LEVEL_PMD]
+        _zap_huge(kernel, mm, pmd_table, int(position), slot_start, slot_start,
+                  slot_start + PMD_REGION_SIZE, account_rss=False)
+
+
+def exit_mmap(kernel, mm):
+    """Tear down an entire address space on process exit."""
+    if mm.dead:
+        raise KernelBug("exit_mmap on a dead mm")
+    for pmd_table, table_base in iter_parent_pmd_tables(mm):
+        _exit_release_pmd_table(kernel, mm, pmd_table, table_base)
+    for vma in list(mm.vmas):
+        mm.remove_vma(vma)
+    # All leaf tables are gone; release the upper levels.
+    uppers = mm.upper_tables()
+    for table in uppers:
+        if table.level == LEVEL_PMD and not table.is_empty():
+            raise KernelBug("leaf table leaked past exit_mmap")
+        mm.free_table_frame(table)
+    kernel.cost.charge_table_free(len(uppers))
+    mm.free_table_frame(mm.pgd)
+    kernel.cost.charge_table_free()
+    mm.nr_upper_tables = 0
+    mm.rss_anon_pages = 0
+    mm.rss_file_pages = 0
+    mm.dead = True
+    if mm.nr_pte_tables != 0:
+        raise KernelBug(f"PTE-table accounting leak at exit: {mm.nr_pte_tables}")
+    mm.tlb.flush_all()

@@ -1,0 +1,189 @@
+"""Transparent Huge Pages: the khugepaged model (paper §2.3).
+
+The paper's huge-page discussion is central to its motivation: THP makes
+fork faster (512x fewer leaf entries) but hurts latency — khugepaged
+scans burn CPU and cause pauses, and 2 MiB COW faults take ~200 us.  This
+module models the mechanism so those trade-offs are measurable:
+
+* VMAs opt in via ``madvise(MADV_HUGEPAGE)`` (the distribution-default
+  policy the paper mentions) or globally via ``policy="always"``;
+* :class:`Khugepaged` scans eligible address spaces and *promotes* fully
+  populated, exclusively owned, 2 MiB-aligned regions: data is migrated
+  into a fresh compound page, the 512 leaf entries and their table are
+  freed, and the PMD entry maps the huge page directly;
+* promotion is copy-based (as in Linux's collapse path), so its cost —
+  charged to the virtual clock — is exactly the kind of background pause
+  the paper's §2.3 complains about;
+* a promoted region that is partially unmapped or write-protected is
+  *split* back into 4 KiB pages (copy-based; see ``split_huge_entry``).
+
+Shared PTE tables are never promoted: collapse would modify entries other
+processes rely on — one more way THP and on-demand-fork make an awkward
+pair (the paper evaluates them as alternatives, not companions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelBug
+from ..mem.page import (
+    HUGE_PAGE_ORDER,
+    HUGE_PAGE_SIZE,
+    PG_ANON,
+    PG_FILE,
+    PTRS_PER_TABLE,
+)
+from ..paging.entries import (
+    BIT_ACCESSED,
+    BIT_DIRTY,
+    entry_pfn,
+    is_huge,
+    is_present,
+    is_writable,
+    make_entry,
+    present_mask,
+)
+from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
+from .tableops import put_pte_table
+
+#: Cost of scanning one candidate region (read 512 entries + struct pages).
+SCAN_COST_PER_REGION_NS = 2_500
+#: Fixed promotion overhead beyond the 2 MiB data migration.
+COLLAPSE_FIXED_NS = 12_000
+
+POLICY_NEVER = "never"
+POLICY_MADVISE = "madvise"
+POLICY_ALWAYS = "always"
+
+
+class Khugepaged:
+    """The background promotion daemon, driven explicitly by callers."""
+
+    def __init__(self, kernel, policy=POLICY_MADVISE):
+        if policy not in (POLICY_NEVER, POLICY_MADVISE, POLICY_ALWAYS):
+            raise KernelBug(f"unknown THP policy {policy!r}")
+        self.kernel = kernel
+        self.policy = policy
+        self.promotions = 0
+        self.regions_scanned = 0
+        self.last_scan_ns = 0
+
+    def _vma_eligible(self, vma):
+        if self.policy == POLICY_NEVER:
+            return False
+        if not (vma.is_private and vma.is_anonymous and not vma.is_hugetlb):
+            return False
+        if self.policy == POLICY_ALWAYS:
+            return not vma.thp_disabled
+        return vma.thp_enabled
+
+    def scan_mm(self, mm, max_promotions=None):
+        """One khugepaged pass over an address space; returns promotions."""
+        promoted = 0
+        watch_start = self.kernel.clock.now_ns
+        for vma in list(mm.vmas):
+            if not self._vma_eligible(vma):
+                continue
+            start = (vma.start + PMD_REGION_SIZE - 1) & ~(PMD_REGION_SIZE - 1)
+            slot = start
+            while slot + PMD_REGION_SIZE <= vma.end:
+                if max_promotions is not None and promoted >= max_promotions:
+                    return promoted
+                self.regions_scanned += 1
+                self.kernel.cost.charge("khugepaged_scan",
+                                        SCAN_COST_PER_REGION_NS)
+                if self._try_collapse(mm, vma, slot):
+                    promoted += 1
+                slot += PMD_REGION_SIZE
+        self.promotions += promoted
+        self.last_scan_ns = self.kernel.clock.now_ns - watch_start
+        return promoted
+
+    def _try_collapse(self, mm, vma, slot_start):
+        """Promote one 2 MiB region if every precondition holds."""
+        kernel = self.kernel
+        walked = mm.walk_to_pmd(slot_start, alloc=False)
+        if walked is None:
+            return False
+        pmd_table, pmd_index = walked
+        entry = pmd_table.entries[pmd_index]
+        if not is_present(entry) or is_huge(entry):
+            return False
+        leaf = mm.resolve(int(entry_pfn(entry)))
+        if kernel.pages.pt_ref(leaf.pfn) != 1:
+            return False  # shared with another process: never collapse
+        entries = leaf.entries
+        present = present_mask(entries)
+        if not present.all():
+            return False  # region not fully populated
+        pfns = entry_pfn(entries).astype(np.int64)
+        # Exclusivity is what matters: refcount-1 pages may still carry
+        # RO entries left behind by an exited COW peer; collapse restores
+        # the VMA's permission, exactly as a reuse fault would.
+        if np.any(kernel.pages.refcount[pfns] != 1):
+            return False  # pages shared (e.g. COW peers): skip
+        if np.any(kernel.pages.flags[pfns] & np.uint16(PG_FILE)):
+            return False  # anon-only collapse
+
+        # Migrate: allocate the compound page, copy all 512 subpages.
+        head = kernel.alloc_huge_frame(mm)
+        kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER,
+                                       PG_ANON)
+        kernel.phys.copy_frames_bulk(
+            pfns, np.arange(head, head + PTRS_PER_TABLE, dtype=np.int64))
+        kernel.cost.charge("khugepaged_collapse", COLLAPSE_FIXED_NS)
+        kernel.cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+
+        dirty = bool((entries & BIT_DIRTY).any())
+        accessed = bool((entries & BIT_ACCESSED).any())
+        # Free the old frames and the leaf table.
+        kernel.pages.on_free_bulk(pfns)
+        kernel.phys.zero_bulk(pfns)
+        kernel.allocator.free_bulk(pfns)
+        leaf.entries[:] = 0
+        pmd_table.clear(pmd_index)
+        mm.nr_pte_tables -= 1
+        put_pte_table(kernel, mm, leaf, account_rss=False)
+
+        pmd_table.set(pmd_index, make_entry(
+            head, writable=vma.writable, user=True, huge=True,
+            dirty=dirty, accessed=accessed,
+        ))
+        mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+        kernel.cost.charge_tlb_flush(PTRS_PER_TABLE)
+        kernel.stats.thp_collapses += 1
+        return True
+
+
+def split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start):
+    """Split a THP-promoted entry back into 512 4 KiB pages.
+
+    Copy-based: Linux remaps compound subpages in place, but the model's
+    compound frames belong to one buddy block, so the split migrates data
+    into fresh order-0 frames.  Costs are charged accordingly (a split is
+    expensive — part of the paper's case against THP for latency).
+    """
+    entry = pmd_table.entries[pmd_index]
+    if not is_huge(entry):
+        raise KernelBug("splitting a non-huge entry")
+    head = int(entry_pfn(entry))
+    writable = bool(is_writable(entry))
+
+    new_pfns = kernel.alloc_data_frames_bulk(mm, PTRS_PER_TABLE)
+    kernel.pages.on_alloc_bulk(new_pfns, PG_ANON)
+    kernel.phys.copy_frames_bulk(
+        np.arange(head, head + PTRS_PER_TABLE, dtype=np.int64), new_pfns)
+    kernel.cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+
+    leaf = mm.alloc_table(LEVEL_PTE)
+    kernel.cost.charge_pte_table_alloc()
+    from .bulkops import _entries_for
+    leaf.entries[:] = _entries_for(new_pfns, writable=writable, dirty=False)
+
+    if kernel.pages.ref_dec(head) == 0:
+        kernel.free_huge_frame(head)
+    pmd_table.set(pmd_index, make_entry(leaf.pfn, writable=True, user=True))
+    mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+    kernel.stats.thp_splits += 1
+    return leaf

@@ -1,0 +1,241 @@
+"""Virtual memory areas (VMAs) and the per-process area list.
+
+A VMA describes one contiguous mapping: its range, protection, whether it
+is private (copy-on-write) or shared, anonymous or file-backed, and whether
+it is backed by 2 MiB huge pages.  The list is kept sorted by start address
+(the model's stand-in for the kernel's maple tree / rbtree) with binary
+search for lookup.
+
+VMA semantics drive every fork and fault decision:
+
+* ``MAP_PRIVATE`` writable regions are the COW regions — both fork flavours
+  must write-protect them; On-demand-fork does so via the PMD entry.
+* ``MAP_SHARED`` regions never COW data pages; writes through a shared PTE
+  table still fault once per 2 MiB (the PMD override applies to everything)
+  but the fault handler only copies the *table*, never the data.
+* ``MAP_HUGETLB`` regions are mapped by PMD-level huge entries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..errors import InvalidArgumentError
+from ..mem.page import HUGE_PAGE_SIZE, PAGE_SIZE
+
+PROT_NONE = 0
+PROT_READ = 1 << 0
+PROT_WRITE = 1 << 1
+PROT_EXEC = 1 << 2
+
+MAP_PRIVATE = 1 << 0
+MAP_SHARED = 1 << 1
+MAP_ANONYMOUS = 1 << 2
+MAP_HUGETLB = 1 << 3
+MAP_POPULATE = 1 << 4
+MAP_FIXED = 1 << 5
+
+
+@dataclass
+class VMA:
+    """One virtual memory area; ``end`` is exclusive."""
+
+    start: int
+    end: int
+    prot: int
+    flags: int
+    file: object = None          # SimFile for file-backed mappings
+    file_offset: int = 0         # byte offset of `start` within the file
+    name: str = field(default="")
+    # THP advice (madvise MADV_HUGEPAGE / MADV_NOHUGEPAGE, §2.3).
+    thp_enabled: bool = False
+    thp_disabled: bool = False
+
+    def __post_init__(self):
+        granule = HUGE_PAGE_SIZE if self.is_hugetlb else PAGE_SIZE
+        if self.start % granule or self.end % granule:
+            raise InvalidArgumentError(
+                f"VMA [{self.start:#x}, {self.end:#x}) not {granule}-aligned"
+            )
+        if self.end <= self.start:
+            raise InvalidArgumentError("empty or inverted VMA")
+        if self.is_shared == self.is_private:
+            raise InvalidArgumentError("VMA must be exactly one of shared/private")
+        if self.file is None and not self.flags & MAP_ANONYMOUS:
+            raise InvalidArgumentError("non-anonymous VMA needs a file")
+
+    # ---- classification ---------------------------------------------------
+
+    @property
+    def is_private(self):
+        """MAP_PRIVATE mapping (copy-on-write on fork)."""
+        return bool(self.flags & MAP_PRIVATE)
+
+    @property
+    def is_shared(self):
+        """MAP_SHARED mapping (writes visible to all mappers)."""
+        return bool(self.flags & MAP_SHARED)
+
+    @property
+    def is_anonymous(self):
+        """Not backed by a file."""
+        return self.file is None
+
+    @property
+    def is_file_backed(self):
+        """Backed by a SimFile (page-cache pages)."""
+        return self.file is not None
+
+    @property
+    def is_hugetlb(self):
+        """Mapped by 2 MiB PMD-level entries."""
+        return bool(self.flags & MAP_HUGETLB)
+
+    @property
+    def readable(self):
+        """PROT_READ is set."""
+        return bool(self.prot & PROT_READ)
+
+    @property
+    def writable(self):
+        """PROT_WRITE is set."""
+        return bool(self.prot & PROT_WRITE)
+
+    @property
+    def needs_cow(self):
+        """True when writes to this area must copy data pages."""
+        return self.is_private and self.writable
+
+    @property
+    def size(self):
+        """Bytes covered by the VMA."""
+        return self.end - self.start
+
+    @property
+    def n_pages(self):
+        """4 KiB pages covered by the VMA."""
+        return self.size // PAGE_SIZE
+
+    def contains(self, addr):
+        """Whether ``addr`` falls inside the VMA."""
+        return self.start <= addr < self.end
+
+    def overlaps(self, start, end):
+        """Whether ``[start, end)`` intersects the VMA."""
+        return self.start < end and start < self.end
+
+    def file_offset_of(self, addr):
+        """Byte offset within the backing file for virtual address ``addr``."""
+        return self.file_offset + (addr - self.start)
+
+    def clone(self, start=None, end=None):
+        """Copy this VMA (optionally re-ranged), preserving backing state."""
+        new_start = self.start if start is None else start
+        new_end = self.end if end is None else end
+        clone = VMA(
+            start=new_start,
+            end=new_end,
+            prot=self.prot,
+            flags=self.flags,
+            file=self.file,
+            file_offset=self.file_offset + (new_start - self.start),
+            name=self.name,
+        )
+        clone.thp_enabled = self.thp_enabled
+        clone.thp_disabled = self.thp_disabled
+        return clone
+
+    def __repr__(self):
+        kind = "huge" if self.is_hugetlb else ("file" if self.is_file_backed else "anon")
+        share = "shared" if self.is_shared else "private"
+        return f"VMA[{self.start:#x}-{self.end:#x} {kind} {share} prot={self.prot}]"
+
+
+class VMAList:
+    """Sorted, non-overlapping collection of a process's VMAs."""
+
+    def __init__(self):
+        self._starts = []
+        self._vmas = []
+
+    def __len__(self):
+        return len(self._vmas)
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def insert(self, vma):
+        """Insert a VMA, rejecting overlaps."""
+        index = bisect.bisect_left(self._starts, vma.start)
+        prev_vma = self._vmas[index - 1] if index > 0 else None
+        next_vma = self._vmas[index] if index < len(self._vmas) else None
+        if prev_vma is not None and prev_vma.end > vma.start:
+            raise InvalidArgumentError(f"{vma} overlaps {prev_vma}")
+        if next_vma is not None and next_vma.start < vma.end:
+            raise InvalidArgumentError(f"{vma} overlaps {next_vma}")
+        self._starts.insert(index, vma.start)
+        self._vmas.insert(index, vma)
+
+    def remove(self, vma):
+        """Remove exactly this VMA object."""
+        index = bisect.bisect_left(self._starts, vma.start)
+        if index >= len(self._vmas) or self._vmas[index] is not vma:
+            raise InvalidArgumentError("VMA not present in list")
+        del self._starts[index]
+        del self._vmas[index]
+
+    def find(self, addr):
+        """Return the VMA containing ``addr``, or ``None``."""
+        index = bisect.bisect_right(self._starts, addr) - 1
+        if index < 0:
+            return None
+        vma = self._vmas[index]
+        return vma if vma.contains(addr) else None
+
+    def overlapping(self, start, end):
+        """All VMAs intersecting ``[start, end)``, in address order."""
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            index = 0
+        result = []
+        for vma in self._vmas[index:]:
+            if vma.start >= end:
+                break
+            if vma.overlaps(start, end):
+                result.append(vma)
+        return result
+
+    def any_overlap(self, start, end):
+        """Whether anything overlaps ``[start, end)``."""
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            index = 0
+        for vma in self._vmas[index:]:
+            if vma.start >= end:
+                return False
+            if vma.overlaps(start, end):
+                return True
+        return False
+
+    def find_gap(self, size, floor, ceiling, align=PAGE_SIZE):
+        """First-fit search for an ``align``-aligned free gap of ``size``."""
+
+        def align_up(value):
+            """Round up to the requested alignment."""
+            return (value + align - 1) & ~(align - 1)
+
+        candidate = align_up(floor)
+        for vma in self._vmas:
+            if vma.end <= candidate:
+                continue
+            if vma.start >= candidate + size:
+                break
+            candidate = align_up(vma.end)
+        if candidate + size > ceiling:
+            return None
+        return candidate
+
+    def total_mapped_bytes(self):
+        """Sum of all VMA sizes (the VSZ)."""
+        return sum(v.size for v in self._vmas)

@@ -1,0 +1,39 @@
+"""Physical memory: frame metadata, buddy allocation, and contents."""
+
+from .buddy import MAX_ORDER, BuddyAllocator, OutOfFramesError
+from .page import (
+    HUGE_PAGE_ORDER,
+    HUGE_PAGE_SIZE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PG_ANON,
+    PG_COMPOUND_HEAD,
+    PG_COMPOUND_TAIL,
+    PG_DIRTY,
+    PG_FILE,
+    PG_PAGETABLE,
+    PG_RESERVED,
+    PTRS_PER_TABLE,
+    PageStructArray,
+)
+from .physmem import PhysicalMemory
+
+__all__ = [
+    "BuddyAllocator",
+    "OutOfFramesError",
+    "MAX_ORDER",
+    "PageStructArray",
+    "PhysicalMemory",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "PTRS_PER_TABLE",
+    "HUGE_PAGE_ORDER",
+    "HUGE_PAGE_SIZE",
+    "PG_ANON",
+    "PG_FILE",
+    "PG_PAGETABLE",
+    "PG_COMPOUND_HEAD",
+    "PG_COMPOUND_TAIL",
+    "PG_DIRTY",
+    "PG_RESERVED",
+]

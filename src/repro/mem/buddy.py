@@ -1,0 +1,246 @@
+"""A binary buddy allocator over the machine's physical frames.
+
+This is the simulator's ``alloc_pages``: page tables, anonymous pages, and
+2 MiB compound (huge) pages all come from here.  The design follows the
+kernel's buddy system: per-order free lists, block splitting on allocation,
+and buddy coalescing on free.  Removal of a coalesced buddy from the middle
+of a free list is done lazily (the block is invalidated and skipped when it
+surfaces), which keeps every operation O(log n).
+
+Two bulk paths exist because memory-intensive workloads allocate and free
+millions of order-0 frames per run, which must not devolve into millions of
+Python-level operations:
+
+* :meth:`alloc_bulk` carves large free blocks into ``numpy`` pfn ranges;
+* :meth:`free_bulk` re-forms maximal aligned power-of-two blocks from a pfn
+  array with vectorised pairing before reinserting them.
+
+``free_bulk`` does not attempt cross-coalescing with blocks that were
+already free; that costs only fragmentation, never correctness, and the
+unit tests pin down the invariant that no frame is ever double-owned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError, KernelBug, OutOfMemoryError
+
+MAX_ORDER = 10  # 4 MiB max block, matching Linux's default
+
+
+class OutOfFramesError(OutOfMemoryError):
+    """The buddy allocator has no block large enough for the request."""
+
+
+class BuddyAllocator:
+    """Allocate and free physical frames by power-of-two blocks."""
+
+    def __init__(self, n_frames):
+        if n_frames <= 0:
+            raise InvalidArgumentError("allocator needs at least one frame")
+        self.n_frames = int(n_frames)
+        self.free_frames = 0
+        self._free_lists = [[] for _ in range(MAX_ORDER + 1)]
+        # _free_order[pfn] = order if pfn heads a live free block, else -1.
+        self._free_order = np.full(self.n_frames, -1, dtype=np.int8)
+        # Lazy removal needs more than the order check: a pfn can be
+        # invalidated and later re-freed at the same order, which would
+        # revalidate its stale list entry (and allow double allocation).
+        # Each insertion therefore carries a unique stamp; an entry is live
+        # only if it carries the pfn's *current* stamp.
+        self._free_stamp = np.zeros(self.n_frames, dtype=np.int64)
+        self._stamp_counter = 0
+        # _alloc_order[pfn] = order if pfn heads a live allocation, else -1.
+        self._alloc_order = np.full(self.n_frames, -1, dtype=np.int8)
+        self._seed_free_lists()
+
+    def _seed_free_lists(self):
+        blocks = []
+        pfn = 0
+        while pfn < self.n_frames:
+            order = MAX_ORDER
+            while order > 0 and (pfn % (1 << order) != 0 or pfn + (1 << order) > self.n_frames):
+                order -= 1
+            blocks.append((pfn, order))
+            pfn += 1 << order
+        # Free lists are LIFO; seed high addresses first so allocation
+        # proceeds from pfn 0 upward (keeps early allocations predictable,
+        # e.g. the machine's reserved frame 0).
+        for pfn, order in reversed(blocks):
+            self._insert_free(pfn, order)
+
+    # ---- free-list plumbing ------------------------------------------------
+
+    def _insert_free(self, pfn, order):
+        self._stamp_counter += 1
+        self._free_order[pfn] = order
+        self._free_stamp[pfn] = self._stamp_counter
+        self._free_lists[order].append((pfn, self._stamp_counter))
+        self.free_frames += 1 << order
+
+    def _pop_free(self, order):
+        """Pop a live block of exactly ``order``, skipping invalidated entries."""
+        lst = self._free_lists[order]
+        while lst:
+            pfn, stamp = lst.pop()
+            if self._free_order[pfn] == order and self._free_stamp[pfn] == stamp:
+                self._free_order[pfn] = -1
+                self.free_frames -= 1 << order
+                return pfn
+        return None
+
+    def _invalidate_free(self, pfn, order):
+        """Lazily remove a known-free block (it will be skipped at pop time)."""
+        if self._free_order[pfn] != order:
+            raise KernelBug(f"invalidating pfn {pfn} that is not free at order {order}")
+        self._free_order[pfn] = -1
+        self.free_frames -= 1 << order
+
+    # ---- single-block interface ----------------------------------------------
+
+    def alloc(self, order=0):
+        """Allocate a block of ``2**order`` frames; return the head pfn."""
+        if not 0 <= order <= MAX_ORDER:
+            raise InvalidArgumentError(f"order {order} out of range")
+        for o in range(order, MAX_ORDER + 1):
+            pfn = self._pop_free(o)
+            if pfn is None:
+                continue
+            # Split back down, returning upper halves to the free lists.
+            while o > order:
+                o -= 1
+                self._insert_free(pfn + (1 << o), o)
+            self._alloc_order[pfn] = order
+            return pfn
+        raise OutOfFramesError(
+            f"no free block of order {order} ({self.free_frames} frames free)"
+        )
+
+    def free(self, pfn, order=None):
+        """Free a block previously returned by :meth:`alloc` or bulk paths."""
+        recorded = int(self._alloc_order[pfn])
+        if recorded < 0:
+            raise KernelBug(f"double free or bad free of pfn {pfn}")
+        if order is not None and order != recorded:
+            raise KernelBug(f"freeing pfn {pfn} with order {order}, allocated {recorded}")
+        order = recorded
+        self._alloc_order[pfn] = -1
+        # Coalesce with free buddies as far as possible.
+        while order < MAX_ORDER:
+            buddy = pfn ^ (1 << order)
+            if buddy >= self.n_frames or self._free_order[buddy] != order:
+                break
+            self._invalidate_free(buddy, order)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._insert_free(pfn, order)
+
+    # ---- bulk interface ---------------------------------------------------------
+
+    def alloc_bulk(self, n):
+        """Allocate ``n`` order-0 frames; return their pfns as an int64 array.
+
+        Frames come from whole free blocks carved greedily from the largest
+        order downwards; any remainder of the last block is returned to the
+        free lists.  Each frame is recorded as an order-0 allocation so it
+        can be freed individually or via :meth:`free_bulk`.
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        if n > self.free_frames:
+            raise OutOfFramesError(f"requested {n} frames, {self.free_frames} free")
+        chunks = []
+        remaining = n
+        order = MAX_ORDER
+        while remaining > 0:
+            pfn = self._pop_free(order)
+            if pfn is None:
+                if order == 0:
+                    # free_frames said there was room; lists must deliver.
+                    raise KernelBug("free-frame accounting out of sync")
+                order -= 1
+                continue
+            size = 1 << order
+            take = min(size, remaining)
+            chunks.append(np.arange(pfn, pfn + take, dtype=np.int64))
+            remaining -= take
+            leftover = pfn + take
+            # Return the unused tail of the block as aligned sub-blocks.
+            end = pfn + size
+            while leftover < end:
+                o = 0
+                while (
+                    o < MAX_ORDER
+                    and leftover % (1 << (o + 1)) == 0
+                    and leftover + (1 << (o + 1)) <= end
+                ):
+                    o += 1
+                self._insert_free(leftover, o)
+                leftover += 1 << o
+        pfns = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        self._alloc_order[pfns] = 0
+        return pfns
+
+    def free_bulk(self, pfns):
+        """Free an array of order-0 frames, re-forming large blocks.
+
+        Vectorised: sorts the pfns, then repeatedly pairs aligned buddies to
+        promote runs to higher orders, and finally reinserts the resulting
+        block heads.
+        """
+        pfns = np.asarray(pfns, dtype=np.int64)
+        if pfns.size == 0:
+            return
+        if np.any(self._alloc_order[pfns] != 0):
+            raise KernelBug("free_bulk on frames not allocated at order 0")
+        self._alloc_order[pfns] = -1
+        heads = np.sort(pfns)
+        order = 0
+        while order < MAX_ORDER and heads.size > 1:
+            step = 1 << order
+            aligned = heads[heads % (2 * step) == 0]
+            if aligned.size == 0:
+                break
+            # A block at `h` merges with its buddy `h + step` when both are
+            # present in the current free set.
+            partners = aligned + step
+            merged_mask = np.isin(partners, heads, assume_unique=True)
+            merged = aligned[merged_mask]
+            if merged.size == 0:
+                break
+            consumed = np.concatenate([merged, merged + step])
+            keep = heads[~np.isin(heads, consumed, assume_unique=True)]
+            for h in keep.tolist():
+                self._insert_free(h, order)
+            heads = merged
+            order += 1
+        for h in heads.tolist():
+            self._insert_free(h, order)
+
+    # ---- diagnostics ----------------------------------------------------------
+
+    @property
+    def used_frames(self):
+        """Frames currently allocated."""
+        return self.n_frames - self.free_frames
+
+    def check_consistency(self):
+        """Expensive invariant check used by tests: no frame double-owned."""
+        owned = np.zeros(self.n_frames, dtype=bool)
+        for order in range(MAX_ORDER + 1):
+            for pfn, stamp in self._free_lists[order]:
+                if self._free_order[pfn] != order or self._free_stamp[pfn] != stamp:
+                    continue  # lazily invalidated entry
+                span = slice(pfn, pfn + (1 << order))
+                if owned[span].any():
+                    raise KernelBug(f"free block at {pfn} overlaps another block")
+                owned[span] = True
+        alloc_heads = np.nonzero(self._alloc_order >= 0)[0]
+        for pfn in alloc_heads.tolist():
+            span = slice(pfn, pfn + (1 << int(self._alloc_order[pfn])))
+            if owned[span].any():
+                raise KernelBug(f"allocation at {pfn} overlaps a free block")
+            owned[span] = True
+        if not owned.all():
+            raise KernelBug("orphaned frames (neither free nor allocated)")

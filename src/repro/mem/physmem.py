@@ -1,0 +1,112 @@
+"""Physical frame contents.
+
+User pages hold real bytes so copy-on-write correctness is observable: a
+child reads the parent's data, writes are isolated, and tests diff actual
+contents across fork lineages.  Backing storage is materialised lazily —
+a frame without a buffer is logically all-zero, exactly like a freshly
+demand-zeroed page — so memory-intensive benchmarks that never read their
+data back do not cost gigabytes of host RAM.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidArgumentError
+from .page import PAGE_SIZE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class PhysicalMemory:
+    """Lazily materialised byte contents for every physical frame."""
+
+    def __init__(self, n_frames):
+        if n_frames <= 0:
+            raise InvalidArgumentError("physical memory needs at least one frame")
+        self.n_frames = int(n_frames)
+        self._frames = {}
+
+    @property
+    def materialized_frames(self):
+        """How many frames currently hold a real buffer (for host-RAM tests)."""
+        return len(self._frames)
+
+    def _check(self, pfn, offset, length):
+        if not 0 <= pfn < self.n_frames:
+            raise InvalidArgumentError(f"pfn {pfn} out of range")
+        if not 0 <= offset <= PAGE_SIZE or offset + length > PAGE_SIZE:
+            raise InvalidArgumentError("access crosses a frame boundary")
+
+    def read(self, pfn, offset, length):
+        """Read ``length`` bytes; unmaterialised frames read as zeros."""
+        self._check(pfn, offset, length)
+        buf = self._frames.get(pfn)
+        if buf is None:
+            return _ZERO_PAGE[:length]
+        return bytes(buf[offset:offset + length])
+
+    def write(self, pfn, offset, data):
+        """Write bytes into a frame, materialising its buffer if needed."""
+        self._check(pfn, offset, len(data))
+        buf = self._frames.get(pfn)
+        if buf is None:
+            buf = bytearray(PAGE_SIZE)
+            self._frames[pfn] = buf
+        buf[offset:offset + len(data)] = data
+
+    def copy_frame(self, src_pfn, dst_pfn):
+        """COW data copy: duplicate ``src``'s bytes into ``dst``.
+
+        If the source was never materialised both frames are logically zero
+        and no buffer is created, so bulk benchmarks stay cheap.
+        """
+        self._check(src_pfn, 0, 0)
+        self._check(dst_pfn, 0, 0)
+        src = self._frames.get(src_pfn)
+        if src is None:
+            self._frames.pop(dst_pfn, None)
+        else:
+            self._frames[dst_pfn] = bytearray(src)
+
+    def copy_frames_bulk(self, src_pfns, dst_pfns):
+        """COW-copy many frames at once (the bulk fast path).
+
+        Unmaterialised sources stay unmaterialised; when few frames hold
+        buffers the sweep iterates the buffer table instead of the pfn
+        arrays.
+        """
+        frames = self._frames
+        if not frames:
+            return
+        src_list = src_pfns.tolist() if hasattr(src_pfns, "tolist") else list(src_pfns)
+        dst_list = dst_pfns.tolist() if hasattr(dst_pfns, "tolist") else list(dst_pfns)
+        if len(frames) * 4 < len(src_list):
+            materialized = set(frames).intersection(src_list)
+            if not materialized:
+                return
+            for src, dst in zip(src_list, dst_list):
+                if src in materialized:
+                    frames[dst] = bytearray(frames[src])
+            return
+        for src, dst in zip(src_list, dst_list):
+            buf = frames.get(src)
+            if buf is not None:
+                frames[dst] = bytearray(buf)
+            else:
+                frames.pop(dst, None)
+
+    def zero(self, pfn):
+        """Return a frame to the logical all-zero state (frees its buffer)."""
+        self._check(pfn, 0, 0)
+        self._frames.pop(pfn, None)
+
+    def zero_bulk(self, pfns):
+        """Zero many frames; a dict-sweep is cheaper than per-pfn pops when
+        most frames were never materialised."""
+        if len(self._frames) == 0:
+            return
+        for pfn in pfns.tolist() if hasattr(pfns, "tolist") else pfns:
+            self._frames.pop(pfn, None)
+
+    def is_materialized(self, pfn):
+        """Whether a frame currently holds a host-side buffer."""
+        return pfn in self._frames

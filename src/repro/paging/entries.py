@@ -1,0 +1,101 @@
+"""x86-64 paging-entry encodings.
+
+Entries are 64-bit integers with the architectural bit layout (the subset
+the model needs): present, read/write, user, accessed, dirty, page-size
+(huge), and the physical frame number in bits 12..51.  Helpers work on both
+scalars and numpy arrays so the fork fast paths can manipulate whole tables
+at once.
+
+The read/write bit is what On-demand-fork's mechanism revolves around:
+x86's *hierarchical attributes* mean an entry with RW=0 at an upper level
+write-protects everything below it, regardless of leaf RW bits (Intel SDM
+Vol 3A §4.6).  The walker in :mod:`repro.paging.walk` implements exactly
+that AND-across-levels rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem.page import PAGE_SHIFT
+
+BIT_PRESENT = np.uint64(1 << 0)
+BIT_RW = np.uint64(1 << 1)
+BIT_USER = np.uint64(1 << 2)
+BIT_ACCESSED = np.uint64(1 << 5)
+BIT_DIRTY = np.uint64(1 << 6)
+BIT_PS = np.uint64(1 << 7)  # page size: set in a PMD entry mapping 2 MiB
+
+PFN_SHIFT = np.uint64(PAGE_SHIFT)
+PFN_MASK = np.uint64(((1 << 40) - 1) << PAGE_SHIFT)
+
+ENTRY_NONE = np.uint64(0)
+
+
+def make_entry(pfn, writable=True, user=True, present=True, huge=False,
+               accessed=False, dirty=False):
+    """Build an entry mapping ``pfn`` with the given attribute bits."""
+    entry = (np.uint64(pfn) << PFN_SHIFT) & PFN_MASK
+    if present:
+        entry |= BIT_PRESENT
+    if writable:
+        entry |= BIT_RW
+    if user:
+        entry |= BIT_USER
+    if huge:
+        entry |= BIT_PS
+    if accessed:
+        entry |= BIT_ACCESSED
+    if dirty:
+        entry |= BIT_DIRTY
+    return entry
+
+
+def entry_pfn(entry):
+    """Extract the pfn; works on scalars and arrays."""
+    return (entry & PFN_MASK) >> PFN_SHIFT
+
+
+def is_present(entry):
+    """Present bit test (scalar or array)."""
+    return (entry & BIT_PRESENT) != 0
+
+
+def is_writable(entry):
+    """R/W bit test (scalar or array)."""
+    return (entry & BIT_RW) != 0
+
+
+def is_huge(entry):
+    """PS bit test: a PMD entry mapping 2 MiB directly."""
+    return (entry & BIT_PS) != 0
+
+
+def is_accessed(entry):
+    """Accessed bit test."""
+    return (entry & BIT_ACCESSED) != 0
+
+
+def is_dirty(entry):
+    """Dirty bit test."""
+    return (entry & BIT_DIRTY) != 0
+
+
+def set_bits(entry, bits):
+    """Return ``entry`` with ``bits`` set."""
+    return entry | bits
+
+
+def clear_bits(entry, bits):
+    """Return ``entry`` with ``bits`` cleared."""
+    return entry & ~bits
+
+
+def present_mask(entries):
+    """Boolean mask of present entries in a table array."""
+    return (entries & BIT_PRESENT) != 0
+
+
+def writable_mask(entries):
+    """Boolean mask of writable entries in a table array."""
+    return (entries & BIT_RW) != 0

@@ -1,0 +1,104 @@
+"""A per-address-space TLB model.
+
+The TLB caches completed translations so repeated byte-level accesses skip
+the software walk, and — more importantly for fidelity — it forces the
+kernel to issue the same invalidations a real implementation must: fork and
+odfork downgrade write permission in the *parent*, so stale writable
+translations must be flushed or the child would miss its COW.  Tests run
+the TLB in ``verify`` mode, where every hit is cross-checked against a
+fresh walk; a missing flush then fails loudly instead of corrupting data.
+
+Capacity is finite with FIFO replacement (dict insertion order), sized like
+a unified L2 TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.page import PAGE_SHIFT
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss/flush counters for one TLB."""
+    hits: int = 0
+    misses: int = 0
+    flushes_full: int = 0
+    flushes_range: int = 0
+    evictions: int = 0
+
+    def hit_rate(self):
+        """Hits / lookups over the TLB's lifetime."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class TLBEntry:
+    """One cached translation."""
+    pfn: int
+    writable: bool
+    huge: bool = False
+
+
+class TLB:
+    """Translation cache keyed by virtual page number."""
+
+    def __init__(self, capacity=1536):
+        self.capacity = int(capacity)
+        self._entries = {}
+        self.stats = TLBStats()
+
+    def lookup(self, vaddr, is_write):
+        """Return a cached :class:`TLBEntry` or ``None``.
+
+        A write through an entry cached read-only is a miss (the hardware
+        would raise a permission fault and the kernel re-walks), so the
+        caller always takes the slow path for permission upgrades.
+        """
+        vpn = vaddr >> PAGE_SHIFT
+        entry = self._entries.get(vpn)
+        if entry is None or (is_write and not entry.writable):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, vaddr, pfn, writable, huge=False):
+        """Cache a completed translation (FIFO eviction)."""
+        vpn = vaddr >> PAGE_SHIFT
+        if len(self._entries) >= self.capacity and vpn not in self._entries:
+            # FIFO eviction: drop the oldest insertion.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.stats.evictions += 1
+        self._entries[vpn] = TLBEntry(pfn, writable, huge)
+
+    def flush_all(self):
+        """Invalidate every cached translation."""
+        self._entries.clear()
+        self.stats.flushes_full += 1
+
+    def flush_range(self, start, end):
+        """Invalidate translations for ``[start, end)``."""
+        first = start >> PAGE_SHIFT
+        last = (end - 1) >> PAGE_SHIFT if end > start else first - 1
+        n_pages = last - first + 1
+        if n_pages <= 0:
+            return
+        if n_pages > len(self._entries):
+            # Cheaper to scan the cache than the range.
+            stale = [vpn for vpn in self._entries if first <= vpn <= last]
+        else:
+            stale = [vpn for vpn in range(first, last + 1) if vpn in self._entries]
+        for vpn in stale:
+            del self._entries[vpn]
+        self.stats.flushes_range += 1
+
+    def flush_page(self, vaddr):
+        """Invalidate one page's translation."""
+        self._entries.pop(vaddr >> PAGE_SHIFT, None)
+
+    def __len__(self):
+        return len(self._entries)

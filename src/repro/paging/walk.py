@@ -1,0 +1,118 @@
+"""The software MMU: hierarchical page-table walking.
+
+This is the model of what the hardware page walker does, including the one
+architectural capability On-demand-fork depends on: *hierarchical
+attributes*.  The effective write permission of a translation is the AND of
+the RW bits along the whole walk, so clearing RW in a single PMD entry
+write-protects the entire 2 MiB region its PTE table maps — without
+touching any of the 512 leaf entries.  That is how odfork write-protects
+shared tables in O(1) per table (§3.2 of the paper).
+
+The walker also sets accessed bits like the CPU would (the paper notes the
+A bit keeps working while tables are shared because setting it is a
+hardware write that does not go through the kernel), and sets the dirty bit
+on successful write translations.  The D bit can never be set through a
+shared table: the PMD RW=0 override makes every write fault first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..mem.page import HUGE_PAGE_ORDER
+from .entries import (
+    BIT_ACCESSED,
+    BIT_DIRTY,
+    entry_pfn,
+    is_huge,
+    is_present,
+    is_writable,
+)
+from .table import LEVEL_PGD, LEVEL_PMD, LEVEL_PTE, table_index
+
+FAULT_NOT_PRESENT = "not_present"
+FAULT_WRITE_PROTECTED = "write_protected"
+
+
+class MMUFault(ReproError):
+    """Raised by the walker when translation cannot complete.
+
+    This is the hardware #PF signal, *not* an application error: the kernel
+    fault handler catches it and either fixes the mapping up or converts it
+    into a :class:`~repro.errors.SegmentationFault`.
+    """
+
+    def __init__(self, vaddr, is_write, level, reason):
+        self.vaddr = vaddr
+        self.is_write = is_write
+        self.level = level
+        self.reason = reason
+        super().__init__(
+            f"#PF at {vaddr:#x} ({'write' if is_write else 'read'}, "
+            f"level {level}, {reason})"
+        )
+
+
+@dataclass
+class Translation:
+    """A successful walk result."""
+
+    pfn: int                # physical frame of the 4 KiB page
+    writable: bool          # effective permission across all levels
+    huge: bool              # mapped by a PMD-level 2 MiB entry
+    leaf_level: int         # LEVEL_PTE or LEVEL_PMD
+
+
+class Walker:
+    """Walks paging structures through a pfn → PageTable resolver."""
+
+    def __init__(self, resolver):
+        self._resolve = resolver
+
+    def translate(self, pgd, vaddr, is_write, set_accessed=True):
+        """Translate ``vaddr`` or raise :class:`MMUFault`.
+
+        Mirrors the hardware: permissions are evaluated along the walk (an
+        RW=0 entry anywhere makes the translation read-only), accessed bits
+        are set at every visited level, and the dirty bit is set on the
+        leaf for a successful write.
+        """
+        table = pgd
+        writable = True
+        level = LEVEL_PGD
+        while True:
+            index = table_index(vaddr, level)
+            entry = table.entries[index]
+            if not is_present(entry):
+                raise MMUFault(vaddr, is_write, level, FAULT_NOT_PRESENT)
+            writable = writable and bool(is_writable(entry))
+            if level == LEVEL_PMD and is_huge(entry):
+                if is_write and not writable:
+                    raise MMUFault(vaddr, is_write, level, FAULT_WRITE_PROTECTED)
+                if set_accessed:
+                    table.entries[index] = entry | BIT_ACCESSED | (
+                        BIT_DIRTY if is_write else 0
+                    )
+                head = int(entry_pfn(entry))
+                sub = (vaddr >> 12) & ((1 << HUGE_PAGE_ORDER) - 1)
+                return Translation(head + sub, writable, True, LEVEL_PMD)
+            if level == LEVEL_PTE:
+                if is_write and not writable:
+                    raise MMUFault(vaddr, is_write, level, FAULT_WRITE_PROTECTED)
+                if set_accessed:
+                    table.entries[index] = entry | BIT_ACCESSED | (
+                        BIT_DIRTY if is_write else 0
+                    )
+                return Translation(int(entry_pfn(entry)), writable, False, LEVEL_PTE)
+            if set_accessed:
+                table.entries[index] = entry | BIT_ACCESSED
+            table = self._resolve(int(entry_pfn(entry)))
+            level -= 1
+
+    def probe(self, pgd, vaddr):
+        """Translate for read without side effects; ``None`` if unmapped."""
+        try:
+            return self.translate(pgd, vaddr, is_write=False, set_accessed=False)
+        except MMUFault:
+            return None

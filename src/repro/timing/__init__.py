@@ -1,0 +1,19 @@
+"""Virtual time, calibrated costs, noise, and contention modelling."""
+
+from .clock import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, SimClock, Stopwatch
+from .contention import ConcurrencyTracker, contention_group
+from .costs import CostModel, CostParams
+from .noise import NoiseModel
+
+__all__ = [
+    "SimClock",
+    "Stopwatch",
+    "CostModel",
+    "CostParams",
+    "NoiseModel",
+    "ConcurrencyTracker",
+    "contention_group",
+    "NSEC_PER_USEC",
+    "NSEC_PER_MSEC",
+    "NSEC_PER_SEC",
+]

@@ -1,0 +1,110 @@
+"""Virtual time for the simulator.
+
+All latencies and throughputs the reproduction reports are *simulated* time:
+kernel operations charge nanoseconds to a :class:`SimClock` through the cost
+model, and the applications' event loops advance the same clock.  Wall-clock
+time never enters any measurement, which is what makes results deterministic
+and machine-independent.
+
+The clock is a plain monotonic counter in nanoseconds.  ``Stopwatch`` gives
+benchmark code the same shape as the paper's ``clock_gettime`` bracketing.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidArgumentError
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+class SimClock:
+    """A monotonic virtual clock measured in integer nanoseconds."""
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns=0):
+        if start_ns < 0:
+            raise InvalidArgumentError("clock cannot start before zero")
+        self._now_ns = int(start_ns)
+
+    @property
+    def now_ns(self):
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_us(self):
+        """Current virtual time in microseconds (float)."""
+        return self._now_ns / NSEC_PER_USEC
+
+    @property
+    def now_ms(self):
+        """Current virtual time in milliseconds (float)."""
+        return self._now_ns / NSEC_PER_MSEC
+
+    @property
+    def now_s(self):
+        """Current virtual time in seconds (float)."""
+        return self._now_ns / NSEC_PER_SEC
+
+    def advance(self, ns):
+        """Advance the clock by ``ns`` nanoseconds (fractions are rounded).
+
+        Negative advances are rejected: virtual time, like
+        ``CLOCK_MONOTONIC``, never goes backwards.
+        """
+        ns = int(round(ns))
+        if ns < 0:
+            raise InvalidArgumentError(f"cannot advance clock by {ns} ns")
+        self._now_ns += ns
+        return self._now_ns
+
+    def advance_to(self, deadline_ns):
+        """Advance the clock to ``deadline_ns`` if it lies in the future."""
+        deadline_ns = int(round(deadline_ns))
+        if deadline_ns > self._now_ns:
+            self._now_ns = deadline_ns
+        return self._now_ns
+
+    def stopwatch(self):
+        """Return a started :class:`Stopwatch` reading this clock."""
+        return Stopwatch(self)
+
+    def __repr__(self):
+        return f"SimClock(now={self._now_ns} ns)"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time, mirroring ``clock_gettime`` pairs."""
+
+    __slots__ = ("_clock", "_start_ns")
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._start_ns = clock.now_ns
+
+    def restart(self):
+        """Reset the start point to the current virtual time."""
+        self._start_ns = self._clock.now_ns
+
+    @property
+    def elapsed_ns(self):
+        """Elapsed virtual nanoseconds."""
+        return self._clock.now_ns - self._start_ns
+
+    @property
+    def elapsed_us(self):
+        """Elapsed virtual microseconds."""
+        return self.elapsed_ns / NSEC_PER_USEC
+
+    @property
+    def elapsed_ms(self):
+        """Elapsed virtual milliseconds."""
+        return self.elapsed_ns / NSEC_PER_MSEC
+
+    @property
+    def elapsed_s(self):
+        """Elapsed virtual seconds."""
+        return self.elapsed_ns / NSEC_PER_SEC

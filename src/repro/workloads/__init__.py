@@ -1,0 +1,40 @@
+"""Benchmark workloads: the Figure 1 program, access mixes, patterns."""
+
+from .accessmix import (
+    CHUNK_BYTES,
+    PAPER_READ_MIXES,
+    chunk_plan,
+    fork_and_access,
+    run_access_mix_point,
+    run_reduction_curve,
+)
+from .forkbench import (
+    PAPER_SIZE_TICKS_GB,
+    VARIANT_FORK,
+    VARIANT_FORK_HUGE,
+    VARIANT_ODFORK,
+    VARIANTS,
+    fork_latency_for_size,
+    measure_fork_once,
+    run_latency_sweep,
+)
+from .patterns import PatternGenerator, touch_pages
+
+__all__ = [
+    "VARIANT_FORK",
+    "VARIANT_FORK_HUGE",
+    "VARIANT_ODFORK",
+    "VARIANTS",
+    "PAPER_SIZE_TICKS_GB",
+    "PAPER_READ_MIXES",
+    "CHUNK_BYTES",
+    "fork_latency_for_size",
+    "measure_fork_once",
+    "run_latency_sweep",
+    "chunk_plan",
+    "fork_and_access",
+    "run_access_mix_point",
+    "run_reduction_curve",
+    "PatternGenerator",
+    "touch_pages",
+]

@@ -1,0 +1,79 @@
+"""The paper's Figure 1 benchmark program, as a reusable workload.
+
+A loop that maps anonymous memory, fills it with data, forks (the child
+exits immediately), and measures the fork invocation with ``clock_gettime``
+around the call.  Used by the Figure 2 / Figure 4 / Figure 7 sweeps with
+three variants (classic fork, fork with 2 MiB huge pages, on-demand-fork)
+and with optional concurrency (the Figure 2 "Concurrent (3x)" series).
+"""
+
+from __future__ import annotations
+
+from ..core.machine import GIB, Machine
+from ..errors import InvalidArgumentError
+
+VARIANT_FORK = "fork"
+VARIANT_FORK_HUGE = "fork_huge"
+VARIANT_ODFORK = "odfork"
+VARIANTS = (VARIANT_FORK, VARIANT_FORK_HUGE, VARIANT_ODFORK)
+
+#: The x-axis ticks of Figures 2, 4, and 7 (the paper sweeps in 512 MiB
+#: increments and plots a log axis labelled at these sizes).
+PAPER_SIZE_TICKS_GB = (0.5, 1, 2, 4, 8, 16, 32, 50)
+
+
+def measure_fork_once(process, variant):
+    """One fork + child-exit iteration; returns the invocation ns."""
+    if variant == VARIANT_ODFORK:
+        child = process.odfork()
+    else:
+        child = process.fork()
+    elapsed = process.last_fork_ns
+    child.exit()
+    process.wait()
+    return elapsed
+
+
+def fork_latency_for_size(machine, size_bytes, variant, repeats=5,
+                          concurrency=1):
+    """Fork latencies (ns) for a process with ``size_bytes`` mapped.
+
+    Mirrors the Figure 1 program: map, fill, fork repeatedly (the child
+    exits immediately and is reaped), unmap.
+    """
+    if variant not in VARIANTS:
+        raise InvalidArgumentError(f"unknown variant {variant!r}")
+    parent = machine.spawn_process(f"forkbench-{variant}")
+    if variant == VARIANT_FORK_HUGE:
+        buf = parent.mmap_huge(size_bytes)
+    else:
+        buf = parent.mmap(size_bytes)
+    parent.touch_range(buf, size_bytes, write=True)
+
+    samples = []
+    with machine.concurrency(concurrency):
+        for _ in range(repeats):
+            samples.append(measure_fork_once(parent, variant))
+    parent.exit()
+    machine.init_process.wait()
+    return samples
+
+
+def run_latency_sweep(sizes_gb=PAPER_SIZE_TICKS_GB, variant=VARIANT_FORK,
+                      repeats=5, concurrency=1, noise_sigma=0.04, seed=1,
+                      phys_headroom_gb=3.0):
+    """The full Figure 2/4/7-style sweep; returns ``{size_gb: [ns, ...]}``.
+
+    Each size gets a fresh machine so struct-page arrays scale with the
+    point being measured rather than the largest one.
+    """
+    results = {}
+    for size_gb in sizes_gb:
+        size_bytes = int(size_gb * GIB)
+        phys_mb = int((size_gb + phys_headroom_gb) * 1024)
+        machine = Machine(phys_mb=phys_mb, noise_sigma=noise_sigma, seed=seed)
+        results[size_gb] = fork_latency_for_size(
+            machine, size_bytes, variant, repeats=repeats,
+            concurrency=concurrency,
+        )
+    return results

@@ -1,0 +1,95 @@
+"""Exhaustive kernel-state cross-checks used by the property tests.
+
+``audit_machine`` recomputes every reference count from first principles —
+walking each live address space's paging tree and the page cache — and
+compares against the kernel's incremental accounting.  Any drift (the bug
+class that makes real kernels corrupt memory) fails loudly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.mem.page import PG_FILE, PG_PAGETABLE
+from repro.paging import entry_pfn, is_huge, is_present
+from repro.paging.table import LEVEL_PMD, LEVEL_PTE
+
+
+def audit_machine(machine):
+    """Recompute and verify all refcounts and table registrations."""
+    kernel = machine.kernel
+    pages = machine.pages
+
+    expected_pt_refs = defaultdict(int)     # leaf table pfn -> #PMD refs
+    expected_page_refs = defaultdict(int)   # data page pfn -> #table refs
+    seen_leaf_tables = {}
+
+    live_mms = [t.mm for t in kernel.tasks.values() if not t.mm.dead]
+    for mm in live_mms:
+        for pud_index in mm.pgd.present_indices().tolist():
+            pud = mm.resolve(mm.pgd.child_pfn(pud_index))
+            for pmd_index in pud.present_indices().tolist():
+                pmd = mm.resolve(pud.child_pfn(pmd_index))
+                entries = pmd.entries
+                for slot in pmd.present_indices().tolist():
+                    entry = entries[slot]
+                    if is_huge(entry):
+                        expected_page_refs[int(entry_pfn(entry))] += 1
+                        continue
+                    leaf_pfn = int(entry_pfn(entry))
+                    expected_pt_refs[leaf_pfn] += 1
+                    seen_leaf_tables[leaf_pfn] = mm.resolve(leaf_pfn)
+
+    # Each leaf table *object* owns one reference per present data page.
+    for leaf in seen_leaf_tables.values():
+        for slot in leaf.present_indices().tolist():
+            expected_page_refs[int(entry_pfn(leaf.entries[slot]))] += 1
+
+    # The page cache holds one reference per cached page.
+    for pfn in kernel.page_cache._cache.values():
+        expected_page_refs[pfn] += 1
+
+    # Live in-place snapshots hold one reference per saved present page.
+    from repro.paging import present_mask
+    for snapshot in kernel.live_snapshots:
+        for saved in snapshot.saved.values():
+            for pfn in entry_pfn(saved[present_mask(saved)]).tolist():
+                expected_page_refs[int(pfn)] += 1
+
+    errors = []
+    for leaf_pfn, count in expected_pt_refs.items():
+        actual = pages.pt_ref(leaf_pfn)
+        if actual != count:
+            errors.append(
+                f"leaf table {leaf_pfn}: pt_refcount {actual}, "
+                f"{count} PMD references found"
+            )
+    for pfn, count in expected_page_refs.items():
+        actual = pages.get_ref(pfn)
+        if actual != count:
+            errors.append(
+                f"page {pfn}: refcount {actual}, {count} references found"
+            )
+
+    # No data page should have a refcount without a referent (leak), and
+    # table frames must be registered.
+    live = np.nonzero(pages.refcount > 0)[0]
+    for pfn in live.tolist():
+        if pfn == 0:
+            continue  # reserved frame
+        if pages.has_flags(pfn, PG_PAGETABLE):
+            if pfn not in kernel._tables:
+                errors.append(f"table frame {pfn} not registered")
+            continue
+        if pages.flags[pfn] & np.uint16(0x10):  # PG_COMPOUND_TAIL
+            continue
+        if pfn not in expected_page_refs:
+            errors.append(f"page {pfn} live (ref={pages.get_ref(pfn)}) "
+                          f"but unreachable: leak")
+
+    pages.check_no_negative()
+    machine.allocator.check_consistency()
+    if errors:
+        raise AssertionError("kernel audit failed:\n  " + "\n  ".join(errors[:12]))

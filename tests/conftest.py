@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MIB, Machine
+
+
+@pytest.fixture
+def machine():
+    """A small deterministic machine (256 MiB, no noise)."""
+    return Machine(phys_mb=256)
+
+
+@pytest.fixture
+def big_machine():
+    """A machine large enough for multi-GB workloads."""
+    return Machine(phys_mb=3072)
+
+
+@pytest.fixture
+def proc(machine):
+    """A fresh top-level process on the small machine."""
+    return machine.spawn_process("test-proc")
+
+
+def make_filled_region(process, size=4 * MIB, pattern=b"\xabQ"):
+    """Map ``size`` bytes, fill them, and write a recognisable pattern at
+    a few probe offsets; returns (addr, probe_offsets)."""
+    addr = process.mmap(size)
+    process.touch_range(addr, size, write=True)
+    probes = [0, size // 3, size // 2, size - 4096]
+    for i, offset in enumerate(probes):
+        process.write(addr + offset, pattern + bytes([i]))
+    return addr, probes

@@ -1,0 +1,178 @@
+"""Analysis helpers: stats, profiler, tables, time series."""
+
+import pytest
+
+from repro.analysis import (
+    Profiler,
+    ThroughputSeries,
+    latency_percentiles,
+    mean,
+    percentile,
+    reduction_pct,
+    render_series,
+    render_table,
+    stddev,
+    summary,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2
+        assert stddev([2, 2, 2]) == 0
+        assert stddev([1, 3]) == 1
+
+    def test_empty_rejected(self):
+        for fn in (mean, stddev, summary):
+            with pytest.raises(InvalidArgumentError):
+                fn([])
+
+    def test_percentile_nearest_rank(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50
+        assert percentile(data, 99) == 99
+        assert percentile(data, 100) == 100
+        assert percentile(data, 0) == 1
+
+    def test_percentile_bounds(self):
+        with pytest.raises(InvalidArgumentError):
+            percentile([1], 101)
+
+    def test_latency_percentiles_table4_shape(self):
+        data = [1.0] * 9990 + [100.0] * 10
+        pct = latency_percentiles(data)
+        assert pct[50] == 1.0
+        assert pct[99.9] == 1.0
+        assert pct[99.99] == 100.0
+
+    def test_summary_fields(self):
+        s = summary([5, 1, 3])
+        assert s["n"] == 3
+        assert s["min"] == 1
+        assert s["max"] == 5
+        assert s["p50"] == 3
+
+    def test_reduction_pct(self):
+        assert reduction_pct(10, 1) == 90
+        assert reduction_pct(10, 10) == 0
+        with pytest.raises(InvalidArgumentError):
+            reduction_pct(0, 1)
+
+
+class TestProfiler:
+    def test_accumulation_and_percentages(self):
+        p = Profiler()
+        p.add("a", 75)
+        p.add("b", 25)
+        assert p.total_ns() == 100
+        assert p.percentages()["a"] == 75.0
+
+    def test_selected_names(self):
+        p = Profiler()
+        p.add("a", 10)
+        p.add("b", 30)
+        p.add("c", 60)
+        assert p.total_ns(["a", "b"]) == 40
+        pct = p.percentages(["a", "b"])
+        assert pct["a"] == 25.0
+        assert pct["b"] == 75.0
+
+    def test_top(self):
+        p = Profiler()
+        for name, ns in (("x", 5), ("y", 50), ("z", 20)):
+            p.add(name, ns)
+        assert [name for name, _ in p.top(2)] == ["y", "z"]
+
+    def test_paused(self):
+        p = Profiler()
+        with p.paused():
+            p.add("hidden", 100)
+        p.add("seen", 1)
+        assert p.breakdown() == {"seen": 1}
+
+    def test_reset_and_window(self):
+        p = Profiler()
+        p.add("a", 10)
+        with p.window():
+            p.add("b", 5)
+        assert p.breakdown() == {"b": 5}
+
+    def test_empty_percentages(self):
+        p = Profiler()
+        assert p.percentages(["nothing"]) == {"nothing": 0.0}
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 123.456]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        text = render_series("curve", [1, 2], [10.0, 20.0],
+                             x_label="x", y_label="y")
+        assert "curve" in text
+        assert "10.00" in text
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.00012345], [1234.5], [0]])
+        assert "0.0001" in text
+        assert "1234.5" in text
+
+
+class TestThroughputSeries:
+    def test_average_rate(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        for i in range(11):
+            series.record(i * 100_000_000)  # 10 events/s over 1 s
+        assert series.average_rate() == pytest.approx(10.0)
+
+    def test_buckets(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        for ns in (0, 100, 200, 1_500_000_000):
+            series.record(ns)
+        times, rates = series.buckets()
+        assert len(times) == 2
+        assert rates[0] == 3.0
+        assert rates[1] == 1.0
+
+    def test_empty_series(self):
+        series = ThroughputSeries()
+        assert series.buckets() == ([], [])
+        assert series.average_rate() == 0.0
+
+    def test_invalid_bucket(self):
+        with pytest.raises(InvalidArgumentError):
+            ThroughputSeries(bucket_seconds=0)
+
+
+class TestAsciiChart:
+    def test_renders_extremes(self):
+        from repro.analysis import render_ascii_chart
+        text = render_ascii_chart([0, 1, 2, 3], [10.0, 20.0, 15.0, 30.0],
+                                  title="demo")
+        assert "demo" in text
+        assert "30.00" in text and "10.00" in text
+        assert text.count("*") == 4
+
+    def test_flat_series(self):
+        from repro.analysis import render_ascii_chart
+        text = render_ascii_chart([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_empty_series(self):
+        from repro.analysis import render_ascii_chart
+        assert render_ascii_chart([], []) == "(no data)"
+
+    def test_buckets_complete_drops_partial(self):
+        from repro.analysis import ThroughputSeries
+        series = ThroughputSeries(bucket_seconds=1.0)
+        for ns in (0, 100, 200, 1_100_000_000, 2_050_000_000):
+            series.record(ns)
+        times, rates = series.buckets_complete()
+        full_times, full_rates = series.buckets()
+        assert len(times) == len(full_times) - 1

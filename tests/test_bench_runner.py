@@ -1,0 +1,63 @@
+"""The experiment plumbing: ExperimentResult and the CLI entry point."""
+
+import pytest
+
+from repro.bench.runner import ExperimentResult, print_result
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        exp_id="figX",
+        title="Example",
+        headers=["name", "value", "paper"],
+        rows=[["alpha", 1.5, 2.0], ["beta", 3.0, 3.1]],
+        notes="demo",
+    )
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "[figX] Example" in text
+        assert "alpha" in text and "beta" in text
+        assert "note: demo" in text
+
+    def test_column(self, result):
+        assert result.column("value") == [1.5, 3.0]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_row_map(self, result):
+        rows = result.row_map("name")
+        assert rows["alpha"][1] == 1.5
+
+    def test_print_result_returns_result(self, result, capsys):
+        assert print_result(result) is result
+        assert "figX" in capsys.readouterr().out
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig7" in out and "table4" in out
+        # Every paper table/figure is runnable from the CLI.
+        for exp_id in ("fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
+                       "table1", "table2", "table3", "table5", "table6_7"):
+            assert exp_id in out
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "compound_head" in out
+        assert "regenerated" in out
+
+    def test_registry_complete(self):
+        # 13 paper experiments + 3 ablations + 5 extensions.
+        assert len(EXPERIMENTS) == 21

@@ -1,0 +1,96 @@
+"""brk (program break) and the /proc smaps report."""
+
+import pytest
+
+from repro import MIB, SegmentationFault
+from repro.errors import InvalidArgumentError
+
+
+class TestBrk:
+    def test_initial_break(self, proc):
+        base = proc.brk()
+        assert base == proc.brk()  # stable query
+
+    def test_grow_and_use(self, proc):
+        base = proc.brk()
+        new_end = proc.brk(base + 256 * 1024)
+        assert new_end >= base + 256 * 1024
+        proc.write(base, b"heap data")
+        proc.write(new_end - 4096, b"top of heap")
+        assert proc.read(base, 9) == b"heap data"
+
+    def test_shrink_releases(self, proc, machine):
+        base = proc.brk()
+        proc.brk(base + 1 * MIB)
+        proc.touch_range(base, 1 * MIB, write=True)
+        live = machine.live_data_frames()
+        proc.brk(base + 4096)
+        assert machine.live_data_frames() < live
+        with pytest.raises(SegmentationFault):
+            proc.read(base + 512 * 1024, 1)
+
+    def test_grow_after_shrink(self, proc):
+        base = proc.brk()
+        proc.brk(base + 64 * 1024)
+        proc.write(base, b"one")
+        proc.brk(base)
+        proc.brk(base + 64 * 1024)
+        assert proc.read(base, 3) == bytes(3)  # fresh zeroed heap
+
+    def test_break_rounds_to_pages(self, proc):
+        base = proc.brk()
+        end = proc.brk(base + 100)
+        assert end == base + 4096
+
+    def test_window_limit(self, proc):
+        base = proc.brk()
+        with pytest.raises(InvalidArgumentError):
+            proc.brk(base + (2 << 30))
+
+    def test_heap_inherited_across_odfork(self, proc):
+        base = proc.brk()
+        proc.brk(base + 64 * 1024)
+        proc.write(base, b"inherit me")
+        child = proc.odfork()
+        assert child.read(base, 10) == b"inherit me"
+        child.write(base, b"child heap")
+        assert proc.read(base, 10) == b"inherit me"
+
+
+class TestSmaps:
+    def test_reports_all_vmas(self, proc):
+        a = proc.mmap(1 * MIB, name="one")
+        b = proc.mmap(2 * MIB, name="two")
+        report = {entry["name"]: entry for entry in proc.smaps()}
+        assert report["one"]["size_bytes"] == 1 * MIB
+        assert report["two"]["size_bytes"] == 2 * MIB
+        assert report["one"]["rss_bytes"] == 0
+
+    def test_rss_tracks_touches(self, proc):
+        addr = proc.mmap(1 * MIB, name="tracked")
+        proc.touch_range(addr, 256 * 1024, write=True)
+        entry = next(e for e in proc.smaps() if e["name"] == "tracked")
+        assert entry["rss_bytes"] == 256 * 1024
+
+    def test_perms_string(self, proc, machine):
+        from repro import PROT_READ
+        ro = proc.mmap(64 * 1024, prot=PROT_READ, name="ro")
+        sh = proc.mmap_shared(64 * 1024)
+        report = proc.smaps()
+        perms = {e["name"]: e["perms"] for e in report}
+        assert perms["ro"] == "r-p"
+        shared_entries = [e for e in report if e["perms"].endswith("s")]
+        assert shared_entries
+
+    def test_smaps_sums_match_rss(self, proc):
+        addr = proc.mmap(4 * MIB, name="big")
+        proc.touch_range(addr, 3 * MIB, write=True)
+        total = sum(e["rss_bytes"] for e in proc.smaps())
+        assert total == proc.rss_bytes
+
+    def test_huge_mapping_rss(self, machine):
+        p = machine.spawn_process("huge-smaps")
+        addr = p.mmap_huge(4 * MIB)
+        p.write(addr, b"x")
+        entry = p.smaps()[0]
+        assert entry["rss_bytes"] == 2 * MIB

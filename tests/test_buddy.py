@@ -1,0 +1,164 @@
+"""Buddy allocator: splitting, coalescing, bulk paths, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError, KernelBug
+from repro.mem import MAX_ORDER, BuddyAllocator, OutOfFramesError
+
+
+class TestSingleBlocks:
+    def test_alloc_free_roundtrip(self):
+        buddy = BuddyAllocator(1 << 12)
+        before = buddy.free_frames
+        pfn = buddy.alloc(0)
+        assert buddy.free_frames == before - 1
+        buddy.free(pfn)
+        assert buddy.free_frames == before
+        buddy.check_consistency()
+
+    def test_alloc_aligned_blocks(self):
+        buddy = BuddyAllocator(1 << 12)
+        for order in range(MAX_ORDER + 1):
+            pfn = buddy.alloc(order)
+            assert pfn % (1 << order) == 0, f"order {order} misaligned"
+        buddy.check_consistency()
+
+    def test_low_frames_allocated_first(self):
+        buddy = BuddyAllocator(1 << 12)
+        assert buddy.alloc(0) == 0
+        assert buddy.alloc(0) == 1
+
+    def test_invalid_order(self):
+        buddy = BuddyAllocator(64)
+        with pytest.raises(InvalidArgumentError):
+            buddy.alloc(MAX_ORDER + 1)
+        with pytest.raises(InvalidArgumentError):
+            buddy.alloc(-1)
+
+    def test_double_free_detected(self):
+        buddy = BuddyAllocator(64)
+        pfn = buddy.alloc(0)
+        buddy.free(pfn)
+        with pytest.raises(KernelBug):
+            buddy.free(pfn)
+
+    def test_free_with_wrong_order_detected(self):
+        buddy = BuddyAllocator(64)
+        pfn = buddy.alloc(2)
+        with pytest.raises(KernelBug):
+            buddy.free(pfn, order=1)
+
+    def test_coalescing_restores_large_blocks(self):
+        buddy = BuddyAllocator(1 << MAX_ORDER)
+        pfns = [buddy.alloc(0) for _ in range(1 << MAX_ORDER)]
+        with pytest.raises(OutOfFramesError):
+            buddy.alloc(0)
+        for pfn in pfns:
+            buddy.free(pfn)
+        # Everything coalesced back: a max-order block must be available.
+        assert buddy.alloc(MAX_ORDER) == 0
+        buddy.check_consistency()
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(8)
+        buddy.alloc(3)
+        with pytest.raises(OutOfFramesError):
+            buddy.alloc(0)
+
+    def test_huge_and_small_interleaved(self):
+        buddy = BuddyAllocator(1 << 12)
+        small = [buddy.alloc(0) for _ in range(10)]
+        huge = buddy.alloc(9)
+        assert huge % 512 == 0
+        spans = set(range(huge, huge + 512))
+        assert not spans.intersection(small)
+        buddy.free(huge)
+        for pfn in small:
+            buddy.free(pfn)
+        buddy.check_consistency()
+
+
+class TestBulkPaths:
+    def test_alloc_bulk_unique_and_counted(self):
+        buddy = BuddyAllocator(1 << 12)
+        pfns = buddy.alloc_bulk(1000)
+        assert len(pfns) == 1000
+        assert len(np.unique(pfns)) == 1000
+        assert buddy.used_frames == 1000
+        buddy.check_consistency()
+
+    def test_alloc_bulk_zero(self):
+        buddy = BuddyAllocator(64)
+        assert len(buddy.alloc_bulk(0)) == 0
+
+    def test_alloc_bulk_exhaustion(self):
+        buddy = BuddyAllocator(64)
+        with pytest.raises(OutOfFramesError):
+            buddy.alloc_bulk(65)
+
+    def test_free_bulk_roundtrip(self):
+        buddy = BuddyAllocator(1 << 12)
+        pfns = buddy.alloc_bulk(3000)
+        buddy.free_bulk(pfns)
+        assert buddy.free_frames == 1 << 12
+        buddy.check_consistency()
+        # Large allocations possible again after re-forming blocks.
+        assert buddy.alloc(MAX_ORDER) is not None
+
+    def test_free_bulk_partial_then_single_free(self):
+        buddy = BuddyAllocator(1 << 10)
+        pfns = buddy.alloc_bulk(100)
+        buddy.free_bulk(pfns[:50])
+        for pfn in pfns[50:].tolist():
+            buddy.free(pfn)
+        assert buddy.free_frames == 1 << 10
+        buddy.check_consistency()
+
+    def test_free_bulk_detects_bad_frames(self):
+        buddy = BuddyAllocator(256)
+        pfns = buddy.alloc_bulk(10)
+        buddy.free_bulk(pfns)
+        with pytest.raises(KernelBug):
+            buddy.free_bulk(pfns)  # double bulk free
+
+    def test_bulk_then_compound_alloc(self):
+        buddy = BuddyAllocator(1 << 12)
+        pfns = buddy.alloc_bulk(2048)
+        buddy.free_bulk(pfns)
+        head = buddy.alloc(9)  # 2 MiB compound page
+        assert head % 512 == 0
+        buddy.check_consistency()
+
+    def test_mixed_stress(self):
+        rng = np.random.RandomState(0)
+        buddy = BuddyAllocator(1 << 12)
+        live_singles = []
+        live_blocks = []
+        for _ in range(300):
+            action = rng.randint(0, 4)
+            if action == 0:
+                n = int(rng.randint(1, 64))
+                if buddy.free_frames >= n:
+                    live_singles.extend(buddy.alloc_bulk(n).tolist())
+            elif action == 1 and live_singles:
+                take = int(rng.randint(1, len(live_singles) + 1))
+                chunk = [live_singles.pop() for _ in range(take)]
+                buddy.free_bulk(np.asarray(chunk))
+            elif action == 2:
+                order = int(rng.randint(0, 5))
+                if buddy.free_frames >= (1 << order):
+                    try:
+                        live_blocks.append((buddy.alloc(order), order))
+                    except OutOfFramesError:
+                        pass
+            elif live_blocks:
+                pfn, order = live_blocks.pop()
+                buddy.free(pfn, order)
+        buddy.check_consistency()
+        for pfn, order in live_blocks:
+            buddy.free(pfn, order)
+        if live_singles:
+            buddy.free_bulk(np.asarray(live_singles))
+        assert buddy.free_frames == 1 << 12
+        buddy.check_consistency()

@@ -1,0 +1,122 @@
+"""Equivalence of the bulk fast path and the byte-accurate slow path.
+
+`access_range` must leave the address space in the same state a sweep of
+individual accesses would: same present pages, same COW events, same
+refcounts, same shared-table copies.  These tests run both paths on twin
+machines and diff the observable state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MIB, Machine
+from repro.paging import entry_pfn, present_mask, writable_mask
+
+
+def twin_machines():
+    return Machine(phys_mb=256), Machine(phys_mb=256)
+
+
+def leaf_state(process, addr, n_pages):
+    """(present, writable) masks over the first ``n_pages`` of a region."""
+    present = []
+    writable = []
+    for page in range(n_pages):
+        leaf = process.mm.get_pte_table(addr + page * 4096)
+        if leaf is None:
+            present.append(False)
+            writable.append(False)
+            continue
+        index = ((addr + page * 4096) >> 12) & 511
+        entry = leaf.entries[index]
+        present.append(bool(present_mask(np.asarray([entry]))[0]))
+        writable.append(bool(writable_mask(np.asarray([entry]))[0]))
+    return present, writable
+
+
+class TestDemandZeroEquivalence:
+    def test_fill_matches_bytewise(self):
+        bulk_m, byte_m = twin_machines()
+        size = 256 * 1024
+        bulk_p = bulk_m.spawn_process("bulk")
+        byte_p = byte_m.spawn_process("byte")
+        bulk_addr = bulk_p.mmap(size)
+        byte_addr = byte_p.mmap(size)
+
+        bulk_p.touch_range(bulk_addr, size, write=True)
+        for offset in range(0, size, 4096):
+            byte_p.write(byte_addr + offset, b"z")
+
+        assert bulk_p.rss_bytes == byte_p.rss_bytes
+        assert bulk_m.stats.demand_zero_faults == byte_m.stats.demand_zero_faults
+        b_present, b_writable = leaf_state(bulk_p, bulk_addr, 64)
+        y_present, y_writable = leaf_state(byte_p, byte_addr, 64)
+        assert b_present == y_present
+        assert b_writable == y_writable
+
+
+class TestCowEquivalence:
+    @pytest.mark.parametrize("use_odfork", [False, True])
+    def test_post_fork_write_sweep(self, use_odfork):
+        bulk_m, byte_m = twin_machines()
+        size = 4 * MIB
+        results = {}
+        for label, machine in (("bulk", bulk_m), ("byte", byte_m)):
+            p = machine.spawn_process(label)
+            addr = p.mmap(size)
+            p.touch_range(addr, size, write=True)
+            child = p.odfork() if use_odfork else p.fork()
+            sweep = 1 * MIB
+            if label == "bulk":
+                p.touch_range(addr, sweep, write=True)
+            else:
+                for offset in range(0, sweep, 4096):
+                    p.write(addr + offset, b"w")
+            results[label] = {
+                "cow": machine.stats.cow_faults + machine.stats.cow_reuse,
+                "table_copies": machine.stats.table_cow_copies,
+                "unshares": machine.stats.table_unshares,
+                "rss": p.rss_bytes,
+                "state": leaf_state(p, addr, 32),
+            }
+        assert results["bulk"]["cow"] == results["byte"]["cow"]
+        assert results["bulk"]["table_copies"] == results["byte"]["table_copies"]
+        assert results["bulk"]["rss"] == results["byte"]["rss"]
+        assert results["bulk"]["state"] == results["byte"]["state"]
+
+    def test_read_sweep_after_odfork_no_events(self):
+        bulk_m, byte_m = twin_machines()
+        size = 2 * MIB
+        for label, machine in (("bulk", bulk_m), ("byte", byte_m)):
+            p = machine.spawn_process(label)
+            addr = p.mmap(size)
+            p.touch_range(addr, size, write=True)
+            p.odfork()
+            before = machine.stats.page_faults
+            if label == "bulk":
+                p.touch_range(addr, size, write=False)
+            else:
+                for offset in range(0, size, 4096):
+                    p.read(addr + offset, 1)
+            assert machine.stats.page_faults == before
+            assert machine.stats.table_cow_copies == 0
+
+
+class TestTimingEquivalence:
+    def test_bulk_charges_comparable_time(self):
+        """The fast path must charge approximately what the slow path does
+        (same events, same constants) — within the memcpy-batching noise."""
+        bulk_m, byte_m = twin_machines()
+        size = 1 * MIB
+        times = {}
+        for label, machine in (("bulk", bulk_m), ("byte", byte_m)):
+            p = machine.spawn_process(label)
+            addr = p.mmap(size)
+            watch = machine.stopwatch()
+            if label == "bulk":
+                p.touch_range(addr, size, write=True)
+            else:
+                for offset in range(0, size, 4096):
+                    p.touch(addr + offset, 4096, write=True)
+            times[label] = watch.elapsed_ns
+        assert times["bulk"] == pytest.approx(times["byte"], rel=0.25)

@@ -1,0 +1,118 @@
+"""End-to-end calibration: the simulator must land on the paper's numbers.
+
+These tests run the actual mechanisms (not the constants table) and check
+the resulting virtual-time measurements against the EuroSys '21 values.
+They are the executable form of EXPERIMENTS.md's paper-vs-measured record.
+"""
+
+import pytest
+
+from repro import GIB, MIB, Machine
+from repro.paging.table import PMD_REGION_SIZE
+
+
+def filled_process(machine, size, huge=False):
+    p = machine.spawn_process("calibrated")
+    addr = p.mmap_huge(size) if huge else p.mmap(size)
+    p.touch_range(addr, size, write=True)
+    return p, addr
+
+
+class TestForkLatency:
+    def test_fork_1gb_matches_paper(self):
+        machine = Machine(phys_mb=3072)
+        p, _ = filled_process(machine, 1 * GIB)
+        p.fork()
+        assert p.last_fork_ns / 1e6 == pytest.approx(6.54, rel=0.03)
+
+    def test_odfork_1gb_matches_paper(self):
+        machine = Machine(phys_mb=3072)
+        p, _ = filled_process(machine, 1 * GIB)
+        p.odfork()
+        assert p.last_fork_ns / 1e3 == pytest.approx(100, rel=0.05)
+
+    def test_huge_fork_1gb_matches_paper(self):
+        machine = Machine(phys_mb=3072)
+        p, _ = filled_process(machine, 1 * GIB, huge=True)
+        p.fork()
+        assert p.last_fork_ns / 1e6 == pytest.approx(0.17, rel=0.05)
+
+    def test_speedup_65x_at_1gb(self):
+        machine = Machine(phys_mb=4096)
+        p, _ = filled_process(machine, 1 * GIB)
+        c = p.fork()
+        fork_ns = p.last_fork_ns
+        c.exit(); p.wait()
+        p.odfork()
+        assert fork_ns / p.last_fork_ns == pytest.approx(65, rel=0.08)
+
+    def test_concurrent_fork_1gb(self):
+        machine = Machine(phys_mb=3072)
+        p, _ = filled_process(machine, 1 * GIB)
+        with machine.concurrency(3):
+            p.fork()
+        assert p.last_fork_ns / 1e6 == pytest.approx(22.4, rel=0.05)
+
+    def test_176mb_exceeds_1ms(self):
+        """§2.1: fork latency enters the millisecond range for modest apps."""
+        machine = Machine(phys_mb=1024)
+        p, _ = filled_process(machine, 176 * MIB)
+        p.fork()
+        assert p.last_fork_ns > 1_000_000
+
+
+class TestFaultCosts:
+    def test_table1_fork_cow_fault(self):
+        machine = Machine(phys_mb=1024)
+        p, addr = filled_process(machine, 64 * MIB)
+        child = p.fork()
+        watch = machine.stopwatch()
+        child.touch(addr + 32 * MIB, 1, write=True)
+        assert watch.elapsed_us == pytest.approx(2.3, rel=0.25)
+
+    def test_table1_odfork_worst_case(self):
+        machine = Machine(phys_mb=1024)
+        p, addr = filled_process(machine, 64 * MIB)
+        child = p.odfork()
+        watch = machine.stopwatch()
+        child.touch(addr + 32 * MIB, 1, write=True)
+        assert watch.elapsed_us == pytest.approx(12.2, rel=0.1)
+
+    def test_table1_huge_cow_fault(self):
+        machine = Machine(phys_mb=1024)
+        p, addr = filled_process(machine, 64 * MIB, huge=True)
+        child = p.fork()
+        watch = machine.stopwatch()
+        child.touch(addr + 2 * PMD_REGION_SIZE, 1, write=True)
+        assert watch.elapsed_us == pytest.approx(198.4, rel=0.05)
+
+    def test_odfork_second_fault_in_region_is_cheap(self):
+        machine = Machine(phys_mb=1024)
+        p, addr = filled_process(machine, 64 * MIB)
+        child = p.odfork()
+        child.touch(addr, 1, write=True)          # pays the table copy
+        watch = machine.stopwatch()
+        child.touch(addr + 4096, 1, write=True)   # same region: page COW only
+        assert watch.elapsed_us < 3.0
+
+
+class TestScalingShape:
+    def test_fork_linear_odfork_flat(self):
+        machine = Machine(phys_mb=6144)
+        results = {}
+        for size_gb in (1, 2, 4):
+            p, _ = filled_process(machine, size_gb * GIB)
+            c = p.fork()
+            fork_ns = p.last_fork_ns
+            c.exit(); p.wait()
+            c = p.odfork()
+            odf_ns = p.last_fork_ns
+            c.exit(); p.wait()
+            results[size_gb] = (fork_ns, odf_ns)
+            p.exit(); machine.init_process.wait()
+        # fork quadruples (minus fixed) from 1 to 4 GB; odfork grows far
+        # more slowly (per-table, not per-page).
+        assert results[4][0] / results[1][0] > 3.0
+        assert results[4][1] / results[1][1] < 2.0
+        # Speedup grows with size (towards the paper's 270x at 50 GB).
+        assert results[4][0] / results[4][1] > results[1][0] / results[1][1]

@@ -1,0 +1,75 @@
+"""Virtual clock and stopwatch behaviour."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.timing import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_ns=42).now_ns == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SimClock(start_ns=-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now_ns == 350
+
+    def test_advance_rounds_fractions(self):
+        clock = SimClock()
+        clock.advance(10.6)
+        assert clock.now_ns == 11
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(InvalidArgumentError):
+            clock.advance(-1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(1000)
+        assert clock.now_ns == 1000
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start_ns=500)
+        clock.advance_to(100)
+        assert clock.now_ns == 500
+
+    def test_unit_conversions(self):
+        clock = SimClock()
+        clock.advance(2_500_000_000)
+        assert clock.now_us == 2_500_000_000 / NSEC_PER_USEC
+        assert clock.now_ms == 2_500_000_000 / NSEC_PER_MSEC
+        assert clock.now_s == 2_500_000_000 / NSEC_PER_SEC
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(12_345)
+        assert watch.elapsed_ns == 12_345
+        assert watch.elapsed_us == 12.345
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(1000)
+        watch.restart()
+        clock.advance(500)
+        assert watch.elapsed_ns == 500
+
+    def test_elapsed_units(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(3 * NSEC_PER_SEC)
+        assert watch.elapsed_ms == 3000.0
+        assert watch.elapsed_s == 3.0

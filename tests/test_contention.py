@@ -1,0 +1,86 @@
+"""Contention plumbing: groups, trackers, nesting."""
+
+import pytest
+
+from repro import GIB, MIB, Machine
+from repro.errors import InvalidArgumentError
+from repro.timing import (
+    ConcurrencyTracker,
+    CostModel,
+    CostParams,
+    SimClock,
+    contention_group,
+)
+
+
+class TestContentionGroup:
+    def test_sets_and_restores(self):
+        model = CostModel(clock=SimClock(), params=CostParams())
+        with contention_group(model, 3):
+            assert model.contention_level == 3
+        assert model.contention_level == 1
+
+    def test_restores_on_exception(self):
+        model = CostModel(clock=SimClock(), params=CostParams())
+        with pytest.raises(RuntimeError):
+            with contention_group(model, 5):
+                raise RuntimeError("boom")
+        assert model.contention_level == 1
+
+    def test_invalid_count(self):
+        model = CostModel(clock=SimClock(), params=CostParams())
+        with pytest.raises(InvalidArgumentError):
+            with contention_group(model, 0):
+                pass
+
+
+class TestConcurrencyTracker:
+    def test_overlapping_forks_compose(self):
+        model = CostModel(clock=SimClock(), params=CostParams())
+        tracker = ConcurrencyTracker(model)
+        with tracker.forking():
+            assert model.contention_level == 1
+            with tracker.forking():
+                assert model.contention_level == 2
+                with tracker.forking():
+                    assert model.contention_level == 3
+                assert model.contention_level == 2
+        assert tracker.active == 0
+        assert model.contention_level == 1
+
+    def test_charges_scale_inside_group(self):
+        alone = CostModel(clock=SimClock(), params=CostParams())
+        alone.charge_copy_pte_entries(10_000)
+        crowded = CostModel(clock=SimClock(), params=CostParams())
+        tracker = ConcurrencyTracker(crowded)
+        with tracker.forking(), tracker.forking(), tracker.forking():
+            crowded.charge_copy_pte_entries(10_000)
+        assert crowded.clock.now_ns > alone.clock.now_ns * 2
+
+
+class TestEndToEndContention:
+    def test_fork_latency_monotone_in_contenders(self):
+        latencies = []
+        for k in (1, 2, 4):
+            machine = Machine(phys_mb=1024)
+            p = machine.spawn_process("contender")
+            addr = p.mmap(256 * MIB)
+            p.touch_range(addr, 256 * MIB, write=True)
+            with machine.concurrency(k):
+                p.fork()
+            latencies.append(p.last_fork_ns)
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_odfork_nearly_contention_immune(self):
+        """odfork skips the contended leaf loop: the paper's scalability
+        claim."""
+        results = {}
+        for k in (1, 4):
+            machine = Machine(phys_mb=1024)
+            p = machine.spawn_process("odf")
+            addr = p.mmap(256 * MIB)
+            p.touch_range(addr, 256 * MIB, write=True)
+            with machine.concurrency(k):
+                p.odfork()
+            results[k] = p.last_fork_ns
+        assert results[4] < results[1] * 1.2

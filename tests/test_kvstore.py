@@ -1,0 +1,118 @@
+"""Redis-like store: snapshots, COW behaviour, traffic generation."""
+
+import pytest
+
+from repro import Machine
+from repro.apps import KVStore, MemtierClient
+from repro.errors import InvalidArgumentError
+
+
+@pytest.fixture
+def store():
+    machine = Machine(phys_mb=512)
+    return KVStore(machine, data_mb=64, use_odfork=False,
+                   snapshot_threshold=100, snapshot_min_interval_ms=0.0)
+
+
+class TestStoreBasics:
+    def test_dataset_resident_after_load(self, store):
+        assert store.proc.rss_bytes >= 64 * 1024 * 1024
+
+    def test_invalid_sizes(self):
+        machine = Machine(phys_mb=128)
+        with pytest.raises(InvalidArgumentError):
+            KVStore(machine, data_mb=0)
+
+    def test_gets_and_sets_advance_clock(self, store):
+        t0 = store.machine.now_ns
+        store.handle_get(1)
+        store.handle_set(2)
+        assert store.machine.now_ns > t0
+
+
+class TestSnapshotting:
+    def test_snapshot_after_threshold(self, store):
+        for i in range(100):
+            store.handle_set(i)
+        assert store.snapshots_taken == 1
+        assert store.latest_fork_usec is not None
+
+    def test_min_interval_gates_snapshots(self):
+        machine = Machine(phys_mb=512)
+        store = KVStore(machine, data_mb=64, snapshot_threshold=10,
+                        snapshot_min_interval_ms=10_000.0)
+        for i in range(100):
+            store.handle_set(i)
+        assert store.snapshots_taken == 0  # interval not yet reached
+
+    def test_writes_during_snapshot_cow(self, store):
+        machine = store.machine
+        for i in range(100):
+            store.handle_set(i)  # triggers one snapshot
+        cow_before = machine.stats.cow_faults
+        # The snapshot child is alive; every parent write must COW.
+        store.handle_set(5000)
+        assert machine.stats.cow_faults > cow_before
+        store.reap_finished_children(force=True)
+
+    def test_reap_after_serialize_deadline(self, store):
+        for i in range(100):
+            store.handle_set(i)
+        assert len(store._snapshot_children) == 1
+        store.machine.clock.advance(store.serialize_ns + 1)
+        store.reap_finished_children()
+        assert len(store._snapshot_children) == 0
+
+    def test_odfork_snapshot_much_faster(self):
+        forks = {}
+        for use_odfork in (False, True):
+            machine = Machine(phys_mb=512)
+            s = KVStore(machine, data_mb=64, use_odfork=use_odfork,
+                        snapshot_threshold=50, snapshot_min_interval_ms=0.0)
+            for i in range(50):
+                s.handle_set(i)
+            forks[use_odfork] = s.fork_ns_samples[0]
+            s.shutdown()
+        assert forks[True] < forks[False] / 5
+
+    def test_shutdown_cleans_up(self, store):
+        for i in range(100):
+            store.handle_set(i)
+        store.shutdown()
+        assert not store.proc.alive
+        store.machine.check_frame_invariants()
+
+    def test_info_fields(self, store):
+        store.snapshot()
+        info = store.info()
+        assert info["snapshots_taken"] == 1
+        assert info["keys"] == store.n_keys
+        assert info["latest_fork_usec"] > 0
+
+
+class TestMemtierClient:
+    def test_run_returns_latencies(self, store):
+        client = MemtierClient(store, connections=1, pipeline_depth=10,
+                               write_ratio=0.5, seed=1)
+        latencies = client.run(500)
+        assert len(latencies) == 500
+        assert (latencies > 0).all()
+
+    def test_latency_reflects_outstanding_depth(self, store):
+        shallow = MemtierClient(store, connections=1, pipeline_depth=5,
+                                seed=2).run(300)
+        deep = MemtierClient(store, connections=1, pipeline_depth=500,
+                             seed=2).run(300)
+        assert deep[200:].mean() > shallow[200:].mean() * 10
+
+    def test_invalid_parameters(self, store):
+        with pytest.raises(InvalidArgumentError):
+            MemtierClient(store, connections=0)
+        with pytest.raises(InvalidArgumentError):
+            MemtierClient(store, write_ratio=2.0)
+
+    def test_write_ratio_drives_snapshots(self, store):
+        client = MemtierClient(store, connections=1, pipeline_depth=10,
+                               write_ratio=1.0, seed=3)
+        client.run(300)
+        assert store.snapshots_taken >= 2

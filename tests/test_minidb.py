@@ -1,0 +1,227 @@
+"""MiniDB: schema, DML, constraints, fork views, synthetic bulk rows."""
+
+import pytest
+
+from repro import MIB, Machine
+from repro.apps import Column, MiniDB, MiniDBError
+
+
+@pytest.fixture
+def db(machine):
+    p = machine.spawn_process("dbproc")
+    database = MiniDB(p, heap_mb=32)
+    database.create_table("users", [
+        Column("id", "int"),
+        Column("name", "str", indexed=True),
+        Column("age", "int"),
+    ], primary_key="id")
+    database.create_table("orders", [
+        Column("id", "int"),
+        Column("user_id", "int", references=("users", "id")),
+        Column("amount", "int"),
+    ], primary_key="id")
+    return database
+
+
+def seed_users(db, n=20):
+    for i in range(n):
+        db.insert("users", {"id": i, "name": f"user{i % 5}", "age": 20 + i})
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(MiniDBError):
+            db.create_table("users", [Column("id", "int")], primary_key="id")
+
+    def test_bad_primary_key(self, db):
+        from repro.errors import InvalidArgumentError
+        with pytest.raises(InvalidArgumentError):
+            db.create_table("t", [Column("a", "int")], primary_key="zzz")
+
+    def test_record_encoding_roundtrip(self, db):
+        schema = db.tables["users"].schema
+        row = {"id": 42, "name": "bob", "age": -7}
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_blob_columns(self, machine):
+        p = machine.spawn_process("blobproc")
+        database = MiniDB(p, heap_mb=8)
+        database.create_table("t", [
+            Column("id", "int"),
+            Column("payload", "blob", size=256),
+        ], primary_key="id")
+        database.insert("t", {"id": 1, "payload": b"\x01\x02" * 10})
+        row = database.select("t", where=("id", "=", 1))[0]
+        assert row["payload"][:20] == b"\x01\x02" * 10
+
+
+class TestDML:
+    def test_insert_select(self, db):
+        seed_users(db)
+        rows = db.select("users", where=("id", "=", 7))
+        assert len(rows) == 1
+        assert rows[0]["age"] == 27
+
+    def test_unique_violation(self, db):
+        seed_users(db, 3)
+        with pytest.raises(MiniDBError, match="UNIQUE"):
+            db.insert("users", {"id": 1, "name": "dup", "age": 1})
+
+    def test_missing_columns_rejected(self, db):
+        with pytest.raises(MiniDBError, match="missing"):
+            db.insert("users", {"id": 1})
+
+    def test_select_operators(self, db):
+        seed_users(db)
+        assert len(db.select("users", where=("age", ">", 35))) == 4
+        assert len(db.select("users", where=("age", "<", 22))) == 2
+        assert len(db.select("users", where=("age", "!=", 20))) == 19
+
+    def test_select_with_index(self, db):
+        seed_users(db)
+        rows = db.select("users", where=("name", "=", "user3"))
+        assert {r["id"] for r in rows} == {3, 8, 13, 18}
+
+    def test_select_limit(self, db):
+        seed_users(db)
+        assert len(db.select("users", limit=5)) == 5
+
+    def test_select_unknown_column(self, db):
+        with pytest.raises(MiniDBError, match="no such column"):
+            db.select("users", where=("ghost", "=", 1))
+
+    def test_delete(self, db):
+        seed_users(db)
+        assert db.delete("users", where=("id", "=", 3)) == 1
+        assert db.select("users", where=("id", "=", 3)) == []
+        assert db.count("users") == 19
+        # Index updated too.
+        assert 3 not in {r["id"] for r in db.select("users",
+                                                    where=("name", "=", "user3"))}
+
+    def test_update(self, db):
+        seed_users(db)
+        changed = db.update("users", {"age": 99}, where=("id", "=", 5))
+        assert changed == 1
+        assert db.select("users", where=("id", "=", 5))[0]["age"] == 99
+
+    def test_update_reindexes(self, db):
+        seed_users(db)
+        db.update("users", {"name": "renamed"}, where=("id", "=", 5))
+        assert db.select("users", where=("name", "=", "renamed"))[0]["id"] == 5
+        assert 5 not in {r["id"] for r in db.select("users",
+                                                    where=("name", "=", "user0"))}
+
+    def test_update_pk_rejected(self, db):
+        seed_users(db, 2)
+        with pytest.raises(MiniDBError):
+            db.update("users", {"id": 100}, where=("id", "=", 1))
+
+    def test_foreign_key_enforced(self, db):
+        seed_users(db, 5)
+        db.insert("orders", {"id": 1, "user_id": 3, "amount": 10})
+        with pytest.raises(MiniDBError, match="FOREIGN KEY"):
+            db.insert("orders", {"id": 2, "user_id": 999, "amount": 10})
+
+    def test_unknown_table(self, db):
+        with pytest.raises(MiniDBError, match="no such table"):
+            db.select("ghost_table")
+
+
+class TestForkViews:
+    def test_child_view_isolated(self, db, machine):
+        seed_users(db)
+        parent_proc = db.proc
+        child = parent_proc.odfork()
+        child_db = db.view_for(child)
+        child_db.delete("users", where=("id", "=", 1))
+        child_db.update("users", {"age": 1}, where=("id", "=", 2))
+        child_db.insert("users", {"id": 500, "name": "new", "age": 5})
+        # Parent unaffected.
+        assert db.count("users") == 20
+        assert db.select("users", where=("id", "=", 1))
+        assert db.select("users", where=("id", "=", 2))[0]["age"] == 22
+        assert not db.select("users", where=("id", "=", 500))
+        # Child sees its own state.
+        assert child_db.count("users") == 20
+        assert not child_db.select("users", where=("id", "=", 1))
+        assert child_db.select("users", where=("id", "=", 500))
+
+    def test_sibling_views_independent(self, db):
+        seed_users(db, 5)
+        a = db.view_for(db.proc.odfork())
+        b = db.view_for(db.proc.odfork())
+        a.delete("users", where=("id", "=", 0))
+        assert b.select("users", where=("id", "=", 0))
+
+
+class TestSyntheticRows:
+    @pytest.fixture
+    def synth_db(self, machine):
+        p = machine.spawn_process("synth")
+        database = MiniDB(p, heap_mb=32, store_bytes=False)
+        database.create_table("big", [
+            Column("id", "int"),
+            Column("value", "int"),
+        ], primary_key="id")
+        database.bulk_load_synthetic(
+            "big", 10_000, lambda slot: {"id": slot, "value": slot * 3})
+        return database
+
+    def test_bulk_load_counts(self, synth_db):
+        assert synth_db.count("big") == 10_000
+        assert synth_db.rows_loaded == 10_000
+
+    def test_pk_probe(self, synth_db):
+        rows = synth_db.select("big", where=("id", "=", 777))
+        assert rows == [{"id": 777, "value": 2331}]
+        assert synth_db.select("big", where=("id", "=", 10_001)) == []
+
+    def test_delete_synthetic(self, synth_db):
+        assert synth_db.delete("big", where=("id", "=", 5)) == 1
+        assert synth_db.select("big", where=("id", "=", 5)) == []
+        assert synth_db.count("big") == 9_999
+        # Deleting again is a no-op.
+        assert synth_db.delete("big", where=("id", "=", 5)) == 0
+
+    def test_update_synthetic_overrides(self, synth_db):
+        synth_db.update("big", {"value": -1}, where=("id", "=", 9))
+        assert synth_db.select("big", where=("id", "=", 9))[0]["value"] == -1
+        assert synth_db.select("big", where=("id", "=", 10))[0]["value"] == 30
+
+    def test_insert_beyond_synthetic(self, synth_db):
+        synth_db.insert("big", {"id": 999_999, "value": 1})
+        assert synth_db.select("big", where=("id", "=", 999_999))
+        with pytest.raises(MiniDBError, match="UNIQUE"):
+            synth_db.insert("big", {"id": 3, "value": 0})
+
+    def test_reinsert_deleted_synthetic_pk(self, synth_db):
+        synth_db.delete("big", where=("id", "=", 3))
+        synth_db.insert("big", {"id": 3, "value": 42})
+        rows = synth_db.select("big", where=("id", "=", 3))
+        assert rows == [{"id": 3, "value": 42}]
+
+    def test_fork_view_of_synthetic(self, synth_db):
+        child = synth_db.proc.odfork()
+        child_db = synth_db.view_for(child)
+        child_db.delete("big", where=("id", "=", 100))
+        child_db.update("big", {"value": 0}, where=("id", "=", 200))
+        assert synth_db.select("big", where=("id", "=", 100))
+        assert synth_db.select("big", where=("id", "=", 200))[0]["value"] == 600
+        assert not child_db.select("big", where=("id", "=", 100))
+
+    def test_bulk_load_requires_no_store_bytes(self, db):
+        with pytest.raises(MiniDBError):
+            db.bulk_load_synthetic("users", 10,
+                                   lambda slot: {"id": slot, "name": "x",
+                                                 "age": 0})
+
+    def test_bulk_load_capacity_check(self, machine):
+        p = machine.spawn_process("cap")
+        database = MiniDB(p, heap_mb=1, store_bytes=False)
+        database.create_table("t", [Column("id", "int"),
+                                    Column("v", "blob", size=4096)],
+                              primary_key="id")
+        with pytest.raises(MiniDBError, match="slot region"):
+            database.bulk_load_synthetic(
+                "t", 10_000_000, lambda slot: {"id": slot, "v": b""})

@@ -1,0 +1,112 @@
+"""mremap: shrink, grow in place, move — including the §3.3 COW cases."""
+
+import pytest
+
+from repro import MIB, SegmentationFault
+from repro.errors import InvalidArgumentError
+from conftest import make_filled_region
+
+
+class TestShrink:
+    def test_shrink_in_place(self, proc):
+        addr = proc.mmap(1 * MIB)
+        proc.write(addr, b"head")
+        proc.write(addr + 900 * 1024, b"tail")
+        new_addr = proc.mremap(addr, 1 * MIB, 512 * 1024)
+        assert new_addr == addr
+        assert proc.read(addr, 4) == b"head"
+        with pytest.raises(SegmentationFault):
+            proc.read(addr + 900 * 1024, 1)
+
+    def test_shrink_with_shared_table_copies(self, proc, machine):
+        """Shrinking inside a shared 2 MiB slot is a COW-on-unmap."""
+        addr, _ = make_filled_region(proc, size=2 * MIB)
+        child = proc.odfork()
+        copies_before = machine.stats.table_cow_copies
+        child.mremap(addr, 2 * MIB, 1 * MIB)
+        assert machine.stats.table_cow_copies == copies_before + 1
+        # Parent keeps the full mapping.
+        assert proc.read(addr + 2 * MIB - 4096, 1) is not None
+
+
+class TestGrow:
+    def test_grow_in_place_when_room(self, proc):
+        addr = proc.mmap(512 * 1024)
+        proc.write(addr, b"data")
+        new_addr = proc.mremap(addr, 512 * 1024, 1 * MIB)
+        assert new_addr == addr
+        assert proc.read(addr, 4) == b"data"
+        proc.write(addr + 900 * 1024, b"grown")
+        assert proc.read(addr + 900 * 1024, 5) == b"grown"
+
+    def test_grow_moves_when_blocked(self, proc):
+        a = proc.mmap(512 * 1024)
+        proc.write(a, b"moving data")
+        proc.write(a + 500 * 1024, b"near end")
+        # Block in-place growth with an adjacent mapping.
+        proc.mmap(64 * 1024, addr=a + 512 * 1024,
+                  flags=0b100101)  # MAP_PRIVATE|MAP_ANONYMOUS|MAP_FIXED
+        new_addr = proc.mremap(a, 512 * 1024, 2 * MIB)
+        assert new_addr != a
+        assert proc.read(new_addr, 11) == b"moving data"
+        assert proc.read(new_addr + 500 * 1024, 8) == b"near end"
+        with pytest.raises(SegmentationFault):
+            proc.read(a, 1)
+
+    def test_grow_no_move_rejected_when_blocked(self, proc):
+        a = proc.mmap(512 * 1024)
+        proc.mmap(64 * 1024, addr=a + 512 * 1024, flags=0b100101)
+        with pytest.raises(InvalidArgumentError):
+            proc.mremap(a, 512 * 1024, 2 * MIB, may_move=False)
+
+
+class TestMove:
+    def test_move_preserves_cow_relationships(self, proc, machine):
+        """Moved entries keep sharing data pages with the fork child."""
+        addr, _ = make_filled_region(proc, size=1 * MIB)
+        proc.write(addr, b"shared page")
+        child = proc.fork()
+        # Force a move of the parent's mapping.
+        proc.mmap(64 * 1024, addr=addr + 1 * MIB, flags=0b100101)
+        new_addr = proc.mremap(addr, 1 * MIB, 4 * MIB)
+        assert proc.read(new_addr, 11) == b"shared page"
+        # COW still intact: parent write does not affect the child.
+        proc.write(new_addr, b"parent-only")
+        assert child.read(addr, 11) == b"shared page"
+
+    def test_move_from_shared_table_copies_first(self, proc, machine):
+        addr, _ = make_filled_region(proc, size=2 * MIB)
+        child = proc.odfork()
+        proc.mmap(64 * 1024, addr=addr + 2 * MIB, flags=0b100101)
+        copies_before = machine.stats.table_cow_copies
+        new_addr = proc.mremap(addr, 2 * MIB, 4 * MIB)
+        assert machine.stats.table_cow_copies >= copies_before + 1
+        # The child still translates through the old (shared) table.
+        assert child.read(addr, 3) is not None
+        assert proc.read(new_addr, 3) is not None
+
+    def test_move_page_refcounts_stable(self, proc, machine):
+        """Entry moves transfer ownership: no refcount churn."""
+        addr = proc.mmap(128 * 1024)
+        proc.write(addr, b"x")
+        leaf = proc.mm.get_pte_table(addr)
+        pfn = leaf.child_pfn((addr >> 12) & 511)
+        assert machine.pages.get_ref(pfn) == 1
+        proc.mmap(64 * 1024, addr=addr + 128 * 1024, flags=0b100101)
+        proc.mremap(addr, 128 * 1024, 256 * 1024)
+        assert machine.pages.get_ref(pfn) == 1
+
+
+class TestValidation:
+    def test_same_size_noop(self, proc):
+        addr = proc.mmap(64 * 1024)
+        assert proc.mremap(addr, 64 * 1024, 64 * 1024) == addr
+
+    def test_bad_ranges_rejected(self, proc):
+        addr = proc.mmap(64 * 1024)
+        with pytest.raises(InvalidArgumentError):
+            proc.mremap(addr + 4096, 64 * 1024, 128 * 1024)  # not VMA start
+        with pytest.raises(InvalidArgumentError):
+            proc.mremap(addr, 0, 128 * 1024)
+        with pytest.raises(InvalidArgumentError):
+            proc.mremap(0x700000000000, 4096, 8192)  # unmapped

@@ -1,0 +1,54 @@
+"""Noise model: determinism, distribution properties, jitter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing import NoiseModel
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self):
+        noise = NoiseModel(seed=1, sigma=0.0)
+        assert noise.perturb(1000) == 1000
+
+    def test_same_seed_same_draws(self):
+        a = NoiseModel(seed=7, sigma=0.1)
+        b = NoiseModel(seed=7, sigma=0.1)
+        assert [a.perturb(100) for _ in range(50)] == \
+               [b.perturb(100) for _ in range(50)]
+
+    def test_different_seed_different_draws(self):
+        a = NoiseModel(seed=7, sigma=0.1)
+        b = NoiseModel(seed=8, sigma=0.1)
+        assert [a.perturb(100) for _ in range(10)] != \
+               [b.perturb(100) for _ in range(10)]
+
+    def test_mean_preserving_roughly(self):
+        noise = NoiseModel(seed=3, sigma=0.05)
+        draws = [noise.perturb(1000) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(1000, rel=0.02)
+
+    def test_spikes_add_positive_tail(self):
+        calm = NoiseModel(seed=5, sigma=0.01)
+        spiky = NoiseModel(seed=5, sigma=0.01, spike_prob=0.2, spike_scale=1.0)
+        calm_max = max(calm.perturb(100) for _ in range(2000))
+        spiky_max = max(spiky.perturb(100) for _ in range(2000))
+        assert spiky_max > calm_max * 1.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(spike_prob=1.5)
+
+    def test_syscall_jitter_nonnegative(self):
+        noise = NoiseModel(seed=11, sigma=0.05)
+        draws = [noise.syscall_jitter() for _ in range(1000)]
+        assert all(d >= 0 for d in draws)
+        assert any(d > 0 for d in draws)
+
+    def test_uniform_and_randint_helpers(self):
+        noise = NoiseModel(seed=2)
+        for _ in range(100):
+            assert 1.0 <= noise.uniform(1.0, 2.0) < 2.0
+            assert 5 <= noise.randint(5, 9) < 9

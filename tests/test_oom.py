@@ -1,0 +1,80 @@
+"""Memory pressure: reclaim of clean page-cache pages, OOM errors."""
+
+import pytest
+
+from repro import MIB, Machine, OutOfMemoryError
+
+
+def tiny_machine(mb=8):
+    return Machine(phys_mb=mb)
+
+
+class TestOOM:
+    def test_exhaustion_raises_oom(self):
+        machine = tiny_machine(4)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(16 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            p.touch_range(addr, 16 * MIB, write=True)
+
+    def test_byte_path_oom(self):
+        machine = tiny_machine(2)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(8 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            for offset in range(0, 8 * MIB, 4096):
+                p.write(addr + offset, b"x")
+
+    def test_reclaim_rescues_allocation(self):
+        machine = tiny_machine(8)
+        kernel = machine.kernel
+        # Fill the page cache with clean, unmapped pages.
+        f = kernel.fs.create("/cached", size=4 * MIB)
+        kernel.page_cache.read(f, 0, 4 * MIB)
+        assert len(kernel.page_cache) >= 1000
+        p = machine.spawn_process("needy")
+        addr = p.mmap(6 * MIB)
+        # Needs more frames than remain free: reclaim must kick in.
+        p.touch_range(addr, 6 * MIB, write=True)
+        assert machine.stats.oom_reclaims >= 1
+        assert len(kernel.page_cache) < 1000
+
+    def test_dirty_cache_pages_not_reclaimed(self):
+        machine = tiny_machine(8)
+        kernel = machine.kernel
+        f = kernel.fs.create("/dirty", size=4 * MIB)
+        kernel.page_cache.write(f, 0, b"d" * (4 * MIB))
+        cached_before = len(kernel.page_cache)
+        freed = kernel.page_cache.reclaim_clean(10_000)
+        assert freed == 0
+        assert len(kernel.page_cache) == cached_before
+
+    def test_mapped_cache_pages_not_reclaimed(self):
+        machine = tiny_machine(16)
+        kernel = machine.kernel
+        f = kernel.fs.create("/mapped", size=1 * MIB)
+        p = machine.spawn_process("mapper")
+        addr = p.mmap_shared(1 * MIB, file=f)
+        p.touch_range(addr, 1 * MIB, write=False)
+        freed = kernel.page_cache.reclaim_clean(10_000)
+        assert freed == 0
+
+    def test_fork_succeeds_under_moderate_pressure(self):
+        machine = tiny_machine(24)
+        p = machine.spawn_process("parent")
+        addr = p.mmap(8 * MIB)
+        p.touch_range(addr, 8 * MIB, write=True)
+        child = p.odfork()   # shares tables: near-zero frame cost
+        assert child.read(addr, 1) is not None
+
+    def test_oom_does_not_corrupt_state(self):
+        machine = tiny_machine(4)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(16 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            p.touch_range(addr, 16 * MIB, write=True)
+        machine.check_frame_invariants()
+        # The process can still exit cleanly.
+        p.exit()
+        machine.init_process.wait()
+        machine.check_frame_invariants()

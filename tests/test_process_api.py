@@ -1,0 +1,93 @@
+"""The public Process/Machine facade."""
+
+import pytest
+
+from repro import GIB, MIB, Machine
+from repro.errors import ConfigurationError
+from repro.timing import CostParams
+
+
+class TestMachine:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            Machine(phys_mb=0)
+
+    def test_custom_cost_params(self):
+        params = CostParams().replace_with(fault_base=5_000.0)
+        machine = Machine(phys_mb=128, cost_params=params)
+        p = machine.spawn_process("x")
+        addr = p.mmap(4096)
+        t0 = machine.now_ns
+        p.write(addr, b"x")
+        assert machine.now_ns - t0 >= 5_000
+
+    def test_init_process_singleton(self, machine):
+        assert machine.init_process is machine.init_process
+        assert machine.init_process.pid == 1
+
+    def test_spawn_children_of_init(self, machine):
+        a = machine.spawn_process("a")
+        b = machine.spawn_process("b")
+        assert a.task.parent is machine.init_process.task
+        assert a.pid != b.pid
+
+    def test_memory_report(self, machine):
+        p = machine.spawn_process("r")
+        addr = p.mmap(1 * MIB)
+        p.touch_range(addr, 1 * MIB, write=True)
+        report = machine.memory_report()
+        assert report["used_frames"] >= 256
+        assert report["free_frames"] > 0
+        assert report["live_tables"] >= 2
+
+    def test_concurrency_context(self, machine):
+        assert machine.cost.contention_level == 1
+        with machine.concurrency(4):
+            assert machine.cost.contention_level == 4
+        assert machine.cost.contention_level == 1
+
+    def test_deterministic_replay(self):
+        def run():
+            m = Machine(phys_mb=256, noise_sigma=0.05, seed=42)
+            p = m.spawn_process("replay")
+            addr = p.mmap(16 * MIB)
+            p.touch_range(addr, 16 * MIB, write=True)
+            child = p.fork()
+            child.write(addr, b"abc")
+            return m.now_ns, p.last_fork_ns
+        assert run() == run()
+
+
+class TestProcessFacade:
+    def test_status_fields(self, proc):
+        addr = proc.mmap(1 * MIB, name="heap")
+        proc.write(addr, b"x")
+        status = proc.status()
+        assert status["pid"] == proc.pid
+        assert status["vm_size_bytes"] == 1 * MIB
+        assert status["vm_rss_bytes"] == 4096
+        assert status["state"] == "running"
+        assert status["odfork_enabled"] is False
+
+    def test_odfork_default_in_status(self, proc):
+        proc.set_odfork_default(True)
+        assert proc.status()["odfork_enabled"] is True
+
+    def test_touch_counts_pages(self, proc):
+        addr = proc.mmap(64 * 1024)
+        assert proc.touch(addr, 1) == 1
+        assert proc.touch(addr + 4090, 10) == 2  # crosses a boundary
+        assert proc.touch(addr, 0) == 0
+
+    def test_repr(self, proc):
+        assert f"pid={proc.pid}" in repr(proc)
+
+    def test_last_fork_initially_none(self, proc):
+        assert proc.last_fork_ns is None
+
+    def test_mapped_vs_rss(self, proc):
+        addr = proc.mmap(2 * MIB)
+        assert proc.mapped_bytes == 2 * MIB
+        assert proc.rss_bytes == 0
+        proc.touch_range(addr, 1 * MIB, write=True)
+        assert proc.rss_bytes == 1 * MIB

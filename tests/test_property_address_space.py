@@ -1,0 +1,175 @@
+"""Property-based testing: the simulated address space vs a flat model.
+
+A hypothesis state machine drives a process (and fork children) through
+random mmap/munmap/write/read/fork/exit sequences while mirroring every
+write in plain Python dictionaries.  Any divergence between what the
+simulated MMU returns and the shadow model is a paging bug; every step
+also re-audits the kernel's refcounts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro import MIB, Machine
+from auditor import audit_machine
+
+REGION = 4 * MIB
+PAGE = 4096
+MAX_PROCS = 5
+
+
+class AddressSpaceMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.machine = Machine(phys_mb=192)
+        root = self.machine.spawn_process("root")
+        self.region = root.mmap(REGION)
+        # procs: list of (Process, shadow dict page->bytes, mapped flag)
+        self.procs = [root]
+        self.shadow = {root.pid: {}}
+        self.unmapped = {root.pid: set()}
+        self.readonly = {root.pid: set()}
+
+    # --- helpers -----------------------------------------------------
+
+    def _expected(self, pid, page):
+        return self.shadow[pid].get(page, bytes(8))
+
+    # --- rules ---------------------------------------------------------
+
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1),
+          page=st.integers(0, REGION // PAGE - 1),
+          value=st.binary(min_size=8, max_size=8))
+    def write(self, proc_index, page, value):
+        proc = self.procs[proc_index % len(self.procs)]
+        if not proc.alive or page in self.unmapped[proc.pid]:
+            return
+        if page in self.readonly[proc.pid]:
+            return  # exercised separately by write_respects_protection
+        proc.write(self.region + page * PAGE, value)
+        self.shadow[proc.pid][page] = value
+
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1),
+          page=st.integers(0, REGION // PAGE - 1))
+    def read(self, proc_index, page):
+        proc = self.procs[proc_index % len(self.procs)]
+        if not proc.alive or page in self.unmapped[proc.pid]:
+            return
+        actual = proc.read(self.region + page * PAGE, 8)
+        assert actual == self._expected(proc.pid, page), \
+            f"pid {proc.pid} page {page}: {actual!r}"
+
+    @precondition(lambda self: len(self.procs) < MAX_PROCS)
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1), use_odf=st.booleans())
+    def fork(self, proc_index, use_odf):
+        parent = self.procs[proc_index % len(self.procs)]
+        if not parent.alive:
+            return
+        child = parent.odfork() if use_odf else parent.fork()
+        self.procs.append(child)
+        self.shadow[child.pid] = dict(self.shadow[parent.pid])
+        self.unmapped[child.pid] = set(self.unmapped[parent.pid])
+        self.readonly[child.pid] = set(self.readonly[parent.pid])
+
+    @rule(proc_index=st.integers(1, MAX_PROCS - 1))
+    def exit_child(self, proc_index):
+        if len(self.procs) < 2:
+            return
+        index = 1 + proc_index % (len(self.procs) - 1)
+        proc = self.procs[index]
+        if not proc.alive or any(
+            p.alive and p.task.parent is proc.task for p in self.procs
+        ):
+            return  # keep lineages simple: exit leaves first
+        parent_task = proc.task.parent
+        proc.exit()
+        for p in self.procs:
+            if p.task is parent_task:
+                p.wait(proc.pid)
+        self.procs.pop(index)
+        del self.shadow[proc.pid]
+        del self.unmapped[proc.pid]
+        del self.readonly[proc.pid]
+
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1),
+          start_page=st.integers(0, REGION // PAGE - 1),
+          n_pages=st.integers(1, 32),
+          writable=st.booleans())
+    def protect(self, proc_index, start_page, n_pages, writable):
+        from repro import PROT_READ, PROT_WRITE
+        proc = self.procs[proc_index % len(self.procs)]
+        if not proc.alive:
+            return
+        end_page = min(start_page + n_pages, REGION // PAGE)
+        span = range(start_page, end_page)
+        if any(p in self.unmapped[proc.pid] for p in span):
+            return
+        prot = PROT_READ | (PROT_WRITE if writable else 0)
+        proc.mprotect(self.region + start_page * PAGE,
+                      (end_page - start_page) * PAGE, prot)
+        readonly = self.readonly[proc.pid]
+        for p in span:
+            if writable:
+                readonly.discard(p)
+            else:
+                readonly.add(p)
+
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1),
+          page=st.integers(0, REGION // PAGE - 1),
+          value=st.binary(min_size=8, max_size=8))
+    def write_respects_protection(self, proc_index, page, value):
+        from repro import SegmentationFault
+        proc = self.procs[proc_index % len(self.procs)]
+        if not proc.alive or page in self.unmapped[proc.pid]:
+            return
+        if page not in self.readonly[proc.pid]:
+            return
+        try:
+            proc.write(self.region + page * PAGE, value)
+            raise AssertionError(f"write to read-only page {page} succeeded")
+        except SegmentationFault:
+            pass
+
+    @rule(proc_index=st.integers(0, MAX_PROCS - 1),
+          start_page=st.integers(0, REGION // PAGE - 1),
+          n_pages=st.integers(1, 64))
+    def unmap(self, proc_index, start_page, n_pages):
+        proc = self.procs[proc_index % len(self.procs)]
+        if not proc.alive:
+            return
+        end_page = min(start_page + n_pages, REGION // PAGE)
+        span = range(start_page, end_page)
+        if any(p in self.unmapped[proc.pid] for p in span):
+            return  # avoid double-unmap bookkeeping complexity
+        proc.munmap(self.region + start_page * PAGE,
+                    (end_page - start_page) * PAGE)
+        for p in span:
+            self.unmapped[proc.pid].add(p)
+            self.shadow[proc.pid].pop(p, None)
+
+    # --- invariants -------------------------------------------------------
+
+    @invariant()
+    def audit(self):
+        if hasattr(self, "machine"):
+            audit_machine(self.machine)
+
+
+TestAddressSpaceProperties = AddressSpaceMachine.TestCase
+TestAddressSpaceProperties.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much],
+)

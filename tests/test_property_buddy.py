@@ -1,0 +1,82 @@
+"""Property-based buddy-allocator testing: no frame ever double-owned."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+import hypothesis.strategies as st
+
+from repro.mem import BuddyAllocator, OutOfFramesError
+
+N_FRAMES = 1 << 11
+
+
+class BuddyMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.buddy = BuddyAllocator(N_FRAMES)
+        self.singles = []
+        self.blocks = []
+
+    @rule(n=st.integers(1, 128))
+    def alloc_bulk(self, n):
+        if self.buddy.free_frames < n:
+            return
+        pfns = self.buddy.alloc_bulk(n)
+        assert len(np.unique(pfns)) == n
+        self.singles.extend(pfns.tolist())
+
+    @rule(data=st.data())
+    def free_bulk_some(self, data):
+        if not self.singles:
+            return
+        k = data.draw(st.integers(1, len(self.singles)))
+        indices = data.draw(
+            st.lists(st.integers(0, len(self.singles) - 1), min_size=k,
+                     max_size=k, unique=True))
+        chunk = [self.singles[i] for i in indices]
+        for i in sorted(indices, reverse=True):
+            self.singles.pop(i)
+        self.buddy.free_bulk(np.asarray(chunk, dtype=np.int64))
+
+    @rule(order=st.integers(0, 6))
+    def alloc_block(self, order):
+        try:
+            pfn = self.buddy.alloc(order)
+        except OutOfFramesError:
+            return
+        assert pfn % (1 << order) == 0
+        self.blocks.append((pfn, order))
+
+    @rule(data=st.data())
+    def free_block(self, data):
+        if not self.blocks:
+            return
+        index = data.draw(st.integers(0, len(self.blocks) - 1))
+        pfn, order = self.blocks.pop(index)
+        self.buddy.free(pfn, order)
+
+    @rule(index=st.integers(0, 10_000))
+    def free_single(self, index):
+        if not self.singles:
+            return
+        pfn = self.singles.pop(index % len(self.singles))
+        self.buddy.free(pfn)
+
+    @invariant()
+    def ownership_is_exclusive(self):
+        if not hasattr(self, "buddy"):
+            return
+        self.buddy.check_consistency()
+        allocated = len(self.singles) + sum(1 << o for _, o in self.blocks)
+        assert self.buddy.free_frames == N_FRAMES - allocated
+
+
+TestBuddyProperties = BuddyMachine.TestCase
+TestBuddyProperties.settings = settings(
+    max_examples=40,
+    stateful_step_count=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)

@@ -1,0 +1,92 @@
+"""Property tests for the SQL layer: robustness and semantic round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro import Machine, ReproError
+from repro.apps import Column, MiniDB, execute_sql
+
+
+def fresh_db():
+    machine = Machine(phys_mb=128)
+    p = machine.spawn_process("sqlprop")
+    db = MiniDB(p, heap_mb=16)
+    db.create_table("t", [
+        Column("id", "int"),
+        Column("name", "str", indexed=True),
+        Column("v", "int"),
+    ], primary_key="id")
+    return db
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(text=st.text(max_size=120))
+def test_arbitrary_text_never_crashes(text):
+    """The fuzz contract: any input either executes or raises a
+    simulator-level error — never an unhandled Python exception."""
+    db = fresh_db()
+    db.insert("t", {"id": 1, "name": "a", "v": 10})
+    try:
+        execute_sql(db, text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.binary(max_size=80))
+def test_arbitrary_bytes_never_crash(data):
+    db = fresh_db()
+    try:
+        execute_sql(db, data.decode("utf-8", errors="replace"))
+    except ReproError:
+        pass
+
+
+ids = st.integers(0, 30)
+values = st.integers(-1000, 1000)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.dictionaries(ids, values, min_size=1, max_size=20),
+       probe=ids, threshold=values)
+def test_sql_matches_reference_semantics(rows, probe, threshold):
+    """Generated INSERT/SELECT/DELETE/UPDATE agree with plain-dict
+    reference semantics."""
+    db = fresh_db()
+    reference = {}
+    for key, value in rows.items():
+        execute_sql(db, f"INSERT INTO t (id, name, v) "
+                        f"VALUES ({key}, 'n{key % 3}', {value})")
+        reference[key] = value
+
+    # Point query.
+    got = execute_sql(db, f"SELECT * FROM t WHERE id = {probe}")
+    assert len(got) == (1 if probe in reference else 0)
+    if probe in reference:
+        assert got[0]["v"] == reference[probe]
+
+    # Range query.
+    got = execute_sql(db, f"SELECT * FROM t WHERE v > {threshold}")
+    assert {r["id"] for r in got} == \
+        {k for k, v in reference.items() if v > threshold}
+
+    # Conditional update.
+    updated = execute_sql(db, f"UPDATE t SET v = 0 WHERE v < {threshold}")
+    expected_updates = {k for k, v in reference.items() if v < threshold}
+    assert updated == len(expected_updates)
+    for key in expected_updates:
+        reference[key] = 0
+
+    # Conditional delete.
+    deleted = execute_sql(db, f"DELETE FROM t WHERE id > {probe}")
+    assert deleted == len({k for k in reference if k > probe})
+    for key in [k for k in reference if k > probe]:
+        del reference[key]
+
+    assert execute_sql(db, "SELECT COUNT(*) FROM t") == len(reference)

@@ -1,0 +1,97 @@
+"""Property tests interleaving khugepaged with fork lineages.
+
+THP collapse and split interact with every COW mechanism in the kernel;
+these scenarios randomly interleave promotion passes with forks, writes,
+and unmaps, asserting data integrity and clean audits throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro import MIB, Machine
+from repro.kernel.kernel import MADV_HUGEPAGE
+from auditor import audit_machine
+
+REGION = 4 * MIB
+PAGE = 4096
+N_PAGES = REGION // PAGE
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write_parent", "write_child", "scan", "fork",
+                         "odfork", "exit_child", "unmap_piece"]),
+        st.integers(0, N_PAGES - 1),
+    ),
+    min_size=3, max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(script=ops)
+def test_thp_interleaved_with_lineages(script):
+    machine = Machine(phys_mb=256)
+    parent = machine.spawn_process("root")
+    region = parent.mmap(REGION)
+    parent.touch_range(region, REGION, write=True)
+    parent.madvise(region, REGION, MADV_HUGEPAGE)
+
+    shadow_parent = {}
+    shadow_child = None
+    child = None
+    unmapped = set()
+    counter = 0
+
+    for op, page in script:
+        counter += 1
+        payload = f"{counter:08d}".encode()
+        addr = region + page * PAGE
+        if op == "write_parent":
+            if page in unmapped:
+                continue
+            parent.write(addr, payload)
+            shadow_parent[page] = payload
+        elif op == "write_child" and child is not None:
+            if page in unmapped:
+                continue  # the hole was inherited: a write would SIGSEGV
+            child.write(addr, payload)
+            shadow_child[page] = payload
+        elif op == "scan":
+            machine.run_khugepaged(parent)
+            if child is not None:
+                machine.run_khugepaged(child)
+        elif op in ("fork", "odfork") and child is None:
+            child = parent.odfork() if op == "odfork" else parent.fork()
+            shadow_child = dict(shadow_parent)
+        elif op == "exit_child" and child is not None:
+            child.exit()
+            parent.wait()
+            child = None
+            shadow_child = None
+        elif op == "unmap_piece" and child is None and page not in unmapped:
+            parent.munmap(addr, PAGE)
+            unmapped.add(page)
+            shadow_parent.pop(page, None)
+
+        # Continuous integrity: every shadowed byte reads back.
+        for probe, expected in list(shadow_parent.items())[:4]:
+            assert parent.read(region + probe * PAGE, 8) == expected
+        if child is not None:
+            for probe, expected in list(shadow_child.items())[:4]:
+                assert child.read(region + probe * PAGE, 8) == expected
+
+    for page, expected in shadow_parent.items():
+        assert parent.read(region + page * PAGE, 8) == expected
+    if child is not None:
+        for page, expected in shadow_child.items():
+            assert child.read(region + page * PAGE, 8) == expected
+        child.exit()
+        parent.wait()
+    audit_machine(machine)
+    parent.exit()
+    machine.init_process.wait()
+    audit_machine(machine)

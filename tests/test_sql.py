@@ -1,0 +1,146 @@
+"""The SQL front end: lexing, parsing, execution, coverage edges."""
+
+import pytest
+
+from repro.apps import Column, MiniDB, MiniDBError, SQLParseError, execute_sql, tokenize
+from repro.apps.sql import Parser
+
+
+@pytest.fixture
+def db(machine):
+    p = machine.spawn_process("sqlproc")
+    database = MiniDB(p, heap_mb=16)
+    database.create_table("t", [
+        Column("id", "int"),
+        Column("name", "str", indexed=True),
+        Column("v", "int"),
+    ], primary_key="id")
+    for i in range(10):
+        database.insert("t", {"id": i, "name": f"n{i}", "v": i * 10})
+    return database
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "kw" and t.value == "select"
+                   for t in tokens[:-1])
+
+    def test_identifiers_and_literals(self):
+        tokens = tokenize("foo 42 -7 'bar baz'")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [("ident", "foo"), ("int", 42), ("int", -7),
+                         ("str", "bar baz")]
+
+    def test_symbols(self):
+        tokens = tokenize("= != < > ( ) , *")
+        assert [t.value for t in tokens[:-1]] == \
+            ["=", "!=", "<", ">", "(", ")", ",", "*"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLParseError, match="unterminated"):
+            tokenize("SELECT 'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(SQLParseError, match="unexpected"):
+            tokenize("SELECT #")
+
+    def test_coverage_edges_emitted(self):
+        edges = []
+        tokenize("SELECT * FROM t", coverage=edges.append)
+        assert len(edges) > 3
+        # Deterministic across calls.
+        edges2 = []
+        tokenize("SELECT * FROM t", coverage=edges2.append)
+        assert edges == edges2
+
+
+class TestParser:
+    def parse(self, text):
+        return Parser(tokenize(text)).parse()
+
+    def test_select_star(self):
+        stmt = self.parse("SELECT * FROM t")
+        assert stmt["op"] == "select"
+        assert stmt["columns"] is None
+        assert stmt["where"] is None
+
+    def test_select_columns_where_limit(self):
+        stmt = self.parse("SELECT a, b FROM t WHERE x != 'y' LIMIT 3")
+        assert stmt["columns"] == ["a", "b"]
+        assert stmt["where"] == ("x", "!=", "y")
+        assert stmt["limit"] == 3
+
+    def test_select_count(self):
+        stmt = self.parse("SELECT COUNT(*) FROM t")
+        assert stmt["count"]
+
+    def test_delete_update_insert(self):
+        assert self.parse("DELETE FROM t WHERE id = 1")["op"] == "delete"
+        stmt = self.parse("UPDATE t SET a = 1, b = 'x' WHERE id > 2")
+        assert stmt["set"] == {"a": 1, "b": "x"}
+        stmt = self.parse("INSERT INTO t (id, v) VALUES (1, 2)")
+        assert stmt["row"] == {"id": 1, "v": 2}
+
+    @pytest.mark.parametrize("bad", [
+        "",                                  # nothing
+        "SELECT",                            # truncated
+        "SELECT * FROM",                     # missing table
+        "SELECT * FROM t WHERE",             # dangling where
+        "SELECT * FROM t WHERE id ~ 3",      # bad operator
+        "SELECT * FROM t LIMIT 'x'",         # non-int limit
+        "SELECT * FROM t garbage",           # trailing tokens
+        "DROP TABLE t",                      # unsupported statement
+        "UPDATE t SET",                      # empty set
+        "INSERT INTO t (a, b) VALUES (1)",   # arity mismatch
+        "42 is not sql",                     # doesn't start with keyword
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SQLParseError):
+            self.parse(bad)
+
+
+class TestExecution:
+    def test_select(self, db):
+        rows = execute_sql(db, "SELECT * FROM t WHERE id = 3")
+        assert rows[0]["v"] == 30
+
+    def test_select_projection(self, db):
+        rows = execute_sql(db, "SELECT name, v FROM t WHERE id = 2")
+        assert rows == [{"name": "n2", "v": 20}]
+
+    def test_select_unknown_projection_column(self, db):
+        with pytest.raises(MiniDBError, match="no such column"):
+            execute_sql(db, "SELECT ghost FROM t WHERE id = 2")
+
+    def test_count(self, db):
+        assert execute_sql(db, "SELECT COUNT(*) FROM t") == 10
+
+    def test_delete(self, db):
+        assert execute_sql(db, "DELETE FROM t WHERE id = 5") == 1
+        assert execute_sql(db, "SELECT COUNT(*) FROM t") == 9
+
+    def test_update(self, db):
+        assert execute_sql(db, "UPDATE t SET v = 777 WHERE id = 1") == 1
+        assert execute_sql(db, "SELECT * FROM t WHERE id = 1")[0]["v"] == 777
+
+    def test_insert(self, db):
+        execute_sql(db, "INSERT INTO t (id, name, v) VALUES (99, 'new', 0)")
+        assert execute_sql(db, "SELECT * FROM t WHERE id = 99")
+
+    def test_string_predicates(self, db):
+        rows = execute_sql(db, "SELECT * FROM t WHERE name = 'n4'")
+        assert rows[0]["id"] == 4
+
+    def test_constraint_errors_surface(self, db):
+        with pytest.raises(MiniDBError, match="UNIQUE"):
+            execute_sql(db, "INSERT INTO t (id, name, v) VALUES (1, 'd', 0)")
+
+    def test_execution_edges_reported(self, db):
+        edges = []
+        execute_sql(db, "SELECT * FROM t WHERE id = 1", coverage=edges.append)
+        assert len(edges) > 10
+        # Different statements touch different edges.
+        other = []
+        execute_sql(db, "DELETE FROM t WHERE id = 2", coverage=other.append)
+        assert set(edges) != set(other)

@@ -1,0 +1,83 @@
+"""AND conjunctions in the SQL layer and compound where clauses."""
+
+import pytest
+
+from repro import Machine
+from repro.apps import Column, MiniDB, MiniDBError, SQLParseError, execute_sql
+from repro.apps.sql import Parser, tokenize
+
+
+@pytest.fixture
+def db(machine):
+    p = machine.spawn_process("andproc")
+    database = MiniDB(p, heap_mb=16)
+    database.create_table("t", [
+        Column("id", "int"),
+        Column("grp", "int", indexed=True),
+        Column("v", "int"),
+    ], primary_key="id")
+    for i in range(30):
+        database.insert("t", {"id": i, "grp": i % 3, "v": i * 10})
+    return database
+
+
+class TestParsing:
+    def parse(self, text):
+        return Parser(tokenize(text)).parse()
+
+    def test_single_condition_unchanged(self):
+        stmt = self.parse("SELECT * FROM t WHERE a = 1")
+        assert stmt["where"] == ("a", "=", 1)
+
+    def test_two_conditions(self):
+        stmt = self.parse("SELECT * FROM t WHERE a = 1 AND b > 2")
+        assert stmt["where"] == ("and", [("a", "=", 1), ("b", ">", 2)])
+
+    def test_three_conditions(self):
+        stmt = self.parse("DELETE FROM t WHERE a = 1 AND b > 2 AND c != 'x'")
+        assert len(stmt["where"][1]) == 3
+
+    def test_dangling_and_rejected(self):
+        with pytest.raises(SQLParseError):
+            self.parse("SELECT * FROM t WHERE a = 1 AND")
+
+    def test_and_without_where_rejected(self):
+        with pytest.raises(SQLParseError):
+            self.parse("SELECT * FROM t AND a = 1")
+
+
+class TestExecution:
+    def test_conjunction_filters(self, db):
+        rows = execute_sql(db, "SELECT * FROM t WHERE grp = 1 AND v > 100")
+        assert {r["id"] for r in rows} == {13, 16, 19, 22, 25, 28}
+
+    def test_pk_condition_drives_probe(self, db, machine):
+        """With a pk condition anywhere in the conjunction, the executor
+        probes instead of scanning."""
+        t0 = machine.now_ns
+        rows = execute_sql(db, "SELECT * FROM t WHERE v > 0 AND id = 7")
+        probe_cost = machine.now_ns - t0
+        assert rows[0]["id"] == 7
+        t0 = machine.now_ns
+        execute_sql(db, "SELECT * FROM t WHERE v = 70")
+        scan_cost = machine.now_ns - t0
+        assert probe_cost < scan_cost
+
+    def test_contradictory_conditions(self, db):
+        assert execute_sql(db, "SELECT * FROM t WHERE id = 3 AND id = 4") == []
+
+    def test_update_with_conjunction(self, db):
+        n = execute_sql(db, "UPDATE t SET v = 0 WHERE grp = 2 AND v < 100")
+        assert n == 3  # ids 2, 5, 8 (grp == 2 with v = 10*id < 100)
+        rows = execute_sql(db, "SELECT * FROM t WHERE grp = 2 AND v = 0")
+        assert len(rows) == n
+
+    def test_delete_with_conjunction(self, db):
+        before = execute_sql(db, "SELECT COUNT(*) FROM t")
+        n = execute_sql(db, "DELETE FROM t WHERE grp = 0 AND v > 200")
+        assert execute_sql(db, "SELECT COUNT(*) FROM t") == before - n
+        assert execute_sql(db, "SELECT * FROM t WHERE grp = 0 AND v > 200") == []
+
+    def test_unknown_column_in_conjunction(self, db):
+        with pytest.raises(MiniDBError, match="no such column"):
+            execute_sql(db, "SELECT * FROM t WHERE grp = 1 AND ghost = 2")

@@ -1,0 +1,139 @@
+"""COW overlay containers used by forked application state."""
+
+import pytest
+
+from repro.apps import CowDict, CowSet, SlotArena
+
+
+class TestCowDict:
+    def test_read_through(self):
+        base = {"a": 1, "b": 2}
+        overlay = CowDict.overlay(base)
+        assert overlay["a"] == 1
+        assert overlay.get("b") == 2
+        assert "a" in overlay
+
+    def test_write_does_not_touch_base(self):
+        base = {"a": 1}
+        overlay = CowDict.overlay(base)
+        overlay["a"] = 99
+        overlay["new"] = 5
+        assert base == {"a": 1}
+        assert overlay["a"] == 99
+        assert overlay["new"] == 5
+
+    def test_delete_masks_base_key(self):
+        base = {"a": 1}
+        overlay = CowDict.overlay(base)
+        del overlay["a"]
+        assert "a" not in overlay
+        assert overlay.get("a") is None
+        with pytest.raises(KeyError):
+            _ = overlay["a"]
+        assert base["a"] == 1
+
+    def test_delete_missing_raises(self):
+        overlay = CowDict.overlay({})
+        with pytest.raises(KeyError):
+            del overlay["ghost"]
+
+    def test_iteration_merges(self):
+        base = {"a": 1, "b": 2}
+        overlay = CowDict.overlay(base)
+        overlay["c"] = 3
+        del overlay["a"]
+        assert sorted(overlay.keys()) == ["b", "c"]
+        assert dict(overlay.items()) == {"b": 2, "c": 3}
+        assert len(overlay) == 2
+
+    def test_nested_overlays(self):
+        base = {"x": 0}
+        gen1 = CowDict.overlay(base)
+        gen1["x"] = 1
+        gen2 = CowDict.overlay(gen1)
+        gen2["x"] = 2
+        assert base["x"] == 0
+        assert gen1["x"] == 1
+        assert gen2["x"] == 2
+
+    def test_setdefault_and_pop(self):
+        overlay = CowDict.overlay({"a": 1})
+        assert overlay.setdefault("a", 9) == 1
+        assert overlay.setdefault("b", 9) == 9
+        assert overlay.pop("a") == 1
+        assert "a" not in overlay
+        assert overlay.pop("ghost", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            overlay.pop("ghost")
+
+
+class TestCowSet:
+    def test_membership_through_base(self):
+        base = {1, 2}
+        overlay = CowSet.overlay(base)
+        assert 1 in overlay
+        overlay.add(3)
+        overlay.discard(1)
+        assert 3 in overlay and 1 not in overlay
+        assert base == {1, 2}
+
+    def test_re_add_after_remove(self):
+        overlay = CowSet.overlay({1})
+        overlay.discard(1)
+        overlay.add(1)
+        assert 1 in overlay
+
+    def test_remove_missing_raises(self):
+        overlay = CowSet.overlay(set())
+        with pytest.raises(KeyError):
+            overlay.remove(7)
+
+    def test_iteration_and_len(self):
+        overlay = CowSet.overlay({1, 2, 3})
+        overlay.add(4)
+        overlay.discard(2)
+        assert sorted(overlay) == [1, 3, 4]
+        assert len(overlay) == 3
+
+    def test_nested(self):
+        base = {1}
+        gen1 = CowSet.overlay(base)
+        gen1.add(2)
+        gen2 = CowSet.overlay(gen1)
+        gen2.discard(1)
+        assert 1 in gen1
+        assert 1 not in gen2
+        assert 2 in gen2
+
+
+class TestSlotArena:
+    def test_alloc_sequential_and_recycle(self):
+        arena = SlotArena(base_addr=0x1000, record_size=64, n_slots=4)
+        a = arena.alloc()
+        b = arena.alloc()
+        assert (a, b) == (0, 1)
+        arena.free(a)
+        assert arena.alloc() == a
+        assert arena.used_slots == 2
+
+    def test_addresses(self):
+        arena = SlotArena(base_addr=0x1000, record_size=64, n_slots=4)
+        assert arena.addr_of(0) == 0x1000
+        assert arena.addr_of(3) == 0x1000 + 192
+
+    def test_exhaustion(self):
+        arena = SlotArena(0, 8, 2)
+        arena.alloc()
+        arena.alloc()
+        with pytest.raises(MemoryError):
+            arena.alloc()
+
+    def test_overlay_isolated(self):
+        arena = SlotArena(0, 8, 10)
+        arena.alloc()
+        child = arena.overlay()
+        child_slot = child.alloc()
+        parent_slot = arena.alloc()
+        assert child_slot == parent_slot == 1  # both continue from parent state
+        child.free(child_slot)
+        assert arena.alloc() == 2  # parent free list unaffected

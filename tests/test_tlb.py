@@ -1,0 +1,84 @@
+"""TLB model: hits, permission upgrades, flushes, eviction."""
+
+from repro.paging import TLB
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = TLB()
+        assert tlb.lookup(0x1000, is_write=False) is None
+        tlb.insert(0x1000, pfn=7, writable=True)
+        hit = tlb.lookup(0x1234, is_write=False)  # same page
+        assert hit.pfn == 7
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_write_through_readonly_entry_misses(self):
+        tlb = TLB()
+        tlb.insert(0x1000, pfn=7, writable=False)
+        assert tlb.lookup(0x1000, is_write=False) is not None
+        assert tlb.lookup(0x1000, is_write=True) is None
+
+    def test_reinsert_upgrades(self):
+        tlb = TLB()
+        tlb.insert(0x1000, pfn=7, writable=False)
+        tlb.insert(0x1000, pfn=7, writable=True)
+        assert tlb.lookup(0x1000, is_write=True).pfn == 7
+        assert len(tlb) == 1
+
+
+class TestFlushes:
+    def test_flush_all(self):
+        tlb = TLB()
+        for page in range(10):
+            tlb.insert(page * 4096, pfn=page, writable=True)
+        tlb.flush_all()
+        assert len(tlb) == 0
+        assert tlb.stats.flushes_full == 1
+
+    def test_flush_range(self):
+        tlb = TLB()
+        for page in range(10):
+            tlb.insert(page * 4096, pfn=page, writable=True)
+        tlb.flush_range(2 * 4096, 5 * 4096)
+        assert tlb.lookup(1 * 4096, False) is not None
+        assert tlb.lookup(2 * 4096, False) is None
+        assert tlb.lookup(4 * 4096, False) is None
+        assert tlb.lookup(5 * 4096, False) is not None
+
+    def test_flush_range_larger_than_cache(self):
+        tlb = TLB()
+        tlb.insert(0x5000, pfn=5, writable=True)
+        tlb.flush_range(0, 1 << 30)
+        assert len(tlb) == 0
+
+    def test_flush_empty_range(self):
+        tlb = TLB()
+        tlb.insert(0x5000, pfn=5, writable=True)
+        tlb.flush_range(0x9000, 0x9000)
+        assert len(tlb) == 1
+
+    def test_flush_page(self):
+        tlb = TLB()
+        tlb.insert(0x5000, pfn=5, writable=True)
+        tlb.flush_page(0x5123)
+        assert tlb.lookup(0x5000, False) is None
+
+
+class TestCapacity:
+    def test_fifo_eviction(self):
+        tlb = TLB(capacity=4)
+        for page in range(6):
+            tlb.insert(page * 4096, pfn=page, writable=True)
+        assert len(tlb) == 4
+        assert tlb.stats.evictions == 2
+        # Oldest entries evicted first.
+        assert tlb.lookup(0, False) is None
+        assert tlb.lookup(5 * 4096, False) is not None
+
+    def test_hit_rate(self):
+        tlb = TLB()
+        tlb.insert(0, pfn=0, writable=True)
+        tlb.lookup(0, False)
+        tlb.lookup(4096, False)
+        assert tlb.stats.hit_rate() == 0.5

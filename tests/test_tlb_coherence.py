@@ -1,0 +1,101 @@
+"""TLB coherence: permission downgrades must invalidate cached translations.
+
+The simulator's TLB actually serves translations on the byte path, so a
+missing shootdown would produce *wrong data*, exactly as on hardware.
+These tests force each downgrade path (fork, odfork, mprotect, peer table
+copy, munmap) and verify both the cache state and the observable values.
+"""
+
+import pytest
+
+from repro import MIB, PROT_READ, SegmentationFault
+from conftest import make_filled_region
+
+
+def warm_tlb(proc, addr, n_pages=8, write=True):
+    """Load writable translations for the first ``n_pages`` of a region."""
+    for page in range(n_pages):
+        proc.touch(addr + page * 4096, 1, write=write)
+    return proc.mm.tlb
+
+
+class TestForkShootdowns:
+    def test_fork_flushes_parent_tlb(self, proc):
+        addr, _ = make_filled_region(proc)
+        tlb = warm_tlb(proc, addr)
+        assert len(tlb) > 0
+        proc.fork()
+        assert len(tlb) == 0, "stale writable entries would break COW"
+
+    def test_odfork_flushes_parent_tlb(self, proc):
+        addr, _ = make_filled_region(proc)
+        tlb = warm_tlb(proc, addr)
+        proc.odfork()
+        assert len(tlb) == 0
+
+    def test_cow_correct_after_fork_with_warm_tlb(self, proc):
+        """End to end: a hot TLB before fork cannot leak writes."""
+        addr, _ = make_filled_region(proc)
+        proc.write(addr, b"original")
+        warm_tlb(proc, addr)
+        child = proc.fork()
+        proc.write(addr, b"parent!!")  # must COW despite prior hot entry
+        assert child.read(addr, 8) == b"original"
+
+
+class TestMprotectShootdowns:
+    def test_mprotect_invalidates_writable_entries(self, proc):
+        addr = proc.mmap(64 * 1024)
+        tlb = warm_tlb(proc, addr, n_pages=4)
+        proc.mprotect(addr, 64 * 1024, PROT_READ)
+        for page in range(4):
+            assert tlb.lookup(addr + page * 4096, is_write=True) is None
+        with pytest.raises(SegmentationFault):
+            proc.write(addr, b"x")
+
+
+class TestUnmapShootdowns:
+    def test_munmap_invalidates_range(self, proc):
+        addr = proc.mmap(64 * 1024)
+        tlb = warm_tlb(proc, addr, n_pages=4)
+        proc.munmap(addr, 64 * 1024)
+        for page in range(4):
+            assert tlb.lookup(addr + page * 4096, is_write=False) is None
+        with pytest.raises(SegmentationFault):
+            proc.read(addr, 1)
+
+    def test_remap_invalidates_old_range(self, proc):
+        addr = proc.mmap(128 * 1024)
+        proc.write(addr, b"moving")
+        tlb = warm_tlb(proc, addr, n_pages=2)
+        # Block in-place growth to force a move.
+        proc.mmap(64 * 1024, addr=addr + 128 * 1024, flags=0b100101)
+        new_addr = proc.mremap(addr, 128 * 1024, 512 * 1024)
+        assert new_addr != addr
+        assert tlb.lookup(addr, is_write=False) is None
+
+
+class TestTableCopyShootdowns:
+    def test_own_table_copy_invalidates_slot(self, proc, machine):
+        addr, _ = make_filled_region(proc, size=2 * MIB)
+        child = proc.odfork()
+        child_tlb = warm_tlb(child, addr, n_pages=4, write=False)
+        assert len(child_tlb) > 0
+        child.write(addr, b"x")  # copies the table for the child
+        # The slot's cached read translations were invalidated (the data
+        # did not move, but the protocol must not trust stale mappings).
+        assert machine.stats.table_cow_copies == 1
+
+    def test_values_consistent_through_tlb(self, proc):
+        """Random interleaving of cached reads and faulting writes across
+        a fork pair always returns coherent values."""
+        addr, _ = make_filled_region(proc, size=1 * MIB)
+        proc.write(addr, b"AAAA")
+        child = proc.odfork()
+        assert child.read(addr, 4) == b"AAAA"   # cached in child TLB
+        child.write(addr, b"BBBB")
+        assert child.read(addr, 4) == b"BBBB"
+        assert proc.read(addr, 4) == b"AAAA"
+        proc.write(addr, b"CCCC")
+        assert proc.read(addr, 4) == b"CCCC"
+        assert child.read(addr, 4) == b"BBBB"

@@ -1,0 +1,152 @@
+"""VMA semantics and the sorted VMA list."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.kernel import (
+    MAP_ANONYMOUS,
+    MAP_HUGETLB,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_READ,
+    PROT_WRITE,
+    VMA,
+    VMAList,
+)
+from repro.kernel.filesystem import SimFile
+
+MIB = 1 << 20
+RW = PROT_READ | PROT_WRITE
+ANON_PRIV = MAP_PRIVATE | MAP_ANONYMOUS
+
+
+def make_vma(start, end, prot=RW, flags=ANON_PRIV, **kwargs):
+    return VMA(start=start, end=end, prot=prot, flags=flags, **kwargs)
+
+
+class TestVMA:
+    def test_classification(self):
+        vma = make_vma(0x10000, 0x20000)
+        assert vma.is_private and not vma.is_shared
+        assert vma.is_anonymous and not vma.is_file_backed
+        assert vma.needs_cow
+        assert vma.n_pages == 16
+
+    def test_read_only_never_cows(self):
+        vma = make_vma(0x10000, 0x20000, prot=PROT_READ)
+        assert not vma.needs_cow
+
+    def test_shared_never_cows(self):
+        f = SimFile("x", 0x10000)
+        vma = make_vma(0x10000, 0x20000, flags=MAP_SHARED, file=f)
+        assert not vma.needs_cow
+        assert vma.is_file_backed
+
+    def test_alignment_enforced(self):
+        with pytest.raises(InvalidArgumentError):
+            make_vma(0x10001, 0x20000)
+        with pytest.raises(InvalidArgumentError):
+            make_vma(0, 2 * MIB - 4096, flags=ANON_PRIV | MAP_HUGETLB)
+
+    def test_hugetlb_alignment(self):
+        vma = make_vma(0, 4 * MIB, flags=ANON_PRIV | MAP_HUGETLB)
+        assert vma.is_hugetlb
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            make_vma(0x10000, 0x10000)
+
+    def test_share_private_exclusive(self):
+        with pytest.raises(InvalidArgumentError):
+            VMA(start=0, end=4096, prot=RW,
+                flags=MAP_PRIVATE | MAP_SHARED | MAP_ANONYMOUS)
+        with pytest.raises(InvalidArgumentError):
+            VMA(start=0, end=4096, prot=RW, flags=MAP_ANONYMOUS)
+
+    def test_file_offset_of(self):
+        f = SimFile("x", 1 * MIB)
+        vma = make_vma(0x100000, 0x180000, flags=MAP_SHARED, file=f,
+                       file_offset=0x3000)
+        assert vma.file_offset_of(0x100000) == 0x3000
+        assert vma.file_offset_of(0x104000) == 0x7000
+
+    def test_clone_reranged(self):
+        f = SimFile("x", 1 * MIB)
+        vma = make_vma(0x100000, 0x180000, flags=MAP_SHARED, file=f)
+        right = vma.clone(start=0x140000)
+        assert right.start == 0x140000
+        assert right.file_offset == 0x40000
+        assert right.prot == vma.prot
+
+
+class TestVMAList:
+    def test_insert_sorted(self):
+        vl = VMAList()
+        b = make_vma(0x20000, 0x30000)
+        a = make_vma(0x10000, 0x20000)
+        vl.insert(b)
+        vl.insert(a)
+        assert [v.start for v in vl] == [0x10000, 0x20000]
+
+    def test_overlap_rejected(self):
+        vl = VMAList()
+        vl.insert(make_vma(0x10000, 0x30000))
+        with pytest.raises(InvalidArgumentError):
+            vl.insert(make_vma(0x20000, 0x40000))
+        with pytest.raises(InvalidArgumentError):
+            vl.insert(make_vma(0x0000, 0x11000))
+
+    def test_find(self):
+        vl = VMAList()
+        vma = make_vma(0x10000, 0x20000)
+        vl.insert(vma)
+        assert vl.find(0x10000) is vma
+        assert vl.find(0x1ffff) is vma
+        assert vl.find(0x20000) is None
+        assert vl.find(0x0) is None
+
+    def test_overlapping(self):
+        vl = VMAList()
+        a = make_vma(0x10000, 0x20000)
+        b = make_vma(0x30000, 0x40000)
+        vl.insert(a)
+        vl.insert(b)
+        assert vl.overlapping(0x15000, 0x35000) == [a, b]
+        assert vl.overlapping(0x20000, 0x30000) == []
+        assert vl.any_overlap(0x1f000, 0x21000)
+        assert not vl.any_overlap(0x20000, 0x30000)
+
+    def test_remove(self):
+        vl = VMAList()
+        vma = make_vma(0x10000, 0x20000)
+        vl.insert(vma)
+        vl.remove(vma)
+        assert len(vl) == 0
+        with pytest.raises(InvalidArgumentError):
+            vl.remove(vma)
+
+    def test_find_gap_first_fit(self):
+        vl = VMAList()
+        vl.insert(make_vma(0x10000, 0x20000))
+        vl.insert(make_vma(0x30000, 0x40000))
+        gap = vl.find_gap(0x10000, floor=0x10000, ceiling=0x100000)
+        assert gap == 0x20000
+        big = vl.find_gap(0x20000, floor=0x10000, ceiling=0x100000)
+        assert big == 0x40000
+
+    def test_find_gap_alignment(self):
+        vl = VMAList()
+        vl.insert(make_vma(0x10000, 0x21000))
+        gap = vl.find_gap(0x10000, floor=0x10000, ceiling=0x1000000,
+                          align=0x10000)
+        assert gap == 0x30000
+
+    def test_find_gap_exhausted(self):
+        vl = VMAList()
+        assert vl.find_gap(0x2000, floor=0, ceiling=0x1000) is None
+
+    def test_total_mapped(self):
+        vl = VMAList()
+        vl.insert(make_vma(0x10000, 0x20000))
+        vl.insert(make_vma(0x30000, 0x50000))
+        assert vl.total_mapped_bytes() == 0x30000

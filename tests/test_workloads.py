@@ -1,0 +1,138 @@
+"""Workload generators: fork benchmark, access mixes, patterns."""
+
+import numpy as np
+import pytest
+
+from repro import GIB, MIB, Machine
+from repro.analysis import mean
+from repro.errors import InvalidArgumentError
+from repro.workloads import (
+    PatternGenerator,
+    VARIANT_FORK,
+    VARIANT_FORK_HUGE,
+    VARIANT_ODFORK,
+    chunk_plan,
+    fork_latency_for_size,
+    measure_fork_once,
+    run_access_mix_point,
+    touch_pages,
+)
+
+
+class TestForkBench:
+    def test_measure_fork_once_cleans_up(self, machine):
+        p = machine.spawn_process("fb")
+        addr = p.mmap(8 * MIB)
+        p.touch_range(addr, 8 * MIB, write=True)
+        elapsed = measure_fork_once(p, VARIANT_FORK)
+        assert elapsed > 0
+        assert not p.task.children
+
+    def test_variants_ordering_at_small_scale(self):
+        machine = Machine(phys_mb=512)
+        times = {}
+        for variant in (VARIANT_FORK, VARIANT_FORK_HUGE, VARIANT_ODFORK):
+            samples = fork_latency_for_size(machine, 128 * MIB, variant,
+                                            repeats=3)
+            times[variant] = mean(samples)
+        assert times[VARIANT_ODFORK] < times[VARIANT_FORK_HUGE]
+        assert times[VARIANT_FORK_HUGE] < times[VARIANT_FORK]
+
+    def test_unknown_variant_rejected(self, machine):
+        with pytest.raises(InvalidArgumentError):
+            fork_latency_for_size(machine, 1 * MIB, "vfork")
+
+    def test_concurrency_raises_latency(self):
+        machine = Machine(phys_mb=512)
+        alone = mean(fork_latency_for_size(machine, 64 * MIB, VARIANT_FORK,
+                                           repeats=2))
+        machine2 = Machine(phys_mb=512)
+        crowded = mean(fork_latency_for_size(machine2, 64 * MIB, VARIANT_FORK,
+                                             repeats=2, concurrency=4))
+        assert crowded > alone
+
+
+class TestChunkPlan:
+    def test_pure_mixes(self):
+        assert all(chunk_plan(10, 1.0))
+        assert not any(chunk_plan(10, 0.0))
+
+    def test_proportion_respected(self):
+        plan = chunk_plan(100, 0.75)
+        assert sum(plan) == 75
+
+    def test_interleaving_spread(self):
+        plan = chunk_plan(8, 0.5)
+        # No long runs: reads spread through the sequence.
+        assert plan == [False, True, False, True, False, True, False, True]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidArgumentError):
+            chunk_plan(10, 1.5)
+
+
+class TestAccessMix:
+    def test_odfork_wins_at_zero_access(self):
+        t_fork = run_access_mix_point(64 * MIB, fraction=0.0,
+                                      read_fraction=1.0, variant=VARIANT_FORK)
+        t_odf = run_access_mix_point(64 * MIB, fraction=0.0,
+                                     read_fraction=1.0, variant=VARIANT_ODFORK)
+        assert t_odf < t_fork / 5
+
+    def test_reads_cheaper_than_writes_under_odfork(self):
+        t_read = run_access_mix_point(64 * MIB, fraction=1.0,
+                                      read_fraction=1.0,
+                                      variant=VARIANT_ODFORK)
+        t_write = run_access_mix_point(64 * MIB, fraction=1.0,
+                                       read_fraction=0.0,
+                                       variant=VARIANT_ODFORK)
+        assert t_write > t_read
+
+
+class TestPatterns:
+    def test_sequential_wraps(self):
+        gen = PatternGenerator(16 * 4096, seed=0)
+        pages = gen.sequential(20)
+        assert pages.tolist() == [i % 16 for i in range(20)]
+
+    def test_uniform_in_range(self):
+        gen = PatternGenerator(1 * MIB, seed=1)
+        pages = gen.uniform(1000)
+        assert pages.min() >= 0
+        assert pages.max() < gen.n_pages
+
+    def test_zipfian_skewed(self):
+        gen = PatternGenerator(4 * MIB, seed=2)
+        pages = gen.zipfian(5000, skew=1.2)
+        assert len(pages) == 5000
+        assert pages.max() < gen.n_pages
+        # Strong skew: the most popular page dominates.
+        counts = np.bincount(pages)
+        assert counts.max() > len(pages) * 0.2
+
+    def test_hot_cold_split(self):
+        gen = PatternGenerator(4 * MIB, seed=3)
+        pages = gen.hot_cold(5000, hot_fraction=0.1, hot_probability=0.9)
+        hot_limit = int(gen.n_pages * 0.1)
+        hot_share = np.mean(pages < hot_limit)
+        assert 0.85 < hot_share < 0.95
+
+    def test_deterministic_by_seed(self):
+        a = PatternGenerator(1 * MIB, seed=9).uniform(100)
+        b = PatternGenerator(1 * MIB, seed=9).uniform(100)
+        assert (a == b).all()
+
+    def test_touch_pages_faults(self, proc, machine):
+        addr = proc.mmap(1 * MIB)
+        gen = PatternGenerator(1 * MIB, seed=4)
+        touch_pages(proc, addr, gen.sequential(10), write=True)
+        assert machine.stats.demand_zero_faults == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidArgumentError):
+            PatternGenerator(100, seed=0)
+        gen = PatternGenerator(1 * MIB, seed=0)
+        with pytest.raises(InvalidArgumentError):
+            gen.zipfian(10, skew=0.9)
+        with pytest.raises(InvalidArgumentError):
+            gen.hot_cold(10, hot_fraction=0)
