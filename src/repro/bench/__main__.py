@@ -18,6 +18,7 @@ import time
 from . import (
     ablations,
     parallel,
+    reclaim_bench,
     snapshot_bench,
     fig2,
     fig3,
@@ -72,6 +73,16 @@ EXPERIMENTS = {
     "ext-forkserver": _fixed(primitives.run_forkserver_vs_exec),
     "ext-thp": _fixed(thp_bench.run),
     "ext-snapshot": _fixed(snapshot_bench.run, duration_s=3.0),
+    "ext-reclaim": _fixed(reclaim_bench.run),
+}
+
+#: Fast subset exercised by CI: one figure, one table, and the reclaim
+#: extension, all at quick settings — finishes in well under a minute.
+SMOKE_EXPERIMENTS = {
+    "fig7": _quickable(fig7.run),
+    "table1": _fixed(table1.run),
+    "ext-reclaim": _fixed(reclaim_bench.run, rounds=4,
+                          overcommits=(0.5, 2.0)),
 }
 
 
@@ -87,6 +98,8 @@ def main(argv=None):
                         help="list experiment ids and exit")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale sweeps where available (slow)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset at quick settings")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump all results as JSON to PATH")
     args = parser.parse_args(argv)
@@ -96,8 +109,9 @@ def main(argv=None):
             print(exp_id)
         return 0
 
-    selected = args.ids or list(EXPERIMENTS)
-    unknown = [i for i in selected if i not in EXPERIMENTS]
+    experiments = SMOKE_EXPERIMENTS if args.smoke else EXPERIMENTS
+    selected = args.ids or list(experiments)
+    unknown = [i for i in selected if i not in experiments]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown} "
                      f"(--list shows the valid ones)")
@@ -105,7 +119,7 @@ def main(argv=None):
     collected = []
     for exp_id in selected:
         started = time.time()
-        result = EXPERIMENTS[exp_id](args.full)
+        result = experiments[exp_id](args.full)
         results = result if isinstance(result, tuple) else (result,)
         for item in results:
             print_result(item)

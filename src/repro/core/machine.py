@@ -29,7 +29,7 @@ class Machine:
     """A simulated host: hardware model + kernel + process table."""
 
     def __init__(self, phys_mb=4096, cost_params=None, noise_sigma=0.0,
-                 seed=0, n_cores=16):
+                 seed=0, n_cores=16, swap_mb=0):
         if phys_mb <= 0:
             raise ConfigurationError("machine needs physical memory")
         self.n_cores = int(n_cores)
@@ -47,8 +47,14 @@ class Machine:
         self.pages = PageStructArray(n_frames)
         self.phys = PhysicalMemory(n_frames)
         self._reserve_frame_zero()
+        swap = None
+        if swap_mb:
+            if swap_mb < 0:
+                raise ConfigurationError("swap size cannot be negative")
+            from ..mem.swap import SwapDevice
+            swap = SwapDevice(int(swap_mb) * MIB // PAGE_SIZE)
         self.kernel = Kernel(self.clock, self.cost, self.allocator,
-                             self.pages, self.phys)
+                             self.pages, self.phys, swap=swap)
         self._init_process = None
 
     def _reserve_frame_zero(self):
@@ -98,6 +104,28 @@ class Machine:
         """One khugepaged pass over a process (THP promotion, §2.3)."""
         daemon = self.kernel.khugepaged(policy=policy)
         return daemon.scan_mm(process.mm, max_promotions=max_promotions)
+
+    def run_kswapd(self):
+        """One kswapd balancing pass; returns frames freed (0 if no swap)."""
+        if self.kernel.reclaim is None:
+            return 0
+        return self.kernel.wake_kswapd()
+
+    def vmstat(self):
+        """Kernel counters plus reclaim/swap gauges (/proc/vmstat-style)."""
+        stats = dict(vars(self.kernel.stats))
+        stats["nr_free_pages"] = self.allocator.free_frames
+        reclaim = self.kernel.reclaim
+        if reclaim is not None:
+            stats["nr_active_anon"] = len(reclaim.active)
+            stats["nr_inactive_anon"] = len(reclaim.inactive)
+            stats["watermark_min"] = reclaim.wm_min
+            stats["watermark_low"] = reclaim.wm_low
+            stats["watermark_high"] = reclaim.wm_high
+            stats["swap_total_slots"] = len(self.kernel.swap)
+            stats["swap_used_slots"] = self.kernel.swap.used_slots
+            stats["swap_cache_pages"] = len(self.kernel.swap_cache)
+        return stats
 
     # ---- accounting / invariants -------------------------------------------------
 

@@ -29,9 +29,12 @@ from ..paging.entries import (
     is_present,
     is_writable,
     present_mask,
+    swap_mask,
     writable_mask,
 )
 from ..paging.table import LEVEL_PTE, page_align_down, page_align_up
+from .fault import swap_in_entry
+from .rmap import rmap_add_bulk, rmap_remove_bulk
 from .tableops import (
     copy_shared_pte_table,
     count_file_pages,
@@ -86,6 +89,7 @@ def access_range(kernel, task, start, length, is_write, charge_memcpy=True):
     events = {
         "demand_zero": 0, "cow_pages": 0, "table_copies": 0,
         "write_notify": 0, "huge_faults": 0, "huge_cow": 0,
+        "swap_ins": 0,
     }
     for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(first, last, alloc=True):
         for plo, phi, vma in mm.vma_ranges_in_slot(lo, hi):
@@ -98,7 +102,7 @@ def access_range(kernel, task, start, length, is_write, charge_memcpy=True):
     mm.tlb.flush_range(first, last)
     kernel.stats.page_faults += (
         events["demand_zero"] + events["cow_pages"] + events["write_notify"]
-        + events["huge_faults"] + events["huge_cow"]
+        + events["huge_faults"] + events["huge_cow"] + events["swap_ins"]
     )
     kernel.stats.demand_zero_faults += events["demand_zero"]
     kernel.stats.cow_faults += events["cow_pages"]
@@ -136,10 +140,15 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
     hi_index = (hi - slot_start) // PAGE_SIZE
     sub = leaf.entries[lo_index:hi_index]
     present = present_mask(sub)
-    need_fill = int(np.count_nonzero(~present))
+    swapped = swap_mask(sub) if kernel.swap is not None else None
+    has_swap = swapped is not None and bool(swapped.any())
+    if has_swap:
+        need_fill = int(np.count_nonzero(~present & ~swapped))
+    else:
+        need_fill = int(np.count_nonzero(~present))
 
     shared = kernel.pages.pt_ref(leaf.pfn) > 1
-    if shared and (is_write or need_fill):
+    if shared and (is_write or need_fill or has_swap):
         leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start)
         events["table_copies"] += 1
         sub = leaf.entries[lo_index:hi_index]
@@ -147,9 +156,23 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
     elif is_write and not shared and not is_writable(pmd_table.entries[pmd_index]):
         unshare_sole_owner(kernel, mm, pmd_table, pmd_index)
 
+    if has_swap:
+        # Swap entries fault back in one by one (each is a real swap-in
+        # or a swap-cache hit); the table is dedicated by this point.
+        for pos in np.nonzero(swapped)[0].tolist():
+            swap_in_entry(kernel, mm, vma, leaf, lo_index + pos, is_write)
+        events["swap_ins"] += int(np.count_nonzero(swapped))
+        present = present_mask(sub)
+
     if need_fill:
+        # Recompute absence: a reclaim pass triggered by the swap-ins'
+        # allocations may have turned present entries into swap entries,
+        # which must not be treated as demand-zero holes.
+        absent = ~present
+        if kernel.swap is not None:
+            absent &= ~swap_mask(sub)
         _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
-                     sub, ~present, is_write, events)
+                     sub, absent, is_write, events)
         present = present_mask(sub)
 
     if not is_write:
@@ -195,6 +218,7 @@ def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
     pfns = kernel.alloc_data_frames_bulk(mm, n)
     kernel.pages.on_alloc_bulk(pfns, PG_ANON | (PG_DIRTY if is_write else 0))
     sub[absent] = _entries_for(pfns, vma.writable, dirty=is_write)
+    rmap_add_bulk(kernel, pfns, leaf.pfn)
     mm.add_rss(n, file_backed=False)
     cost.charge(
         "bulk_demand_zero",
@@ -227,13 +251,21 @@ def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
         return
     copy_positions = positions[copy_mask]
     src = old_pfns[copy_mask]
+    if kernel.rmap is not None:
+        # Pin the sources: the allocation below may run direct reclaim,
+        # which must not pick the very pages we are about to copy from.
+        kernel.pages.ref_inc_bulk(src)
     dst = kernel.alloc_data_frames_bulk(mm, n)
     kernel.pages.on_alloc_bulk(dst, PG_ANON | PG_DIRTY)
     kernel.phys.copy_frames_bulk(src, dst)
     n_file = count_file_pages(kernel, src)
+    if kernel.rmap is not None:
+        kernel.pages.ref_dec_bulk(src)  # the pins; refs stay >= 1 here
+        rmap_remove_bulk(kernel, src, leaf.pfn)
     zeroed = kernel.pages.ref_dec_bulk(src)
     free_anon_frames(kernel, zeroed)
     sub[copy_positions] = _entries_for(dst, writable=True, dirty=True)
+    rmap_add_bulk(kernel, dst, leaf.pfn)
     if n_file:
         mm.sub_rss(n_file, file_backed=True)
         mm.add_rss(n_file, file_backed=False)

@@ -37,13 +37,62 @@ from ..paging.entries import (
     entry_pfn,
     is_huge,
     is_present,
+    is_swap_entry,
     is_writable,
     make_entry,
+    swap_entry_slot,
 )
 import numpy as np
 
 from ..paging.table import LEVEL_PTE, level_base, table_index
+from .rmap import rmap_add, rmap_remove
 from .tableops import copy_shared_pte_table, free_anon_frames, unshare_sole_owner
+
+
+def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
+    """Fault-time swap-in of one swap-entry PTE (Linux's ``do_swap_page``).
+
+    The leaf table is already dedicated to ``mm`` here: shared tables are
+    copied before any entry is modified, swap references included, so
+    installing the page cannot disturb the other sharers.
+
+    A swap-cache hit maps the cached frame at no I/O cost.  A miss reads
+    the slot into a fresh frame and inserts it into the cache, so sharers
+    that fault later converge on the *same* frame — required for COW
+    correctness when a fork-shared page was swapped out.  Cached frames
+    stay read-only (the exclusivity check below), so cache content never
+    diverges from slot content and writes COW away normally.
+    """
+    slot = int(swap_entry_slot(leaf.entries[pte_index]))
+    kernel.cost.charge_swap_cache_lookup()
+    pfn = kernel.swap_cache.pfn_of(slot)
+    if pfn is None:
+        pfn = kernel.alloc_data_frame(mm)
+        kernel.pages.on_alloc(pfn, PG_ANON)  # this ref becomes the cache's
+        data = kernel.swap.read(slot)
+        if data is not None:
+            kernel.phys.write(pfn, 0, data)
+        kernel.swap_cache.add(slot, pfn)
+        kernel.stats.pswpin += 1
+        kernel.cost.charge_page_alloc()
+        kernel.cost.charge_swap_in()
+    else:
+        kernel.stats.swap_cache_hits += 1
+        kernel.cost.charge_fault_spurious()
+    kernel.pages.ref_inc(pfn)  # the table's ownership reference
+    rmap_add(kernel, pfn, leaf.pfn)
+    # The PTE's slot reference is consumed; when it was the last one the
+    # slot is released and the cache entry (with its page ref) goes too.
+    kernel.swap_put(slot)
+    # Map writable only when exclusive: a frame still held by the swap
+    # cache or a snapshot must COW on write like any shared page.
+    writable = vma.writable and kernel.pages.get_ref(pfn) == 1
+    leaf.set(pte_index, make_entry(
+        pfn, writable=writable, user=True,
+        dirty=is_write and writable, accessed=True,
+    ))
+    mm.add_rss(1, file_backed=False)
+    return pfn
 
 
 class FaultHandler:
@@ -110,7 +159,9 @@ class FaultHandler:
         pte = leaf.entries[pte_index]
 
         if not is_present(pte):
-            if vma.is_file_backed:
+            if is_swap_entry(pte):
+                swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write)
+            elif vma.is_file_backed:
                 self._file_fault(mm, vma, leaf, pte_index, vaddr, is_write)
             else:
                 self._demand_zero(mm, vma, leaf, pte_index, is_write)
@@ -131,6 +182,7 @@ class FaultHandler:
         leaf.set(pte_index, make_entry(
             pfn, writable=vma.writable, user=True, dirty=is_write, accessed=True,
         ))
+        rmap_add(kernel, pfn, leaf.pfn)
         mm.add_rss(1, file_backed=False)
         kernel.stats.demand_zero_faults += 1
 
@@ -155,6 +207,7 @@ class FaultHandler:
             leaf.set(pte_index, make_entry(
                 new_pfn, writable=True, user=True, dirty=True, accessed=True,
             ))
+            rmap_add(kernel, new_pfn, leaf.pfn)
             mm.add_rss(1, file_backed=False)
             return
 
@@ -191,11 +244,19 @@ class FaultHandler:
             kernel.cost.charge_fault_spurious()
             return
 
+        if kernel.rmap is not None:
+            # Pin the source across the allocation: a direct reclaim
+            # triggered inside alloc_data_frame must not evict the page
+            # we are about to copy from.
+            kernel.pages.ref_inc(pfn)
         new_pfn = kernel.alloc_data_frame(mm)
         kernel.pages.on_alloc(new_pfn, PG_ANON | PG_DIRTY)
         kernel.phys.copy_frame(pfn, new_pfn)
         kernel.cost.charge_page_alloc()
         kernel.cost.charge_page_copy_4k(warm=mm.odf_lineage)
+        if kernel.rmap is not None:
+            kernel.pages.ref_dec(pfn)  # drop the pin
+            rmap_remove(kernel, pfn, leaf.pfn)  # this mapping is replaced
         if kernel.pages.ref_dec(pfn) == 0:
             # Possible when the last other reference vanished between the
             # refcount read and here in a real kernel; in the model it
@@ -204,6 +265,7 @@ class FaultHandler:
         leaf.set(pte_index, make_entry(
             new_pfn, writable=True, user=True, dirty=True, accessed=True,
         ))
+        rmap_add(kernel, new_pfn, leaf.pfn)
         if is_file_page:
             mm.sub_rss(1, file_backed=True)
             mm.add_rss(1, file_backed=False)
@@ -235,6 +297,11 @@ class FaultHandler:
                 new_head, writable=True, user=True, huge=True,
                 dirty=True, accessed=True,
             ))
+            # The whole 2 MiB region changed frames: every cached
+            # translation under this PMD entry is stale, not just the
+            # faulting page.
+            slot_start = level_base(vaddr, 2)
+            mm.tlb.flush_range(slot_start, slot_start + HUGE_PAGE_SIZE)
             kernel.stats.huge_cow_faults += 1
             return
         kernel.stats.spurious_faults += 1
@@ -283,6 +350,8 @@ class FaultHandler:
                 new_head, writable=True, user=True, huge=True,
                 dirty=True, accessed=True,
             ))
+            slot_start = level_base(vaddr, 2)
+            mm.tlb.flush_range(slot_start, slot_start + HUGE_PAGE_SIZE)
             kernel.stats.huge_cow_faults += 1
             return
 

@@ -138,6 +138,12 @@ def copy_mm_classic(kernel, parent_mm, child_mm):
         _, pfns = table_present_pfns(child_leaf)
         if len(pfns):
             kernel.pages.ref_inc_bulk(pfns)
+        if kernel.swap is not None:
+            # Copied swap entries reference their slots too, and the copy's
+            # present anon pages gain a reverse mapping.
+            kernel.swap_dup_entries(child_leaf.entries)
+            from .rmap import rmap_add_bulk
+            rmap_add_bulk(kernel, pfns, child_leaf.pfn)
         cost.charge_pte_table_alloc()
         cost.charge_copy_pte_entries(len(pfns))
         child_pmd.set(child_index, make_entry(child_leaf.pfn, writable=True, user=True))

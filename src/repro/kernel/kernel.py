@@ -73,6 +73,17 @@ class VMStats:
     thp_splits: int = 0
     snapshots_created: int = 0
     snapshot_restores: int = 0
+    # -- reclaim / swap (zero unless the machine has a swap device) -------
+    pgscan: int = 0
+    pgsteal: int = 0
+    pgsteal_kswapd: int = 0
+    pgsteal_direct: int = 0
+    pswpin: int = 0
+    pswpout: int = 0
+    swap_cache_hits: int = 0
+    kswapd_wakeups: int = 0
+    direct_reclaims: int = 0
+    shared_table_unmaps: int = 0
 
     def snapshot(self):
         """A plain-dict copy of all counters."""
@@ -82,7 +93,7 @@ class VMStats:
 class Kernel:
     """Owns every machine-wide subsystem and exposes the syscall surface."""
 
-    def __init__(self, clock, cost, allocator, pages, phys):
+    def __init__(self, clock, cost, allocator, pages, phys, swap=None):
         self.clock = clock
         self.cost = cost
         self.allocator = allocator
@@ -103,6 +114,26 @@ class Kernel:
         # Live in-place snapshots (they hold page references; see
         # kernel/snapshot.py and the test auditor).
         self.live_snapshots = []
+        # The reclaim/swap subsystem exists only when a swap device is
+        # configured; without one every hook below is None and the kernel
+        # behaves exactly as it did before the subsystem existed.
+        self.swap = swap
+        if swap is not None:
+            from ..mem.swap import SwapCache
+            from .reclaim import ReclaimState
+            from .rmap import AnonRmap
+            self.swap_cache = SwapCache()
+            self.rmap = AnonRmap()
+            self.reclaim = ReclaimState(self)
+            #: leaf-table pfn -> [MMStruct, ...] sharing that table; lets
+            #: try_to_unmap fix each sharer's RSS and TLB when it edits a
+            #: shared table in place.
+            self.pt_sharers = {}
+        else:
+            self.swap_cache = None
+            self.rmap = None
+            self.reclaim = None
+            self.pt_sharers = None
 
     # ---- page-table registry (the model's page_address map) -------------
 
@@ -131,38 +162,110 @@ class Kernel:
 
     # ---- frame allocation with reclaim ------------------------------------
 
+    def _maybe_wake_kswapd(self, n_frames=1):
+        """Wake background reclaim when the pending allocation of
+        ``n_frames`` would push free memory below the low watermark."""
+        r = self.reclaim
+        if r is None or r.running:
+            return
+        if self.allocator.free_frames - n_frames >= r.wm_low:
+            return
+        self.wake_kswapd(nr_extra=n_frames)
+
+    def wake_kswapd(self, nr_extra=0):
+        """One kswapd pass: reclaim to the high watermark, off the clock.
+
+        Background reclaim runs on its own kernel thread, so its work is
+        not charged to the foreground task.  Returns frames freed.
+        """
+        r = self.reclaim
+        if r is None or r.running:
+            return 0
+        self.stats.kswapd_wakeups += 1
+        r.running = True
+        try:
+            with self.cost.background():
+                return r.balance(nr_extra)
+        finally:
+            r.running = False
+
+    def _emergency_reclaim(self, n_frames):
+        """Direct (foreground) reclaim: the last resort before OOM.
+
+        Drops clean page cache first, then — when a swap device exists —
+        runs the shrink loop synchronously, charged to the faulting task.
+        Returns the number of frames freed.
+        """
+        freed = self.page_cache.reclaim_clean(n_frames)
+        r = self.reclaim
+        if r is not None and freed < n_frames and not r.running:
+            self.stats.direct_reclaims += 1
+            self.cost.charge_direct_reclaim()
+            r.running = True
+            try:
+                freed += r.shrink(n_frames - freed, from_kswapd=False)
+            finally:
+                r.running = False
+        if freed:
+            self.stats.oom_reclaims += 1
+        return freed
+
     def alloc_data_frame(self, mm):
-        """One frame for user data, reclaiming page cache under pressure."""
+        """One frame for user data, reclaiming under pressure."""
+        self._maybe_wake_kswapd()
         try:
             return int(self.allocator.alloc(0))
         except OutOfFramesError:
-            if self.page_cache.reclaim_clean(64):
-                self.stats.oom_reclaims += 1
-                return int(self.allocator.alloc(0))
+            if self._emergency_reclaim(64):
+                try:
+                    return int(self.allocator.alloc(0))
+                except OutOfFramesError:
+                    pass
             raise OutOfMemoryError(
                 f"out of memory: {self.allocator.free_frames} frames free"
             ) from None
 
     def alloc_data_frames_bulk(self, mm, n):
         """Bulk frame allocation with reclaim-on-pressure."""
+        self._maybe_wake_kswapd(n)
         try:
             return self.allocator.alloc_bulk(n)
         except OutOfFramesError:
-            freed = self.page_cache.reclaim_clean(n)
-            if freed:
-                self.stats.oom_reclaims += 1
-                return self.allocator.alloc_bulk(n)
+            if self._emergency_reclaim(n):
+                # The retry can still fail after a *partial* reclaim; it
+                # must surface as the OOM message path below, not as a raw
+                # allocator error.
+                try:
+                    return self.allocator.alloc_bulk(n)
+                except OutOfFramesError:
+                    pass
             raise OutOfMemoryError(f"out of memory allocating {n} frames") from None
 
     def alloc_huge_frame(self, mm):
         """One 2 MiB compound block with reclaim-on-pressure."""
+        self._maybe_wake_kswapd(1 << HUGE_PAGE_ORDER)
         try:
             return int(self.allocator.alloc(HUGE_PAGE_ORDER))
         except OutOfFramesError:
-            if self.page_cache.reclaim_clean(1 << HUGE_PAGE_ORDER):
-                self.stats.oom_reclaims += 1
-                return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+            if self._emergency_reclaim(1 << HUGE_PAGE_ORDER):
+                try:
+                    return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+                except OutOfFramesError:
+                    pass
             raise OutOfMemoryError("out of memory allocating a huge page") from None
+
+    def alloc_table_frame(self):
+        """One frame for a page-table node, reclaiming under pressure."""
+        self._maybe_wake_kswapd()
+        try:
+            return int(self.allocator.alloc(0))
+        except OutOfFramesError:
+            if self._emergency_reclaim(64):
+                try:
+                    return int(self.allocator.alloc(0))
+                except OutOfFramesError:
+                    pass
+            raise OutOfMemoryError("out of memory allocating a page table") from None
 
     def free_huge_frame(self, head):
         """Free a compound block and its contents."""
@@ -170,6 +273,57 @@ class Kernel:
         for sub in range(1 << HUGE_PAGE_ORDER):
             self.phys.zero(head + sub)
         self.allocator.free(head, HUGE_PAGE_ORDER)
+
+    # ---- swap-slot reference counting --------------------------------------
+    #
+    # Swap slots follow the same ownership rule data pages do: one slot
+    # reference per PageTable *object* holding a swap entry for it, plus
+    # one per snapshot that saved such an entry.  The swap cache's frame
+    # holds a *page* reference, not a slot reference; the cache entry is
+    # dropped when the slot's last reference goes.
+
+    def swap_dup(self, slot, n=1):
+        """Take ``n`` references on a swap slot (entry copied/installed)."""
+        self.swap.swap_map[slot] += n
+
+    def swap_put(self, slot, n=1):
+        """Drop ``n`` references on a swap slot, releasing it at zero."""
+        dev = self.swap
+        remaining = int(dev.swap_map[slot]) - n
+        if remaining < 0:
+            raise KernelBug(f"swap_map underflow on slot {slot}")
+        dev.swap_map[slot] = remaining
+        if remaining == 0:
+            pfn = self.swap_cache.remove_slot(slot)
+            if pfn is not None:
+                # The cache's page reference goes with the slot.
+                if self.pages.ref_dec(pfn) == 0:
+                    from .rmap import free_one_anon_frame
+                    free_one_anon_frame(self, pfn)
+            dev.release_slot(slot)
+
+    def swap_dup_entries(self, entries):
+        """swap_dup for every swap entry in a table array (fork, table COW)."""
+        if self.swap is None:
+            return
+        from ..paging.entries import entry_pfn, swap_mask
+        mask = swap_mask(entries)
+        if not mask.any():
+            return
+        import numpy as np
+        slots = entry_pfn(entries[mask]).astype(np.int64)
+        np.add.at(self.swap.swap_map, slots, 1)
+
+    def swap_put_entries(self, entries):
+        """swap_put for every swap entry in a table array (zap, teardown)."""
+        if self.swap is None:
+            return
+        from ..paging.entries import entry_pfn, swap_mask
+        mask = swap_mask(entries)
+        if not mask.any():
+            return
+        for slot in entry_pfn(entries[mask]).astype("int64").tolist():
+            self.swap_put(slot)
 
     # ---- task lifecycle -----------------------------------------------------
 

@@ -70,13 +70,15 @@ class MMStruct:
         premature free and the fault handler's shared/dedicated decision.
         """
         kernel = self.kernel
-        pfn = int(kernel.allocator.alloc(0))
+        pfn = kernel.alloc_table_frame()
         kernel.pages.on_alloc(pfn, PG_PAGETABLE)
         table = PageTable(level, pfn)
         kernel.register_table(table)
         if level == LEVEL_PTE:
             kernel.pages.pt_refcount[pfn] = 1
             self.nr_pte_tables += 1
+            if kernel.pt_sharers is not None:
+                kernel.pt_sharers[pfn] = [self]
         elif level != LEVEL_PGD:
             self.nr_upper_tables += 1
         return table
@@ -84,6 +86,8 @@ class MMStruct:
     def free_table_frame(self, table):
         """Release a table node's frame (callers handle entry accounting)."""
         kernel = self.kernel
+        if table.level == LEVEL_PTE and kernel.pt_sharers is not None:
+            kernel.pt_sharers.pop(table.pfn, None)
         kernel.unregister_table(table)
         kernel.pages.on_free(table.pfn)
         kernel.phys.zero(table.pfn)

@@ -17,11 +17,22 @@ copying.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import KernelBug
 from ..mem.page import PAGE_SIZE
-from ..paging.entries import ENTRY_NONE, entry_pfn, is_huge, is_present, make_entry
+from ..paging.entries import (
+    ENTRY_NONE,
+    entry_pfn,
+    is_huge,
+    is_present,
+    make_entry,
+    present_mask,
+    swap_mask,
+)
 from ..paging.table import LEVEL_PTE, level_base, table_index
-from .tableops import copy_shared_pte_table, put_pte_table, table_present_pfns
+from .rmap import rmap_move
+from .tableops import copy_shared_pte_table, put_pte_table
 
 
 def _dedicated_leaf_for(kernel, mm, vaddr):
@@ -67,18 +78,27 @@ def move_mapping(kernel, mm, vma, new_size):
             leaf = copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start)
         lo_index = (lo - slot_start) // PAGE_SIZE
         hi_index = (hi - slot_start) // PAGE_SIZE
-        indices, _ = table_present_pfns(leaf, lo_index, hi_index)
-        for index in indices.tolist():
+        sub = leaf.entries[lo_index:hi_index]
+        mask = present_mask(sub)
+        if kernel.swap is not None:
+            # Swapped-out pages relocate too: the swap entry (and its slot
+            # reference) moves between table objects like a present entry.
+            mask |= swap_mask(sub)
+        for index in (np.nonzero(mask)[0] + lo_index).tolist():
             old_vaddr = slot_start + index * PAGE_SIZE
             new_vaddr = new_start + (old_vaddr - old_start)
             _, _, target_leaf = _dedicated_leaf_for(kernel, mm, new_vaddr)
             target_index = table_index(new_vaddr, LEVEL_PTE)
-            if target_leaf.is_present(target_index):
+            if target_leaf.entries[target_index] != ENTRY_NONE:
                 raise KernelBug("mremap target entry already present")
-            # Ownership transfer: the entry (and its page reference) moves
-            # from the old table object to the new one.
-            target_leaf.entries[target_index] = leaf.entries[index]
+            # Ownership transfer: the entry (and its page or swap-slot
+            # reference) moves from the old table object to the new one.
+            entry = leaf.entries[index]
+            target_leaf.entries[target_index] = entry
             leaf.entries[index] = ENTRY_NONE
+            if is_present(entry):
+                rmap_move(kernel, int(entry_pfn(entry)), leaf.pfn,
+                          target_leaf.pfn)
             moved += 1
         if leaf.is_empty():
             pmd_table.clear(pmd_index)

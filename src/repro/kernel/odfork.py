@@ -66,6 +66,9 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
             # one write-protected PMD entry on each side.
             pfns = entry_pfn(entries[leaf_positions]).astype(np.int64)
             kernel.pages.pt_refcount[pfns] += 1
+            if kernel.pt_sharers is not None:
+                for leaf_pfn in pfns.tolist():
+                    kernel.pt_sharers[leaf_pfn].append(child_mm)
             protected = entries[leaf_positions] & drop_rw
             entries[leaf_positions] = protected
             child_pmd.entries[leaf_positions] = protected

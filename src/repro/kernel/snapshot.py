@@ -38,6 +38,7 @@ from ..mem.page import PAGE_SIZE
 from ..paging.entries import BIT_RW, entry_pfn, is_huge, is_present, present_mask
 from ..paging.table import PMD_REGION_SIZE
 from .fork import iter_parent_pmds
+from .rmap import rmap_add_bulk, rmap_remove_bulk
 from .tableops import copy_shared_pte_table, free_anon_frames, private_cow_mask
 
 #: Cost per saved/diffed leaf table: one pass over 512 entries, comparable
@@ -93,6 +94,8 @@ class Snapshot:
             pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
             if len(pfns):
                 kernel.pages.ref_inc_bulk(pfns)  # the snapshot's references
+            # Saved swap entries pin their slots the same way.
+            kernel.swap_dup_entries(saved)
             kernel.cost.charge("snapshot_save_table", SNAPSHOT_PER_TABLE_NS)
         mm.tlb.flush_all()
         kernel.cost.charge_tlb_flush()
@@ -132,9 +135,15 @@ class Snapshot:
             current_present = present_mask(current)
             drop_pfns = entry_pfn(current[current_present]).astype(np.int64)
             if len(drop_pfns):
+                rmap_remove_bulk(kernel, drop_pfns, leaf.pfn)
                 zeroed = kernel.pages.ref_dec_bulk(drop_pfns)
                 free_anon_frames(kernel, zeroed)
             saved_slice = saved[positions]
+            # Re-take the table's swap-slot references before dropping the
+            # current ones, so a slot appearing on both sides never sees a
+            # transient zero refcount (which would free it).
+            kernel.swap_dup_entries(saved_slice)
+            kernel.swap_put_entries(current)
             saved_present = present_mask(saved_slice)
             keep_pfns = entry_pfn(saved_slice[saved_present]).astype(np.int64)
             if len(keep_pfns):
@@ -142,6 +151,7 @@ class Snapshot:
                 # table is about to map again; the snapshot keeps its own.
                 kernel.pages.ref_inc_bulk(keep_pfns)
             leaf.entries[positions] = saved_slice
+            rmap_add_bulk(kernel, keep_pfns, leaf.pfn)
             restored_entries += len(positions)
             kernel.cost.charge("snapshot_restore_entries",
                                RESTORE_PER_ENTRY_NS * len(positions))
@@ -163,6 +173,7 @@ class Snapshot:
             if len(pfns):
                 zeroed = kernel.pages.ref_dec_bulk(pfns)
                 free_anon_frames(kernel, zeroed)
+            kernel.swap_put_entries(saved)
         self.saved.clear()
         self.live = False
         if self in kernel.live_snapshots:

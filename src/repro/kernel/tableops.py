@@ -38,6 +38,25 @@ from ..paging.entries import (
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
 
 
+def add_table_sharer(kernel, leaf_pfn, mm):
+    """Record ``mm`` as a sharer of a leaf table (odfork share)."""
+    if kernel.pt_sharers is not None:
+        kernel.pt_sharers[leaf_pfn].append(mm)
+
+
+def drop_table_sharer(kernel, leaf_pfn, mm):
+    """Remove ``mm`` from a leaf table's sharer list."""
+    sharers = kernel.pt_sharers
+    if sharers is None:
+        return
+    try:
+        sharers[leaf_pfn].remove(mm)
+    except (KeyError, ValueError):
+        raise KernelBug(
+            f"mm {mm.owner_pid} is not a registered sharer of table {leaf_pfn}"
+        ) from None
+
+
 def table_present_pfns(table, lo_index=0, hi_index=PTRS_PER_TABLE):
     """pfns of present entries in ``table.entries[lo_index:hi_index]``.
 
@@ -99,12 +118,15 @@ def free_anon_frames(kernel, pfns):
 
 def release_table_references(kernel, mm, table, charge=True):
     """Destructor body: drop the table's page references, free the frame."""
+    from .rmap import rmap_remove_bulk
     indices, pfns = table_present_pfns(table)
     if len(pfns):
+        rmap_remove_bulk(kernel, pfns, table.pfn)
         zeroed = kernel.pages.ref_dec_bulk(pfns)
         free_anon_frames(kernel, zeroed)
         if charge:
             kernel.cost.charge_zap_entries(len(pfns))
+    kernel.swap_put_entries(table.entries)
     if charge:
         kernel.cost.charge_table_free()
     mm.free_table_frame(table)
@@ -125,6 +147,7 @@ def put_pte_table(kernel, mm, table, account_rss=True, charge=True):
         mm.sub_rss(len(pfns) - n_file, file_backed=False)
     if charge:
         kernel.cost.charge_table_put()
+    drop_table_sharer(kernel, table.pfn, mm)
     new_count = kernel.pages.pt_ref_dec(table.pfn)
     if new_count == 0:
         release_table_references(kernel, mm, table, charge=charge)
@@ -159,6 +182,13 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     indices, pfns = table_present_pfns(new_table)
     if len(pfns):
         kernel.pages.ref_inc_bulk(pfns)
+    if kernel.swap is not None:
+        # The copy carries swap entries too: each takes its own slot
+        # reference, and present anon pages gain a mapping in the copy.
+        kernel.swap_dup_entries(new_table.entries)
+        from .rmap import rmap_add_bulk
+        rmap_add_bulk(kernel, pfns, new_table.pfn)
+        drop_table_sharer(kernel, old_table.pfn, mm)
 
     kernel.cost.charge_table_cow_copy(len(pfns))
     pmd_table.set(pmd_index, make_entry(new_table.pfn, writable=True, user=True))

@@ -36,9 +36,11 @@ from ..paging.entries import (
 )
 from ..paging.table import LEVEL_PMD, LEVEL_SPAN, PMD_REGION_SIZE
 from .fork import iter_parent_pmd_tables
+from .rmap import rmap_remove_bulk
 from .tableops import (
     copy_shared_pte_table,
     count_file_pages,
+    drop_table_sharer,
     free_anon_frames,
     put_pte_table,
     table_present_pfns,
@@ -114,9 +116,11 @@ def _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss=Tru
             n_file = count_file_pages(kernel, pfns)
             mm.sub_rss(n_file, file_backed=True)
             mm.sub_rss(len(pfns) - n_file, file_backed=False)
+        rmap_remove_bulk(kernel, pfns, leaf.pfn)
         zeroed = kernel.pages.ref_dec_bulk(pfns)
         free_anon_frames(kernel, zeroed)
         kernel.cost.charge_zap_entries(len(pfns))
+    kernel.swap_put_entries(leaf.entries[lo_index:hi_index])
     leaf.entries[lo_index:hi_index] = ENTRY_NONE
 
 
@@ -141,6 +145,9 @@ def _exit_release_pmd_table(kernel, mm, pmd_table, table_base):
         surviving = refs > 1
         if surviving.any():
             drop_positions = leaf_positions[surviving]
+            if kernel.pt_sharers is not None:
+                for leaf_pfn in pfns[surviving].tolist():
+                    drop_table_sharer(kernel, leaf_pfn, mm)
             kernel.pages.pt_refcount[pfns[surviving]] -= 1
             entries[drop_positions] = ENTRY_NONE
             mm.nr_pte_tables -= len(drop_positions)

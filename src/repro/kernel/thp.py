@@ -45,6 +45,7 @@ from ..paging.entries import (
     present_mask,
 )
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
+from .rmap import rmap_add_bulk, rmap_remove_bulk
 from .tableops import put_pte_table
 
 #: Cost of scanning one candidate region (read 512 entries + struct pages).
@@ -128,6 +129,16 @@ class Khugepaged:
 
         # Migrate: allocate the compound page, copy all 512 subpages.
         head = kernel.alloc_huge_frame(mm)
+        if kernel.swap is not None:
+            # The huge allocation may have run reclaim, which can swap out
+            # candidate pages behind our back; re-verify before committing.
+            present = present_mask(entries)
+            if (not present.all()
+                    or np.any(kernel.pages.refcount[
+                        entry_pfn(entries).astype(np.int64)] != 1)):
+                kernel.allocator.free(head, HUGE_PAGE_ORDER)
+                return False
+            pfns = entry_pfn(entries).astype(np.int64)
         kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER,
                                        PG_ANON)
         kernel.phys.copy_frames_bulk(
@@ -138,6 +149,7 @@ class Khugepaged:
         dirty = bool((entries & BIT_DIRTY).any())
         accessed = bool((entries & BIT_ACCESSED).any())
         # Free the old frames and the leaf table.
+        rmap_remove_bulk(kernel, pfns, leaf.pfn)
         kernel.pages.on_free_bulk(pfns)
         kernel.phys.zero_bulk(pfns)
         kernel.allocator.free_bulk(pfns)
@@ -180,6 +192,7 @@ def split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start):
     kernel.cost.charge_pte_table_alloc()
     from .bulkops import _entries_for
     leaf.entries[:] = _entries_for(new_pfns, writable=writable, dirty=False)
+    rmap_add_bulk(kernel, new_pfns, leaf.pfn)
 
     if kernel.pages.ref_dec(head) == 0:
         kernel.free_huge_frame(head)

@@ -25,9 +25,23 @@ BIT_USER = np.uint64(1 << 2)
 BIT_ACCESSED = np.uint64(1 << 5)
 BIT_DIRTY = np.uint64(1 << 6)
 BIT_PS = np.uint64(1 << 7)  # page size: set in a PMD entry mapping 2 MiB
+# Software bit (x86 leaves 9..11 to the OS): a non-present entry whose
+# SWAP bit is set encodes a swap entry rather than "nothing mapped".
+BIT_SWAP = np.uint64(1 << 9)
 
 PFN_SHIFT = np.uint64(PAGE_SHIFT)
 PFN_MASK = np.uint64(((1 << 40) - 1) << PAGE_SHIFT)
+
+# Swap-entry layout (mirrors Linux's swp_entry_t packing into a pte):
+#
+#     63..52   51..12        11..10  9     8..7  6..2       1..0
+#     unused   swap offset   avail   SWAP  zero  swap type  zero (P=0)
+#
+# The slot offset reuses the PFN field, the device type sits in bits 2..6
+# (32 devices), the present bit stays clear so the hardware walker faults
+# and routes the access to the software fault handler.
+SWAP_TYPE_SHIFT = np.uint64(2)
+SWAP_TYPE_MASK = np.uint64(0x1F << 2)
 
 ENTRY_NONE = np.uint64(0)
 
@@ -91,9 +105,36 @@ def clear_bits(entry, bits):
     return entry & ~bits
 
 
+def make_swap_entry(slot, swap_type=0):
+    """Encode a swap entry: present clear, SWAP set, slot in the pfn field."""
+    entry = (np.uint64(slot) << PFN_SHIFT) & PFN_MASK
+    entry |= (np.uint64(swap_type) << SWAP_TYPE_SHIFT) & SWAP_TYPE_MASK
+    return entry | BIT_SWAP
+
+
+def is_swap_entry(entry):
+    """Swap-entry test (scalar or array): non-present with the SWAP bit."""
+    return ((entry & BIT_PRESENT) == 0) & ((entry & BIT_SWAP) != 0)
+
+
+def swap_entry_slot(entry):
+    """Slot offset of a swap entry (scalar or array)."""
+    return (entry & PFN_MASK) >> PFN_SHIFT
+
+
+def swap_entry_type(entry):
+    """Device index of a swap entry (scalar or array)."""
+    return (entry & SWAP_TYPE_MASK) >> SWAP_TYPE_SHIFT
+
+
 def present_mask(entries):
     """Boolean mask of present entries in a table array."""
     return (entries & BIT_PRESENT) != 0
+
+
+def swap_mask(entries):
+    """Boolean mask of swap entries in a table array."""
+    return ((entries & BIT_PRESENT) == 0) & ((entries & BIT_SWAP) != 0)
 
 
 def writable_mask(entries):

@@ -18,7 +18,14 @@ import numpy as np
 
 from ..errors import InvalidArgumentError, KernelBug
 from ..mem.page import PAGE_SHIFT, PAGE_SIZE, PTRS_PER_TABLE
-from .entries import ENTRY_NONE, entry_pfn, is_present, present_mask
+from .entries import (
+    BIT_PRESENT,
+    BIT_SWAP,
+    ENTRY_NONE,
+    entry_pfn,
+    is_present,
+    present_mask,
+)
 
 LEVEL_PTE = 1
 LEVEL_PMD = 2
@@ -122,8 +129,13 @@ class PageTable:
         return int(np.count_nonzero(present_mask(self.entries)))
 
     def is_empty(self):
-        """True when no entry is present."""
-        return not present_mask(self.entries).any()
+        """True when no entry is present or holds swap state.
+
+        Swap entries are non-present but very much alive: freeing a table
+        because only swap entries remain would orphan the slots (and the
+        data) of still-mapped virtual addresses.
+        """
+        return not ((self.entries & (BIT_PRESENT | BIT_SWAP)) != 0).any()
 
     def copy_entries_from(self, other):
         """Vectorised whole-table entry copy (the fork fast path)."""

@@ -59,5 +59,5 @@ class TestCLI:
         assert "regenerated" in out
 
     def test_registry_complete(self):
-        # 13 paper experiments + 3 ablations + 5 extensions.
-        assert len(EXPERIMENTS) == 21
+        # 13 paper experiments + 3 ablations + 6 extensions.
+        assert len(EXPERIMENTS) == 22

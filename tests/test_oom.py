@@ -67,6 +67,30 @@ class TestOOM:
         child = p.odfork()   # shares tables: near-zero frame cost
         assert child.read(addr, 1) is not None
 
+    def test_bulk_retry_failure_raises_oom(self):
+        # Regression: the bulk-allocation retry after a *partial* reclaim
+        # used to let the allocator's internal OutOfFramesError escape
+        # unwrapped.  Callers must always see OutOfMemoryError itself.
+        machine = tiny_machine(4)
+        kernel = machine.kernel
+        f = kernel.fs.create("/some-cache", size=256 * 1024)
+        kernel.page_cache.read(f, 0, 256 * 1024)  # reclaimable, but not enough
+        p = machine.spawn_process("hog")
+        addr = p.mmap(16 * MIB)
+        with pytest.raises(OutOfMemoryError) as exc:
+            p.touch_range(addr, 16 * MIB, write=True)
+        assert type(exc.value) is OutOfMemoryError
+        assert machine.stats.oom_reclaims >= 1  # the partial reclaim happened
+
+    def test_direct_reclaim_rescues_bulk_allocation(self):
+        # With swap available, anonymous pages are evictable too: the same
+        # overcommit that OOMs above now succeeds via direct reclaim.
+        machine = Machine(phys_mb=8, swap_mb=32)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(16 * MIB)
+        p.touch_range(addr, 16 * MIB, write=True)
+        assert machine.stats.pswpout > 0
+
     def test_oom_does_not_corrupt_state(self):
         machine = tiny_machine(4)
         p = machine.spawn_process("hog")

@@ -1,0 +1,119 @@
+"""Property tests for reclaim & swap under random mmap/fork/write traffic.
+
+Random operation scripts interleave page writes, forks, reclaim passes
+(both kswapd-style and direct), partial unmaps, and child exits on a
+machine small enough that swap traffic is routine.  After every step the
+shadow copies must read back exactly and the full kernel audit — page
+refcounts, swap_map, rmap, LRU membership, sharer registry — must hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro import MIB, Machine
+from auditor import audit_machine
+
+REGION = 2 * MIB
+PAGE = 4096
+N_PAGES = REGION // PAGE
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write_parent", "write_child", "read_parent",
+                         "read_child", "reclaim", "kswapd", "fork",
+                         "odfork", "exit_child", "unmap_piece",
+                         "snapshot", "restore"]),
+        st.integers(0, N_PAGES - 1),
+    ),
+    min_size=4, max_size=24,
+)
+
+
+@settings(max_examples=35, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(script=ops)
+def test_reclaim_interleaved_with_lineages(script):
+    # Small enough that reclaim targets hit mapped pages; big enough that
+    # page tables and the page cache always fit.
+    machine = Machine(phys_mb=8, swap_mb=16)
+    kernel = machine.kernel
+    parent = machine.spawn_process("root")
+    region = parent.mmap(REGION)
+
+    shadow_parent = {}
+    shadow_child = None
+    child = None
+    snapshot = None
+    snapshot_shadow = None
+    unmapped = set()
+    counter = 0
+
+    for op, page in script:
+        counter += 1
+        payload = f"{counter:08d}".encode()
+        addr = region + page * PAGE
+        if op == "write_parent":
+            if page in unmapped:
+                continue
+            parent.write(addr, payload)
+            shadow_parent[page] = payload
+        elif op == "write_child" and child is not None:
+            if page in unmapped:
+                continue
+            child.write(addr, payload)
+            shadow_child[page] = payload
+        elif op == "read_parent" and page not in unmapped:
+            expected = shadow_parent.get(page)
+            if expected is not None:
+                assert parent.read(addr, 8) == expected
+        elif op == "read_child" and child is not None and page not in unmapped:
+            expected = shadow_child.get(page)
+            if expected is not None:
+                assert child.read(addr, 8) == expected
+        elif op == "reclaim":
+            kernel.reclaim.shrink(max(8, page), from_kswapd=False)
+        elif op == "kswapd":
+            machine.run_kswapd()
+        elif op in ("fork", "odfork") and child is None:
+            child = parent.odfork() if op == "odfork" else parent.fork()
+            shadow_child = dict(shadow_parent)
+        elif op == "exit_child" and child is not None:
+            child.exit()
+            parent.wait()
+            child = None
+            shadow_child = None
+        elif op == "unmap_piece" and child is None and page not in unmapped:
+            parent.munmap(addr, PAGE)
+            unmapped.add(page)
+            shadow_parent.pop(page, None)
+        elif op == "snapshot" and child is None and snapshot is None:
+            snapshot = parent.snapshot()
+            snapshot_shadow = dict(shadow_parent)
+        elif (op == "restore" and snapshot is not None and child is None
+              and not unmapped):
+            # munmap can free a snapshotted leaf table; only restore while
+            # the geometry is unchanged since creation.
+            snapshot.restore()
+            shadow_parent = dict(snapshot_shadow)
+
+        audit_machine(machine)
+
+    for page, expected in shadow_parent.items():
+        assert parent.read(region + page * PAGE, 8) == expected
+    if child is not None:
+        for page, expected in shadow_child.items():
+            assert child.read(region + page * PAGE, 8) == expected
+        child.exit()
+        parent.wait()
+    if snapshot is not None:
+        snapshot.discard()
+    audit_machine(machine)
+    parent.exit()
+    machine.init_process.wait()
+    audit_machine(machine)
+    assert kernel.swap.used_slots == 0
+    assert len(kernel.swap_cache) == 0
+    assert len(kernel.reclaim.active) + len(kernel.reclaim.inactive) == 0

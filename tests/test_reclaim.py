@@ -1,0 +1,296 @@
+"""Memory reclaim & swap: LRU aging, kswapd, rmap unmap, swap-entry PTEs."""
+
+import pytest
+
+from auditor import audit_machine
+from repro import MADV_DONTNEED, MIB, Machine, OutOfMemoryError
+from repro.mem.page import PAGE_SIZE
+from repro.paging import (
+    is_present,
+    is_swap_entry,
+    make_swap_entry,
+    swap_entry_slot,
+    swap_entry_type,
+    swap_mask,
+)
+
+import numpy as np
+
+
+def swap_machine(phys_mb=16, swap_mb=64, **kw):
+    return Machine(phys_mb=phys_mb, swap_mb=swap_mb, **kw)
+
+
+class TestSwapEntryEncoding:
+    def test_roundtrip(self):
+        for slot in (0, 1, 511, 4096, (1 << 30) - 1):
+            entry = make_swap_entry(slot)
+            assert not is_present(entry)
+            assert is_swap_entry(entry)
+            assert int(swap_entry_slot(entry)) == slot
+            assert int(swap_entry_type(entry)) == 0
+
+    def test_type_field(self):
+        entry = make_swap_entry(7, swap_type=3)
+        assert int(swap_entry_type(entry)) == 3
+        assert int(swap_entry_slot(entry)) == 7
+
+    def test_mask_vectorised(self):
+        from repro.paging import make_entry
+        entries = np.array(
+            [make_swap_entry(9), make_entry(5, writable=True, user=True),
+             np.uint64(0)], dtype=np.uint64)
+        assert swap_mask(entries).tolist() == [True, False, False]
+
+    def test_plain_entries_are_not_swap(self):
+        from repro.paging import ENTRY_NONE, make_entry
+        assert not is_swap_entry(ENTRY_NONE)
+        assert not is_swap_entry(make_entry(42, writable=True, user=True))
+
+
+class TestSwapOptIn:
+    def test_default_machine_has_no_swap(self):
+        machine = Machine(phys_mb=16)
+        kernel = machine.kernel
+        assert kernel.swap is None
+        assert kernel.swap_cache is None
+        assert kernel.rmap is None
+        assert kernel.reclaim is None
+        assert kernel.pt_sharers is None
+
+    def test_swap_machine_wires_subsystem(self):
+        machine = swap_machine()
+        kernel = machine.kernel
+        assert len(kernel.swap) == 64 * MIB // PAGE_SIZE
+        assert kernel.reclaim.wm_min < kernel.reclaim.wm_low < kernel.reclaim.wm_high
+
+    def test_vmstat_gauges(self):
+        machine = swap_machine()
+        v = machine.vmstat()
+        for key in ("pswpin", "pswpout", "pgscan", "pgsteal", "kswapd_wakeups",
+                    "shared_table_unmaps", "nr_free_pages", "nr_active_anon",
+                    "nr_inactive_anon", "swap_total_slots", "swap_used_slots"):
+            assert key in v, key
+
+
+class TestOvercommit:
+    def test_2x_overcommit_survives(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        size = 32 * MIB  # 2x physical memory
+        addr = p.mmap(size)
+        p.touch_range(addr, size, write=True)  # must not OOM
+        v = machine.vmstat()
+        assert v["pswpout"] > 0
+        assert v["swap_used_slots"] > 0
+        audit_machine(machine)
+
+    def test_data_survives_swap_roundtrip(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        n = 32 * MIB // PAGE_SIZE
+        addr = p.mmap(32 * MIB)
+        for i in range(n):
+            p.write(addr + i * PAGE_SIZE, i.to_bytes(8, "little"))
+        assert machine.stats.pswpout > 0
+        for i in range(n):
+            assert p.read(addr + i * PAGE_SIZE, 8) == i.to_bytes(8, "little")
+        assert machine.stats.pswpin > 0
+        audit_machine(machine)
+
+    def test_swap_exhaustion_still_ooms(self):
+        machine = swap_machine(phys_mb=8, swap_mb=4)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(64 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            p.touch_range(addr, 64 * MIB, write=True)
+        machine.check_frame_invariants()
+
+    def test_kswapd_keeps_free_above_min(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(24 * MIB)
+        p.touch_range(addr, 24 * MIB, write=True)
+        v = machine.vmstat()
+        assert v["kswapd_wakeups"] > 0
+        assert v["nr_free_pages"] >= machine.kernel.reclaim.wm_min
+
+
+class TestLRUAging:
+    def test_second_chance_prefers_cold_pages(self):
+        machine = swap_machine(phys_mb=64, swap_mb=64)
+        kernel = machine.kernel
+        p = machine.spawn_process("worker")
+        hot = p.mmap(1 * MIB)
+        cold = p.mmap(1 * MIB)
+        p.touch_range(cold, 1 * MIB, write=True)
+        p.touch_range(hot, 1 * MIB, write=True)
+        # Age everything onto the inactive list, then re-reference hot:
+        # the referenced bit gives hot pages a second chance.
+        p.touch_range(hot, 1 * MIB, write=False)
+        n = 1 * MIB // PAGE_SIZE
+        freed = kernel.reclaim.shrink(n // 2, from_kswapd=False)
+        assert freed > 0
+
+        # Count swapped-out pages per region by probing the leaf entries.
+        def swapped_pages(base):
+            from repro.paging import entry_pfn
+            from repro.paging.table import LEVEL_PTE, table_index
+            count = 0
+            for i in range(n):
+                vaddr = base + i * PAGE_SIZE
+                walked = p.mm.walk_to_pmd(vaddr, alloc=False)
+                if walked is None:
+                    continue
+                pmd, idx = walked
+                if not is_present(pmd.entries[idx]):
+                    continue
+                leaf = p.mm.resolve(int(entry_pfn(pmd.entries[idx])))
+                if is_swap_entry(leaf.entries[table_index(vaddr, LEVEL_PTE)]):
+                    count += 1
+            return count
+
+        assert swapped_pages(cold) > swapped_pages(hot)
+        audit_machine(machine)
+
+    def test_lru_empties_on_exit(self):
+        machine = swap_machine()
+        p = machine.spawn_process("w")
+        addr = p.mmap(2 * MIB)
+        p.touch_range(addr, 2 * MIB, write=True)
+        r = machine.kernel.reclaim
+        assert len(r.active) + len(r.inactive) > 0
+        p.exit()
+        assert len(r.active) + len(r.inactive) == 0
+        audit_machine(machine)
+
+
+class TestForkUnderPressure:
+    def test_cow_isolation_through_shared_tables_and_swap(self):
+        machine = swap_machine(phys_mb=64, swap_mb=64)
+        p = machine.spawn_process("server")
+        size = 4 * MIB
+        n = size // PAGE_SIZE
+        addr = p.mmap(size)
+        for i in range(n):
+            p.write(addr + i * PAGE_SIZE, (i * 7).to_bytes(8, "little"))
+        child = p.odfork()
+        # Evict the shared pages straight through the shared leaf tables.
+        freed = machine.kernel.reclaim.shrink(n, from_kswapd=False)
+        assert freed > 0
+        assert machine.stats.shared_table_unmaps > 0
+        # Child rewrites every page; parent must keep the original bytes.
+        for i in range(n):
+            child.write(addr + i * PAGE_SIZE, (i * 13 + 1).to_bytes(8, "little"))
+        for i in range(n):
+            assert p.read(addr + i * PAGE_SIZE, 8) == (i * 7).to_bytes(8, "little")
+            assert child.read(addr + i * PAGE_SIZE, 8) == \
+                (i * 13 + 1).to_bytes(8, "little")
+        audit_machine(machine)
+
+    def test_sharers_converge_on_swap_cache(self):
+        machine = swap_machine(phys_mb=64, swap_mb=64)
+        p = machine.spawn_process("server")
+        addr = p.mmap(1 * MIB)
+        p.touch_range(addr, 1 * MIB, write=True)
+        child = p.odfork()
+        n = 1 * MIB // PAGE_SIZE
+        machine.kernel.reclaim.shrink(n, from_kswapd=False)
+        assert machine.stats.pswpout > 0
+        p.touch_range(addr, 1 * MIB, write=False)   # swap everything back in
+        swapins = machine.stats.pswpin
+        child.touch_range(addr, 1 * MIB, write=False)
+        # The second sharer finds the frames in the swap cache: no new I/O.
+        assert machine.stats.pswpin == swapins
+        assert machine.stats.swap_cache_hits > 0
+        audit_machine(machine)
+
+    def test_fork_server_overcommit(self):
+        # A fork-server whose total footprint (parent + divergent children)
+        # exceeds physical memory must keep working.
+        machine = swap_machine(phys_mb=16, swap_mb=128)
+        p = machine.spawn_process("server")
+        size = 8 * MIB
+        addr = p.mmap(size)
+        p.touch_range(addr, size, write=True)
+        for round_no in range(4):
+            child = p.odfork()
+            child.touch_range(addr, size, write=True)  # full divergence
+            child.exit()
+            p.wait()
+        assert machine.stats.pswpout > 0
+        audit_machine(machine)
+
+
+class TestSlotLifecycle:
+    def test_exit_releases_slots(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(24 * MIB)
+        p.touch_range(addr, 24 * MIB, write=True)
+        assert machine.kernel.swap.used_slots > 0
+        p.exit()
+        assert machine.kernel.swap.used_slots == 0
+        assert len(machine.kernel.swap_cache) == 0
+        audit_machine(machine)
+
+    def test_madvise_dontneed_releases_slots(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(24 * MIB)
+        p.touch_range(addr, 24 * MIB, write=True)
+        assert machine.kernel.swap.used_slots > 0
+        p.madvise(addr, 24 * MIB, MADV_DONTNEED)
+        assert machine.kernel.swap.used_slots == 0
+        audit_machine(machine)
+
+    def test_munmap_releases_slots(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(24 * MIB)
+        p.touch_range(addr, 24 * MIB, write=True)
+        assert machine.kernel.swap.used_slots > 0
+        p.munmap(addr, 24 * MIB)
+        assert machine.kernel.swap.used_slots == 0
+        audit_machine(machine)
+
+    def test_zero_page_needs_no_swap_storage(self):
+        # Never-written pages store nothing on the device: eviction of a
+        # zero page records the slot but keeps no bytes.
+        machine = swap_machine(phys_mb=64, swap_mb=64)
+        p = machine.spawn_process("z")
+        addr = p.mmap(1 * MIB)
+        p.touch_range(addr, 1 * MIB, write=False)
+        n = 1 * MIB // PAGE_SIZE
+        machine.kernel.reclaim.shrink(n, from_kswapd=False)
+        dev = machine.kernel.swap
+        assert dev.used_slots > 0
+        assert len(dev._data) == 0
+        assert p.read(addr, 8) == b"\x00" * 8
+        audit_machine(machine)
+
+
+class TestReclaimCostModel:
+    def test_kswapd_work_is_background(self):
+        machine = swap_machine(phys_mb=16, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(20 * MIB)
+        p.touch_range(addr, 20 * MIB, write=True)
+        assert machine.stats.kswapd_wakeups > 0
+        assert machine.stats.pswpout > 0
+        if machine.stats.direct_reclaims == 0:
+            # All write-out happened on the kswapd thread: none of it may
+            # appear on the foreground task's clock.
+            assert machine.profiler.total_ns(["swap_writepage"]) == 0
+        # Faulting a swapped page back in is foreground work.
+        p.touch_range(addr, 20 * MIB, write=False)
+        assert machine.profiler.total_ns(["swap_readpage"]) > 0
+
+    def test_direct_reclaim_charged_foreground(self):
+        machine = swap_machine(phys_mb=8, swap_mb=64)
+        p = machine.spawn_process("hog")
+        addr = p.mmap(16 * MIB)
+        before = machine.now_ns
+        p.touch_range(addr, 16 * MIB, write=True)
+        assert machine.now_ns > before
+        assert machine.stats.pswpout > 0
