@@ -53,6 +53,7 @@ def _fixed(module_run, **kwargs):
 
 EXPERIMENTS = {
     "fig2": _quickable(fig2.run),
+    "fig2-concurrent": _quickable(fig2.run_concurrent),
     "fig3": _fixed(fig3.run),
     "fig4": _quickable(fig4.run),
     "fig7": _quickable(fig7.run),
@@ -98,6 +99,9 @@ def main(argv=None):
                         help="list experiment ids and exit")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale sweeps where available (slow)")
+    parser.add_argument("--concurrent", action="store_true",
+                        help="with fig2: run the emergent-SMP concurrent "
+                             "series (fig2-concurrent) instead")
     parser.add_argument("--smoke", action="store_true",
                         help="fast CI subset at quick settings")
     parser.add_argument("--json", metavar="PATH",
@@ -111,6 +115,11 @@ def main(argv=None):
 
     experiments = SMOKE_EXPERIMENTS if args.smoke else EXPERIMENTS
     selected = args.ids or list(experiments)
+    if args.concurrent:
+        selected = ["fig2-concurrent" if i == "fig2" else i for i in selected]
+        experiments = dict(experiments)
+        experiments.setdefault("fig2-concurrent",
+                               EXPERIMENTS["fig2-concurrent"])
     unknown = [i for i in selected if i not in experiments]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown} "

@@ -29,7 +29,7 @@ class Machine:
     """A simulated host: hardware model + kernel + process table."""
 
     def __init__(self, phys_mb=4096, cost_params=None, noise_sigma=0.0,
-                 seed=0, n_cores=16, swap_mb=0):
+                 seed=0, n_cores=16, swap_mb=0, smp=None):
         if phys_mb <= 0:
             raise ConfigurationError("machine needs physical memory")
         self.n_cores = int(n_cores)
@@ -55,6 +55,16 @@ class Machine:
             swap = SwapDevice(int(swap_mb) * MIB // PAGE_SIZE)
         self.kernel = Kernel(self.clock, self.cost, self.allocator,
                              self.pages, self.phys, swap=swap)
+        # Opt-in SMP subsystem: ``smp=N`` attaches N virtual CPUs and the
+        # deterministic cooperative scheduler; contention then emerges
+        # from lock waits and IPIs instead of the fitted alpha fallback.
+        self.smp = None
+        if smp:
+            if int(smp) < 1:
+                raise ConfigurationError("smp needs at least one vCPU")
+            from ..smp.sched import Scheduler
+            self.smp = Scheduler(self, n_cpus=int(smp), seed=seed)
+            self.kernel.smp = self.smp
         self._init_process = None
 
     def _reserve_frame_zero(self):

@@ -99,7 +99,10 @@ def access_range(kernel, task, start, length, is_write, charge_memcpy=True):
             else:
                 _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index,
                                    slot_start, plo, phi, is_write, events)
-    mm.tlb.flush_range(first, last)
+    # Bulk COW may have switched backing frames across the whole range;
+    # purge it from every CPU caching this mm (no extra charge: matches
+    # the per-fault flushes this batch replaces).
+    kernel.tlbs.shootdown_mm(mm, first, last, charge=False)
     kernel.stats.page_faults += (
         events["demand_zero"] + events["cow_pages"] + events["write_notify"]
         + events["huge_faults"] + events["huge_cow"] + events["swap_ins"]

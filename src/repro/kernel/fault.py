@@ -122,7 +122,10 @@ class FaultHandler:
             self._handle_huge(mm, vma, vaddr, is_write)
         else:
             self._handle_normal(mm, vma, vaddr, is_write)
-        mm.tlb.flush_page(vaddr)
+        # A COW resolution may have switched the backing frame, so the
+        # faulting page is purged from every CPU caching this mm (remote
+        # vCPUs get an IPI; ptep_clear_flush_notify does the same).
+        kernel.tlbs.shootdown_page(mm, vaddr)
 
     # ---- 4 KiB path ---------------------------------------------------- #
 
@@ -301,7 +304,9 @@ class FaultHandler:
             # translation under this PMD entry is stale, not just the
             # faulting page.
             slot_start = level_base(vaddr, 2)
-            mm.tlb.flush_range(slot_start, slot_start + HUGE_PAGE_SIZE)
+            kernel.tlbs.shootdown_mm(mm, slot_start,
+                                     slot_start + HUGE_PAGE_SIZE,
+                                     charge=False)
             kernel.stats.huge_cow_faults += 1
             return
         kernel.stats.spurious_faults += 1
@@ -351,7 +356,9 @@ class FaultHandler:
                 dirty=True, accessed=True,
             ))
             slot_start = level_base(vaddr, 2)
-            mm.tlb.flush_range(slot_start, slot_start + HUGE_PAGE_SIZE)
+            kernel.tlbs.shootdown_mm(mm, slot_start,
+                                     slot_start + HUGE_PAGE_SIZE,
+                                     charge=False)
             kernel.stats.huge_cow_faults += 1
             return
 

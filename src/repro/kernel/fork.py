@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..mem.page import PTRS_PER_TABLE
+from ..mem.page import HUGE_PAGE_ORDER, PTRS_PER_TABLE
 from ..paging.entries import BIT_RW, entry_pfn, is_huge, make_entry
 from ..paging.table import (
     LEVEL_PGD,
@@ -24,7 +24,7 @@ from ..paging.table import (
     LEVEL_PUD,
     LEVEL_SPAN,
 )
-from .tableops import private_cow_mask, table_present_pfns
+from .tableops import count_file_pages, private_cow_mask, table_present_pfns
 
 
 def iter_parent_pmd_tables(mm):
@@ -95,73 +95,109 @@ def clone_vmas(parent_mm, child_mm):
         child_mm.add_vma(vma.clone())
 
 
-def copy_mm_classic(kernel, parent_mm, child_mm):
-    """Duplicate ``parent_mm`` into ``child_mm`` the traditional way."""
-    cost = kernel.cost
-    cost.charge_fork_fixed(len(parent_mm.vmas))
+class ClassicCopyState:
+    """Walk state threaded through a slot-at-a-time classic copy.
+
+    ``copy_mm_classic`` drives the whole walk in one call; the SMP fork
+    flow drives the same three phases (begin, one call per 2 MiB slot,
+    finish) as a generator so the scheduler can interleave other vCPUs
+    at every slot boundary.
+    """
+
+    __slots__ = ("builder", "n_leaf_tables", "n_huge_entries")
+
+    def __init__(self, builder):
+        self.builder = builder
+        self.n_leaf_tables = 0
+        self.n_huge_entries = 0
+
+
+def begin_classic_copy(kernel, parent_mm, child_mm):
+    """Fixed-cost prologue: task/VMA duplication and the child tree root."""
+    kernel.cost.charge_fork_fixed(len(parent_mm.vmas))
     clone_vmas(parent_mm, child_mm)
-    builder = ChildTreeBuilder(child_mm)
+    return ClassicCopyState(ChildTreeBuilder(child_mm))
+
+
+def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
+                      slot_start):
+    """Copy one present PMD slot (2 MiB) from parent to child."""
+    cost = kernel.cost
     drop_rw = np.uint64(~BIT_RW)
-    n_leaf_tables = 0
-    n_huge_entries = 0
+    entry = pmd.entries[pmd_index]
+    child_pmd, child_index = state.builder.pmd_for(slot_start)
 
-    for pmd, pmd_index, slot_start in iter_parent_pmds(parent_mm):
-        entry = pmd.entries[pmd_index]
-        child_pmd, child_index = builder.pmd_for(slot_start)
+    if is_huge(entry):
+        head = int(entry_pfn(entry))
+        kernel.pages.ref_inc(head)
+        if _slot_needs_cow(parent_mm, slot_start):
+            entry &= drop_rw
+            pmd.entries[pmd_index] = entry
+        child_pmd.entries[child_index] = entry
+        child_mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
+        cost.charge_copy_huge_entries(1)
+        state.n_huge_entries += 1
+        return
 
-        if is_huge(entry):
-            head = int(entry_pfn(entry))
-            kernel.pages.ref_inc(head)
-            cow_here = _slot_needs_cow(parent_mm, slot_start)
-            if cow_here:
-                entry &= drop_rw
-                pmd.entries[pmd_index] = entry
-            child_pmd.entries[child_index] = entry
-            cost.charge_copy_huge_entries(1)
-            n_huge_entries += 1
-            continue
+    parent_leaf = parent_mm.resolve(int(entry_pfn(entry)))
+    child_leaf = child_mm.alloc_table(LEVEL_PTE)
+    child_leaf.copy_entries_from(parent_leaf)
 
-        parent_leaf = parent_mm.resolve(int(entry_pfn(entry)))
-        child_leaf = child_mm.alloc_table(LEVEL_PTE)
-        child_leaf.copy_entries_from(parent_leaf)
+    cow_mask = private_cow_mask(parent_mm, slot_start)
+    if cow_mask.any():
+        child_leaf.entries[cow_mask] &= drop_rw
+        if kernel.pages.pt_ref(parent_leaf.pfn) == 1:
+            # Dedicated parent table: write-protect it too, exactly as
+            # copy_one_pte does.  A shared parent table is left alone —
+            # its PMD entry already has RW=0, which protects every
+            # sharer, and the table-COW protocol owns its entry bits.
+            parent_leaf.entries[cow_mask] &= drop_rw
 
-        cow_mask = private_cow_mask(parent_mm, slot_start)
-        if cow_mask.any():
-            child_leaf.entries[cow_mask] &= drop_rw
-            if kernel.pages.pt_ref(parent_leaf.pfn) == 1:
-                # Dedicated parent table: write-protect it too, exactly as
-                # copy_one_pte does.  A shared parent table is left alone —
-                # its PMD entry already has RW=0, which protects every
-                # sharer, and the table-COW protocol owns its entry bits.
-                parent_leaf.entries[cow_mask] &= drop_rw
+    _, pfns = table_present_pfns(child_leaf)
+    if len(pfns):
+        kernel.pages.ref_inc_bulk(pfns)
+        # RSS is accounted per slot, not snapshot-copied at the end: under
+        # SMP a concurrent reclaim may unmap pages from already-copied
+        # child tables before the walk finishes.
+        n_file = count_file_pages(kernel, pfns)
+        child_mm.add_rss(n_file, file_backed=True)
+        child_mm.add_rss(len(pfns) - n_file, file_backed=False)
+    if kernel.swap is not None:
+        # Copied swap entries reference their slots too, and the copy's
+        # present anon pages gain a reverse mapping.
+        kernel.swap_dup_entries(child_leaf.entries)
+        from .rmap import rmap_add_bulk
+        rmap_add_bulk(kernel, pfns, child_leaf.pfn)
+    cost.charge_pte_table_alloc()
+    cost.charge_copy_pte_entries(len(pfns))
+    child_pmd.set(child_index, make_entry(child_leaf.pfn, writable=True, user=True))
+    state.n_leaf_tables += 1
 
-        _, pfns = table_present_pfns(child_leaf)
-        if len(pfns):
-            kernel.pages.ref_inc_bulk(pfns)
-        if kernel.swap is not None:
-            # Copied swap entries reference their slots too, and the copy's
-            # present anon pages gain a reverse mapping.
-            kernel.swap_dup_entries(child_leaf.entries)
-            from .rmap import rmap_add_bulk
-            rmap_add_bulk(kernel, pfns, child_leaf.pfn)
-        cost.charge_pte_table_alloc()
-        cost.charge_copy_pte_entries(len(pfns))
-        child_pmd.set(child_index, make_entry(child_leaf.pfn, writable=True, user=True))
-        n_leaf_tables += 1
 
-    if n_leaf_tables:
+def finish_classic_copy(kernel, parent_mm, child_mm, state):
+    """Epilogue: warm-up/fixed charges, RSS copy, and the parent shootdown."""
+    cost = kernel.cost
+    if state.n_leaf_tables:
         # First-touch misses on struct page and allocator state; huge-only
         # address spaces skip this, which is most of Figure 4's advantage.
         cost.charge_fork_warmup()
-    elif n_huge_entries:
+    elif state.n_huge_entries:
         cost.charge_huge_fork_fixed()
-    cost.charge_upper_copy(builder.upper_tables_created)
-    child_mm.rss_anon_pages = parent_mm.rss_anon_pages
-    child_mm.rss_file_pages = parent_mm.rss_file_pages
+    cost.charge_upper_copy(state.builder.upper_tables_created)
     child_mm.odf_lineage = parent_mm.odf_lineage
-    parent_mm.tlb.flush_all()
-    kernel.cost.charge_tlb_flush()
+    # Write-protecting private-COW entries invalidates writable
+    # translations on every CPU running the parent's address space.
+    kernel.tlbs.shootdown_mm(parent_mm)
     kernel.stats.forks += 1
+
+
+def copy_mm_classic(kernel, parent_mm, child_mm):
+    """Duplicate ``parent_mm`` into ``child_mm`` the traditional way."""
+    state = begin_classic_copy(kernel, parent_mm, child_mm)
+    for pmd, pmd_index, slot_start in iter_parent_pmds(parent_mm):
+        classic_copy_slot(kernel, parent_mm, child_mm, state, pmd,
+                          pmd_index, slot_start)
+    finish_classic_copy(kernel, parent_mm, child_mm, state)
 
 
 def _slot_needs_cow(mm, slot_start):

@@ -84,6 +84,9 @@ class VMStats:
     kswapd_wakeups: int = 0
     direct_reclaims: int = 0
     shared_table_unmaps: int = 0
+    # -- SMP / TLB coherence (zero unless remote CPU views existed) -------
+    tlb_shootdowns: int = 0
+    ipis_sent: int = 0
 
     def snapshot(self):
         """A plain-dict copy of all counters."""
@@ -118,6 +121,11 @@ class Kernel:
         # configured; without one every hook below is None and the kernel
         # behaves exactly as it did before the subsystem existed.
         self.swap = swap
+        #: leaf-table pfn -> [MMStruct, ...] sharing that table; lets
+        #: try_to_unmap fix each sharer's RSS and TLB when it edits a
+        #: shared table in place, and gives TLB shootdowns their target
+        #: set.  Maintained unconditionally since the SMP subsystem.
+        self.pt_sharers = {}
         if swap is not None:
             from ..mem.swap import SwapCache
             from .reclaim import ReclaimState
@@ -125,15 +133,15 @@ class Kernel:
             self.swap_cache = SwapCache()
             self.rmap = AnonRmap()
             self.reclaim = ReclaimState(self)
-            #: leaf-table pfn -> [MMStruct, ...] sharing that table; lets
-            #: try_to_unmap fix each sharer's RSS and TLB when it edits a
-            #: shared table in place.
-            self.pt_sharers = {}
         else:
             self.swap_cache = None
             self.rmap = None
             self.reclaim = None
-            self.pt_sharers = None
+        # The SMP scheduler (Machine(smp=N)) plugs itself in here; the
+        # shootdown engine routes every TLB invalidation through it.
+        self.smp = None
+        from ..paging.tlb import ShootdownEngine
+        self.tlbs = ShootdownEngine(self)
 
     # ---- page-table registry (the model's page_address map) -------------
 
@@ -489,8 +497,9 @@ class Kernel:
             vma.prot = prot
             if losing_write:
                 self._clear_write_bits(mm, vma.start, vma.end)
-        mm.tlb.flush_range(addr, end)
-        self.cost.charge_tlb_flush((end - addr) // PAGE_SIZE)
+        # Permission downgrade: stale writable translations must go from
+        # every CPU running this address space, not just the caller's.
+        self.tlbs.shootdown_mm(mm, addr, end)
 
     def _clear_write_bits(self, mm, start, end):
         import numpy as np
@@ -698,15 +707,27 @@ class Kernel:
 
     # ---- user memory access (byte path) ---------------------------------------------
 
+    def active_tlb(self, mm):
+        """The TLB view the executing CPU uses for ``mm``.
+
+        Inside an SMP schedule this is the current vCPU's TLB (switched
+        CR3-style to ``mm``); otherwise the per-mm TLB, as before.
+        """
+        smp = self.smp
+        if smp is not None and smp.running and smp.current is not None:
+            return smp.current.vcpu.tlb_for(mm)
+        return mm.tlb
+
     def _translate_for_access(self, task, addr, is_write):
         mm = task.mm
-        hit = mm.tlb.lookup(addr, is_write)
+        tlb = self.active_tlb(mm)
+        hit = tlb.lookup(addr, is_write)
         if hit is not None:
             return hit.pfn
         for _ in range(4):
             try:
                 tr = self.walker.translate(mm.pgd, addr, is_write)
-                mm.tlb.insert(addr, tr.pfn, tr.writable, tr.huge)
+                tlb.insert(addr, tr.pfn, tr.writable, tr.huge)
                 return tr.pfn
             except MMUFault:
                 self.fault_handler.handle(task, addr, is_write)

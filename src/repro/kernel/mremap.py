@@ -108,6 +108,6 @@ def move_mapping(kernel, mm, vma, new_size):
     kernel.cost.charge_zap_entries(moved)   # clearing old entries
     kernel.cost.charge_copy_pte_entries(0)  # attribution anchor
     mm.remove_vma(vma)
-    mm.tlb.flush_range(old_start, old_end)
-    kernel.cost.charge_tlb_flush((old_end - old_start) // PAGE_SIZE)
+    # The old range's translations are dead on every CPU running this mm.
+    kernel.tlbs.shootdown_mm(mm, old_start, old_end)
     return new_start

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..paging.entries import BIT_PS, BIT_RW, entry_pfn, present_mask
+from ..mem.page import HUGE_PAGE_ORDER
+from ..paging.entries import BIT_PS, BIT_RW, entry_pfn, is_huge, present_mask
 from .fork import (
     ChildTreeBuilder,
     _slot_needs_cow,
@@ -41,14 +42,28 @@ from .fork import (
     iter_parent_pmd_tables,
 )
 from ..paging.table import LEVEL_PMD, LEVEL_SPAN
+from .tableops import add_table_sharer, count_file_pages, table_present_pfns
+
+
+def _account_shared_table_rss(kernel, mm, child_mm, leaf_pfn):
+    """Sharing a leaf table makes its present pages resident in the child.
+
+    Accounted per table (not snapshot-copied at the end) so a concurrent
+    reclaim that edits an already-shared table mid-odfork finds the
+    child's RSS consistent with its mappings.
+    """
+    leaf = mm.resolve(leaf_pfn)
+    _, pfns = table_present_pfns(leaf)
+    if len(pfns):
+        n_file = count_file_pages(kernel, pfns)
+        child_mm.add_rss(n_file, file_backed=True)
+        child_mm.add_rss(len(pfns) - n_file, file_backed=False)
 
 
 def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
     """Share ``parent_mm``'s leaf tables into ``child_mm`` (§3.1, §3.5)."""
     cost = kernel.cost
-    cost.charge_odfork_fixed(len(parent_mm.vmas))
-    clone_vmas(parent_mm, child_mm)
-    builder = ChildTreeBuilder(child_mm)
+    builder = begin_odf_copy(kernel, parent_mm, child_mm)
     drop_rw = np.uint64(~BIT_RW)
     shared_tables = 0
 
@@ -66,9 +81,9 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
             # one write-protected PMD entry on each side.
             pfns = entry_pfn(entries[leaf_positions]).astype(np.int64)
             kernel.pages.pt_refcount[pfns] += 1
-            if kernel.pt_sharers is not None:
-                for leaf_pfn in pfns.tolist():
-                    kernel.pt_sharers[leaf_pfn].append(child_mm)
+            for leaf_pfn in pfns.tolist():
+                kernel.pt_sharers[leaf_pfn].append(child_mm)
+                _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
             protected = entries[leaf_positions] & drop_rw
             entries[leaf_positions] = protected
             child_pmd.entries[leaf_positions] = protected
@@ -86,6 +101,7 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
                 entry &= drop_rw
                 entries[pmd_index] = entry
             child_pmd.entries[pmd_index] = entry
+            child_mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
             if share_huge:
                 # §4 generalisation: one permission-drop per 2 MiB entry,
                 # charged like a table share instead of the eager copy.
@@ -94,13 +110,69 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
                 cost.charge_copy_huge_entries(1)
 
     cost.charge_share_tables(shared_tables)
-    cost.charge_upper_copy(builder.upper_tables_created)
-    child_mm.rss_anon_pages = parent_mm.rss_anon_pages
-    child_mm.rss_file_pages = parent_mm.rss_file_pages
+    finish_odf_copy(kernel, parent_mm, child_mm, builder, shared_tables)
+    return shared_tables
+
+
+def begin_odf_copy(kernel, parent_mm, child_mm):
+    """Fixed-cost prologue of an on-demand-fork (task + VMAs + tree root)."""
+    kernel.cost.charge_odfork_fixed(len(parent_mm.vmas))
+    clone_vmas(parent_mm, child_mm)
+    return ChildTreeBuilder(child_mm)
+
+
+def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
+                   slot_start, share_huge=False):
+    """Share (or eagerly copy, for huge entries) one present PMD slot.
+
+    Scalar counterpart of the vectorised loop in :func:`copy_mm_odf`,
+    used by the SMP odfork flow so the scheduler can preempt between
+    2 MiB slots.  Returns 1 when a leaf table was shared, else 0.
+    """
+    cost = kernel.cost
+    drop_rw = np.uint64(~BIT_RW)
+    entry = pmd.entries[pmd_index]
+    child_pmd, child_index = builder.pmd_for(slot_start)
+
+    if is_huge(entry):
+        head = int(entry_pfn(entry))
+        kernel.pages.ref_inc(head)
+        if _slot_needs_cow(parent_mm, slot_start) or share_huge:
+            entry &= drop_rw
+            pmd.entries[pmd_index] = entry
+        child_pmd.entries[child_index] = entry
+        child_mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
+        if share_huge:
+            cost.charge_share_tables(1)
+        else:
+            cost.charge_copy_huge_entries(1)
+        return 0
+
+    leaf_pfn = int(entry_pfn(entry))
+    kernel.pages.pt_refcount[leaf_pfn] += 1
+    add_table_sharer(kernel, leaf_pfn, child_mm)
+    _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
+    protected = entry & drop_rw
+    pmd.entries[pmd_index] = protected
+    child_pmd.entries[child_index] = protected
+    child_mm.nr_pte_tables += 1
+    cost.charge_share_tables(1)
+    return 1
+
+
+def finish_odf_copy(kernel, parent_mm, child_mm, builder, shared_tables):
+    """Epilogue: upper-level copy, RSS/lineage, and the write-protect
+    shootdown.
+
+    The PMD write-protect just revoked write permission on the whole
+    shared region, so stale *writable* translations must be invalidated
+    in every TLB that may cache this address space — the caller's view
+    and every remote vCPU running the same ``mm`` — or a cached-writable
+    CPU would keep scribbling on frames the child now shares.
+    """
+    kernel.cost.charge_upper_copy(builder.upper_tables_created)
     parent_mm.odf_lineage = True
     child_mm.odf_lineage = True
-    parent_mm.tlb.flush_all()
-    kernel.cost.charge_tlb_flush()
+    kernel.tlbs.shootdown_mm(parent_mm)
     kernel.stats.odforks += 1
     kernel.stats.tables_shared += shared_tables
-    return shared_tables

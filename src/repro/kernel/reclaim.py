@@ -156,6 +156,46 @@ class ReclaimState:
                 break
         return total_freed
 
+    # -- slot-at-a-time interface (the SMP kswapd flow) -------------------
+
+    def pick_victim(self):
+        """Pop the next eviction candidate off the inactive list.
+
+        Second chance is applied here (referenced pages rotate back to
+        the active list); returns a pfn that is temporarily on *neither*
+        list — the caller must either evict it with
+        :meth:`evict_candidate` or put it back — or ``None`` when both
+        lists are drained.  This is the lock-friendly decomposition of
+        :meth:`shrink` used by the SMP kswapd task, which takes the
+        victim's page-table locks between pick and evict.
+        """
+        kernel = self.kernel
+        while True:
+            if not len(self.inactive):
+                self._refill_inactive(32)
+                if not len(self.inactive):
+                    return None
+            pfn = self.inactive.pop_oldest()
+            kernel.stats.pgscan += 1
+            kernel.cost.charge_lru_scan()
+            if test_and_clear_referenced(kernel, pfn):
+                self.active.add(pfn)  # second chance
+                continue
+            return pfn
+
+    def evict_candidate(self, pfn, from_kswapd=True):
+        """Evict one picked victim; rotates it back to active on failure."""
+        stats = self.kernel.stats
+        if self._evict(pfn):
+            stats.pgsteal += 1
+            if from_kswapd:
+                stats.pgsteal_kswapd += 1
+            else:
+                stats.pgsteal_direct += 1
+            return True
+        self.active.add(pfn)
+        return False
+
     # -- eviction --------------------------------------------------------
 
     def _evict(self, pfn):

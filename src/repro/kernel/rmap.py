@@ -221,9 +221,12 @@ def try_to_unmap(kernel, pfn, slot):
             # The unshare-or-edit decision: edit in place, charge for it.
             kernel.stats.shared_table_unmaps += 1
             kernel.cost.charge_shared_table_unmap()
-        for mm in kernel.pt_sharers.get(leaf_pfn, ()):
+        sharers = list(kernel.pt_sharers.get(leaf_pfn, ()))
+        for mm in sharers:
             mm.sub_rss(n, file_backed=False)
-            mm.tlb.flush_all()
+        # Unmapping changes translations under every sharer at once, and
+        # any vCPU running one of them must be interrupted too.
+        kernel.tlbs.shootdown_sharers(leaf_pfn, mms=sharers)
         if rmap.remove(pfn, leaf_pfn, n):
             kernel.reclaim.lru_remove(pfn)
         total += n

@@ -97,8 +97,9 @@ class Snapshot:
             # Saved swap entries pin their slots the same way.
             kernel.swap_dup_entries(saved)
             kernel.cost.charge("snapshot_save_table", SNAPSHOT_PER_TABLE_NS)
-        mm.tlb.flush_all()
-        kernel.cost.charge_tlb_flush()
+        # Snapshot save write-protects COW-able entries: stale writable
+        # translations must go from every CPU running this mm.
+        kernel.tlbs.shootdown_mm(mm)
         kernel.stats.snapshots_created += 1
         kernel.live_snapshots.append(snapshot)
         return snapshot
@@ -155,7 +156,8 @@ class Snapshot:
             restored_entries += len(positions)
             kernel.cost.charge("snapshot_restore_entries",
                                RESTORE_PER_ENTRY_NS * len(positions))
-            self.mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+            kernel.tlbs.local_flush_range(self.mm, slot_start,
+                                          slot_start + PMD_REGION_SIZE)
         self.restores += 1
         kernel.stats.snapshot_restores += 1
         kernel.cost.charge_tlb_flush()

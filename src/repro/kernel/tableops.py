@@ -188,7 +188,7 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
         kernel.swap_dup_entries(new_table.entries)
         from .rmap import rmap_add_bulk
         rmap_add_bulk(kernel, pfns, new_table.pfn)
-        drop_table_sharer(kernel, old_table.pfn, mm)
+    drop_table_sharer(kernel, old_table.pfn, mm)
 
     kernel.cost.charge_table_cow_copy(len(pfns))
     pmd_table.set(pmd_index, make_entry(new_table.pfn, writable=True, user=True))
@@ -202,7 +202,10 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     if remaining == 0:
         raise KernelBug("shared table refcount hit zero during COW copy")
     kernel.stats.table_cow_copies += 1
-    mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+    # Local flush is sufficient: the copy maps the same pfns, and any
+    # other CPU's cached entries for this range are read-only (the PMD
+    # write-protect shootdown at share time already purged writable ones).
+    kernel.tlbs.local_flush_range(mm, slot_start, slot_start + PMD_REGION_SIZE)
     return new_table
 
 

@@ -90,8 +90,8 @@ def zap_range(kernel, mm, start, end, account_rss=True):
             mm.nr_pte_tables -= 1
             put_pte_table(kernel, mm, leaf, account_rss=False)
 
-    mm.tlb.flush_range(start, end)
-    kernel.cost.charge_tlb_flush((end - start) // PAGE_SIZE)
+    # Freed frames must not stay reachable through any CPU's TLB.
+    kernel.tlbs.shootdown_mm(mm, start, end)
 
 
 def _zap_huge(kernel, mm, pmd_table, pmd_index, slot_start, lo, hi,
@@ -189,4 +189,4 @@ def exit_mmap(kernel, mm):
     mm.dead = True
     if mm.nr_pte_tables != 0:
         raise KernelBug(f"PTE-table accounting leak at exit: {mm.nr_pte_tables}")
-    mm.tlb.flush_all()
+    kernel.tlbs.shootdown_mm(mm, charge=False)

@@ -162,8 +162,10 @@ class Khugepaged:
             head, writable=vma.writable, user=True, huge=True,
             dirty=dirty, accessed=accessed,
         ))
-        mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
-        kernel.cost.charge_tlb_flush(PTRS_PER_TABLE)
+        # The collapse retargets 512 translations at once; every CPU
+        # caching this mm must drop them (IPI round under SMP).
+        kernel.tlbs.shootdown_mm(mm, slot_start,
+                                 slot_start + PMD_REGION_SIZE)
         kernel.stats.thp_collapses += 1
         return True
 
@@ -197,6 +199,8 @@ def split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start):
     if kernel.pages.ref_dec(head) == 0:
         kernel.free_huge_frame(head)
     pmd_table.set(pmd_index, make_entry(leaf.pfn, writable=True, user=True))
-    mm.tlb.flush_range(slot_start, slot_start + PMD_REGION_SIZE)
+    # The split swaps the backing frames; shoot the region down everywhere.
+    kernel.tlbs.shootdown_mm(mm, slot_start, slot_start + PMD_REGION_SIZE,
+                             charge=False)
     kernel.stats.thp_splits += 1
     return leaf

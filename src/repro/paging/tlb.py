@@ -102,3 +102,129 @@ class TLB:
 
     def __len__(self):
         return len(self._entries)
+
+
+def _flush(tlb, start, end):
+    """Apply the narrowest invalidation covering ``[start, end)``."""
+    if start is None:
+        tlb.flush_all()
+    elif end is None or end - start <= (1 << PAGE_SHIFT):
+        tlb.flush_page(start)
+    else:
+        tlb.flush_range(start, end)
+
+
+class ShootdownEngine:
+    """Routes every TLB invalidation the kernel issues.
+
+    Local flushes invalidate only the issuing CPU's view.  Shootdowns
+    additionally interrupt (IPI) every *other* vCPU whose TLB caches
+    translations for the affected address space — the moral equivalent
+    of ``flush_tlb_mm_range`` walking ``mm_cpumask``.  Timing for the
+    IPI round (sender send cost, receiver handler cost, ack wait) is
+    charged by the scheduler's :meth:`deliver_ipis`.
+
+    On a machine without an SMP scheduler — or outside a scheduler run,
+    when no vCPU is executing — the per-mm TLB is the only live view and
+    every method degrades to exactly the legacy flush-and-charge
+    behaviour, so non-SMP timing is unchanged.  Stale vCPU views left
+    over from a previous scheduler run are still invalidated (free of
+    charge: those CPUs are idle), keeping cross-run coherence.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    # ---- helpers ----------------------------------------------------------
+
+    def _sender(self):
+        """The vCPU issuing the invalidation, or None outside an SMP run."""
+        smp = self.kernel.smp
+        if smp is not None and smp.running and smp.current is not None:
+            return smp.current.vcpu
+        return None
+
+    def _vcpu_views(self, mms):
+        """vCPUs whose TLB currently caches one of ``mms``."""
+        smp = self.kernel.smp
+        if smp is None:
+            return []
+        return [v for v in smp.vcpus
+                if v.tlb_mm is not None
+                and any(v.tlb_mm is mm for mm in mms)]
+
+    def _remote_invalidate(self, mms, start, end):
+        """Flush every other CPU's view of ``mms``; IPIs while running."""
+        smp = self.kernel.smp
+        if smp is None:
+            return 0
+        sender = self._sender()
+        targets = [v for v in self._vcpu_views(mms) if v is not sender]
+        if not targets:
+            return 0
+        if sender is not None:
+            smp.deliver_ipis(targets, lambda tlb: _flush(tlb, start, end))
+        else:
+            # No CPU is running: lazily invalidate the idle views.
+            for vcpu in targets:
+                _flush(vcpu.tlb, start, end)
+        self.kernel.stats.tlb_shootdowns += 1
+        return len(targets)
+
+    def _local_tlbs(self, mm):
+        yield mm.tlb
+        sender = self._sender()
+        if sender is not None and sender.tlb_mm is mm:
+            yield sender.tlb
+
+    # ---- local flushes (current CPU only, never an IPI) -------------------
+
+    def local_flush_page(self, mm, vaddr):
+        """Invalidate one page in the issuing CPU's view of ``mm``."""
+        for tlb in self._local_tlbs(mm):
+            tlb.flush_page(vaddr)
+
+    def local_flush_range(self, mm, start, end):
+        """Invalidate ``[start, end)`` in the issuing CPU's view of ``mm``."""
+        for tlb in self._local_tlbs(mm):
+            tlb.flush_range(start, end)
+
+    # ---- shootdowns (every CPU caching the mm) ----------------------------
+
+    def shootdown_page(self, mm, vaddr):
+        """Invalidate one page of ``mm`` everywhere (COW pfn changes)."""
+        for tlb in self._local_tlbs(mm):
+            tlb.flush_page(vaddr)
+        self._remote_invalidate([mm], vaddr, None)
+
+    def shootdown_mm(self, mm, start=None, end=None, charge=True):
+        """Invalidate ``mm`` (optionally a range) in every CPU's TLB.
+
+        With ``charge=True`` the invalidation cost is charged exactly as
+        the legacy call sites did: ``charge_tlb_flush(n_pages)`` with the
+        page count derived from the range (1 for a full flush).
+        """
+        for tlb in self._local_tlbs(mm):
+            _flush(tlb, start, end)
+        if charge:
+            if start is None or end is None:
+                n_pages = 1
+            else:
+                n_pages = max(1, (end - start) >> PAGE_SHIFT)
+            self.kernel.cost.charge_tlb_flush(n_pages)
+        self._remote_invalidate([mm], start, end)
+
+    def shootdown_sharers(self, leaf_pfn, mms=None):
+        """Full flush of every address space sharing PTE table ``leaf_pfn``.
+
+        Used by reclaim's in-place unmap of a fork-shared table: the edit
+        changes translations under *all* sharers at once.
+        """
+        if mms is None:
+            mms = list(self.kernel.pt_sharers.get(int(leaf_pfn), ()))
+        for mm in mms:
+            mm.tlb.flush_all()
+        sender = self._sender()
+        if sender is not None and any(sender.tlb_mm is mm for mm in mms):
+            sender.tlb.flush_all()
+        self._remote_invalidate(mms, None, None)

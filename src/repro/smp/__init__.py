@@ -1,0 +1,44 @@
+"""SMP subsystem: virtual CPUs, kernel locking, IPIs, and the
+deterministic interleaving scheduler (see MECHANISM.md §10).
+
+Quickstart::
+
+    from repro.core.machine import Machine
+    from repro.smp import ops
+
+    machine = Machine(phys_mb=8192, smp=4)
+    sched = machine.smp
+    p = machine.spawn_process("worker")
+    buf = p.mmap(1 << 30); p.touch_range(buf, 1 << 30)
+    task = sched.spawn("fork", ops.fork_flow(sched, p), mm=p.mm)
+    sched.run()
+    print(task.result["elapsed_ns"])
+"""
+
+from .locks import (
+    DeadlockError,
+    LockOrderError,
+    MMapLock,
+    MODE_READ,
+    MODE_WRITE,
+    PTLock,
+    QuiescenceError,
+)
+from .sched import (
+    Acquire,
+    FairPolicy,
+    Preempt,
+    RandomPolicy,
+    Release,
+    Scheduler,
+    ScriptedPolicy,
+    SimTask,
+)
+from .vcpu import VCPU
+
+__all__ = [
+    "Acquire", "DeadlockError", "FairPolicy", "LockOrderError", "MMapLock",
+    "MODE_READ", "MODE_WRITE", "PTLock", "Preempt", "QuiescenceError",
+    "RandomPolicy", "Release", "Scheduler", "ScriptedPolicy", "SimTask",
+    "VCPU",
+]

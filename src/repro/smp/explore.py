@@ -1,0 +1,248 @@
+"""Interleaving explorer: enumerate/randomize yield-point schedules.
+
+Every yield in an SMP task is a scheduling point; a *schedule* is the
+sequence of ready-task choices the policy makes at those points.  The
+explorer drives a scenario factory (a callable returning a fresh,
+ready-to-run :class:`~repro.smp.sched.Scheduler`) through many distinct
+schedules and checks each one:
+
+* the scheduler's built-in lock-order and held-lock-at-yield checker
+  (raises :class:`~repro.smp.locks.LockOrderError`);
+* deadlock detection (:class:`~repro.smp.locks.DeadlockError`);
+* lock/IPI quiescence after the run;
+* an optional scenario-specific ``check(sched)`` callback (the tier-1
+  race suite plugs the full state auditor in here).
+
+Schedules are identified by their trace — the tuple of task ids chosen
+at each step — so "distinct schedules" means distinct traces, and any
+trace can be replayed exactly with :func:`replay`.
+
+Run the bounded CI sweep from the command line::
+
+    python -m repro.smp.explore --schedules 240 --seed 7
+"""
+
+from __future__ import annotations
+
+from ..core.machine import MIB, Machine
+from ..mem.page import PAGE_SIZE
+from .locks import DeadlockError, LockOrderError, QuiescenceError
+from .sched import RandomPolicy, ScriptedPolicy
+from . import ops
+
+
+class ExploreReport:
+    """Outcome of an exploration sweep."""
+
+    def __init__(self):
+        self.n_runs = 0
+        self.traces = set()
+        self.lock_waits = 0
+        self.ipis = 0
+
+    @property
+    def n_distinct(self):
+        return len(self.traces)
+
+    def __repr__(self):
+        return (f"ExploreReport(runs={self.n_runs}, "
+                f"distinct={self.n_distinct}, lock_waits={self.lock_waits}, "
+                f"ipis={self.ipis})")
+
+
+def run_schedule(make, policy, check=None, max_steps=200_000):
+    """One scenario instance under ``policy``; returns (sched, trace).
+
+    Violations — lock-order, deadlock, quiescence, or a failed ``check``
+    — propagate as exceptions; a clean return means the schedule passed.
+    """
+    sched = make()
+    sched.run(policy=policy, max_steps=max_steps)
+    sched.assert_quiescent()
+    if check is not None:
+        check(sched)
+    return sched, tuple(tid for _n, tid in policy.trace)
+
+
+def explore_random(make, n_schedules=200, seed=0, check=None,
+                   max_steps=200_000):
+    """Randomized exploration: ``n_schedules`` seeded random schedules."""
+    report = ExploreReport()
+    for i in range(n_schedules):
+        policy = RandomPolicy(seed * 1_000_003 + i)
+        sched, trace = run_schedule(make, policy, check=check,
+                                    max_steps=max_steps)
+        report.n_runs += 1
+        report.traces.add(trace)
+        report.lock_waits += sched.lock_waits
+        report.ipis += sum(v.ipis_received for v in sched.vcpus)
+    return report
+
+
+def enumerate_schedules(make, limit=50, check=None, max_steps=200_000):
+    """Systematic DFS over scheduling-choice prefixes (bounded by ``limit``).
+
+    Starts from the all-zeros schedule and branches at every step where
+    more than one task was ready, exploring untaken siblings depth-first
+    until ``limit`` runs have executed.  Exhaustive for scenarios with
+    fewer than ``limit`` schedules; a prefix-cover sample otherwise.
+    """
+    report = ExploreReport()
+    pending = [()]
+    visited = set()
+    while pending and report.n_runs < limit:
+        prefix = pending.pop()
+        if prefix in visited:
+            continue
+        visited.add(prefix)
+        policy = ScriptedPolicy(prefix)
+        sched, trace = run_schedule(make, policy, check=check,
+                                    max_steps=max_steps)
+        report.n_runs += 1
+        report.traces.add(trace)
+        report.lock_waits += sched.lock_waits
+        report.ipis += sum(v.ipis_received for v in sched.vcpus)
+        for depth in range(len(prefix), len(policy.branchpoints)):
+            n_ready = policy.branchpoints[depth]
+            for alt in range(1, n_ready):
+                pending.append(tuple(policy.choices[:depth]) + (alt,))
+    return report
+
+
+def replay(make, trace_or_script, check=None, max_steps=200_000):
+    """Replay one schedule exactly from a recorded choice script."""
+    policy = ScriptedPolicy(trace_or_script)
+    return run_schedule(make, policy, check=check, max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# The fork/fault/reclaim race suite (the ISSUE's acceptance scenario)
+# ---------------------------------------------------------------------------
+
+RACE_REGION = 4 * MIB
+PARENT_MARK = b"PARENT-DATA"
+CHILD_MARK = b"CHILD-WROTE"
+
+
+def make_race_suite(smp=3, phys_mb=64, swap_mb=8):
+    """A fresh machine + scheduler running the shared-PTE-table race suite.
+
+    Setup (outside the schedule): a parent with a 4 MiB touched anonymous
+    region and an odfork child sharing its PTE tables.  Tasks (all racing
+    over those shared tables):
+
+    1. a classic ``fork`` of the parent (write-protect + leaf copy),
+    2. an ``odfork`` of the parent (PMD write-protect + share),
+    3. a child write fault (table-COW of a shared table),
+    4. kswapd reclaim (in-place unmap through the shared table).
+
+    Returns the scheduler; the machine hangs off ``sched.machine`` and
+    the interesting handles off ``sched.scenario``.
+    """
+    machine = Machine(phys_mb=phys_mb, swap_mb=swap_mb, smp=smp)
+    parent = machine.spawn_process("racer")
+    buf = parent.mmap(RACE_REGION)
+    parent.touch_range(buf, RACE_REGION)
+    parent.write(buf, PARENT_MARK)
+    child = parent.odfork("racer-odf-child")
+
+    sched = machine.smp
+    t_fork = sched.spawn(
+        "fork", ops.fork_flow(sched, parent, use_odf=False), mm=parent.mm)
+    t_odf = sched.spawn(
+        "odfork", ops.fork_flow(sched, parent, use_odf=True), mm=parent.mm)
+    t_cow = sched.spawn(
+        "child-write",
+        ops.write_flow(sched, child, buf + 64 * PAGE_SIZE, CHILD_MARK),
+        mm=child.mm)
+    t_kswapd = sched.spawn(
+        "kswapd", ops.kswapd_flow(sched, machine, target_frames=6))
+    sched.scenario = {
+        "parent": parent, "child": child, "buf": buf,
+        "tasks": {"fork": t_fork, "odfork": t_odf, "cow": t_cow,
+                  "kswapd": t_kswapd},
+    }
+    return sched
+
+
+def check_race_suite(sched):
+    """Schedule-independent invariants of the race suite.
+
+    The parent's data never changes during the run, so *every* fork
+    flavour's child must read the parent's marker regardless of ordering;
+    the odfork child's own write lands only in its address space.
+    """
+    scenario = sched.scenario
+    parent = scenario["parent"]
+    child = scenario["child"]
+    buf = scenario["buf"]
+    tasks = scenario["tasks"]
+
+    if parent.read(buf, len(PARENT_MARK)) != PARENT_MARK:
+        raise AssertionError("parent data corrupted by the schedule")
+    if child.read(buf + 64 * PAGE_SIZE, len(CHILD_MARK)) != CHILD_MARK:
+        raise AssertionError("odfork child lost its own write")
+    if parent.read(buf + 64 * PAGE_SIZE, 1) == CHILD_MARK[:1]:
+        raise AssertionError("child write leaked into the parent")
+    for label in ("fork", "odfork"):
+        grandchild = tasks[label].result["child"]
+        if grandchild.read(buf, len(PARENT_MARK)) != PARENT_MARK:
+            raise AssertionError(f"{label} child sees wrong parent data")
+
+
+def run_bounded(n_schedules=240, seed=7, enumerate_limit=40):
+    """The CI sweep: fixed seeds, random + systematic, full checks.
+
+    Returns the combined report; raises on any violation.
+    """
+    random_report = explore_random(make_race_suite, n_schedules=n_schedules,
+                                   seed=seed, check=check_race_suite)
+    systematic = enumerate_schedules(make_race_suite, limit=enumerate_limit,
+                                     check=check_race_suite)
+    random_report.n_runs += systematic.n_runs
+    random_report.traces |= systematic.traces
+    random_report.lock_waits += systematic.lock_waits
+    random_report.ipis += systematic.ipis
+    return random_report
+
+
+def main(argv=None):
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.smp.explore",
+        description="Bounded interleaving exploration of the race suite.")
+    parser.add_argument("--schedules", type=int, default=240,
+                        help="random schedules to run (default 240)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--enumerate", type=int, default=40,
+                        help="systematic DFS budget (default 40)")
+    parser.add_argument("--min-distinct", type=int, default=200,
+                        help="fail unless at least this many distinct "
+                             "schedules ran (default 200)")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    try:
+        report = run_bounded(n_schedules=args.schedules, seed=args.seed,
+                             enumerate_limit=args.enumerate)
+    except (LockOrderError, DeadlockError, QuiescenceError,
+            AssertionError) as exc:
+        print(f"VIOLATION: {type(exc).__name__}: {exc}")
+        return 1
+    elapsed = time.time() - started
+    print(f"explored {report.n_runs} schedules "
+          f"({report.n_distinct} distinct) in {elapsed:.1f}s host time; "
+          f"{report.lock_waits} contended lock waits, "
+          f"{report.ipis} shootdown IPIs; zero violations")
+    if report.n_distinct < args.min_distinct:
+        print(f"FAIL: only {report.n_distinct} distinct schedules "
+              f"(< {args.min_distinct})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

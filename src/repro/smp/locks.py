@@ -1,0 +1,182 @@
+"""Kernel lock objects for the SMP model: ``mmap_lock`` and split PTLs.
+
+Two lock classes back the scheduler's blocking semantics:
+
+``MMapLock``
+    A reader/writer semaphore per address space, modelling Linux's
+    ``mm->mmap_lock``.  Fault handlers take it for read; ``fork`` and the
+    other address-space mutators take it for write.  Waiters queue FIFO,
+    so a queued writer blocks later readers (no reader starvation of
+    writers, and grant order is deterministic).
+
+``PTLock``
+    A split page-table spinlock, keyed by the physical frame number of
+    the table it protects (Linux keeps the spinlock inside ``struct
+    page`` of the PTE table — same idea).  Single owner, FIFO waiters.
+
+Lock-ordering discipline (checked at every acquire, violations raise
+:class:`LockOrderError`):
+
+1. ``mmap_lock`` before any PTL — never acquire an ``MMapLock`` while
+   holding a ``PTLock``.
+2. Multiple PTLs only in ascending pfn order (reclaim needs several).
+3. No recursive acquisition.
+4. PTLs are spinlocks: they must not be held across a ``Preempt`` yield
+   (the scheduler enforces this one).
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelBug
+
+
+class LockOrderError(KernelBug):
+    """A task violated the kernel lock-ordering discipline."""
+
+
+class DeadlockError(KernelBug):
+    """Every runnable task is blocked on a lock: the schedule deadlocked."""
+
+
+class QuiescenceError(KernelBug):
+    """Locks still held / waiters queued / IPIs in flight after a schedule."""
+
+
+MODE_READ = "r"
+MODE_WRITE = "w"
+
+#: Lock ranks for the ordering check: lower rank must be taken first.
+RANK_MMAP = 0
+RANK_PT = 1
+
+
+class MMapLock:
+    """Reader/writer ``mmap_lock`` for one ``mm`` with FIFO waiters."""
+
+    rank = RANK_MMAP
+
+    def __init__(self, mm):
+        self.mm = mm
+        self.writer = None            # task holding it for write
+        self.readers = []             # tasks holding it for read
+        self.waiters = []             # FIFO [(task, mode)]
+        self.contended_acquires = 0
+        self.wait_ns_total = 0
+
+    def __repr__(self):
+        return (f"MMapLock(mm={getattr(self.mm, 'name', '?')!r}, "
+                f"writer={self.writer}, readers={len(self.readers)}, "
+                f"waiters={len(self.waiters)})")
+
+    def holders(self):
+        if self.writer is not None:
+            return [self.writer]
+        return list(self.readers)
+
+    def held_by(self, task):
+        return task is self.writer or task in self.readers
+
+    def _compatible(self, mode):
+        if mode == MODE_WRITE:
+            return self.writer is None and not self.readers
+        return self.writer is None
+
+    def try_acquire(self, task, mode):
+        """Grant immediately when free and no-one is queued ahead."""
+        if self.held_by(task):
+            raise LockOrderError(
+                f"recursive mmap_lock acquire by {task.name}")
+        if not self.waiters and self._compatible(mode):
+            self._grant(task, mode)
+            return True
+        self.waiters.append((task, mode))
+        self.contended_acquires += 1
+        return False
+
+    def _grant(self, task, mode):
+        if mode == MODE_WRITE:
+            self.writer = task
+        else:
+            self.readers.append(task)
+
+    def release(self, task):
+        """Drop the lock; returns the list of waiters granted by handoff."""
+        if task is self.writer:
+            self.writer = None
+        elif task in self.readers:
+            self.readers.remove(task)
+        else:
+            raise LockOrderError(
+                f"{task.name} released mmap_lock it does not hold")
+        granted = []
+        while self.waiters:
+            head, mode = self.waiters[0]
+            if not self._compatible(mode):
+                break
+            self.waiters.pop(0)
+            self._grant(head, mode)
+            granted.append(head)
+            if mode == MODE_WRITE:
+                break
+        return granted
+
+
+class PTLock:
+    """A split page-table spinlock keyed by the table's pfn."""
+
+    rank = RANK_PT
+
+    def __init__(self, key):
+        self.key = int(key)
+        self.owner = None
+        self.waiters = []             # FIFO [task]
+        self.contended_acquires = 0
+        self.wait_ns_total = 0
+
+    def __repr__(self):
+        return (f"PTLock(pfn={self.key}, owner={self.owner}, "
+                f"waiters={len(self.waiters)})")
+
+    def holders(self):
+        return [self.owner] if self.owner is not None else []
+
+    def held_by(self, task):
+        return task is self.owner
+
+    def try_acquire(self, task, mode=MODE_WRITE):
+        if task is self.owner:
+            raise LockOrderError(
+                f"recursive ptl acquire of pfn {self.key} by {task.name}")
+        if self.owner is None and not self.waiters:
+            self.owner = task
+            return True
+        self.waiters.append(task)
+        self.contended_acquires += 1
+        return False
+
+    def release(self, task):
+        if task is not self.owner:
+            raise LockOrderError(
+                f"{task.name} released ptl pfn {self.key} it does not hold")
+        self.owner = None
+        if self.waiters:
+            head = self.waiters.pop(0)
+            self.owner = head
+            return [head]
+        return []
+
+
+def check_lock_order(task, lock):
+    """Raise :class:`LockOrderError` if acquiring ``lock`` breaks the rules."""
+    for held in task.held:
+        if held is lock:
+            raise LockOrderError(
+                f"recursive acquire of {lock!r} by {task.name}")
+        if held.rank > lock.rank:
+            raise LockOrderError(
+                f"{task.name} acquires {lock!r} while holding {held!r} "
+                f"(mmap_lock must be taken before page-table locks)")
+        if held.rank == lock.rank == RANK_PT and held.key >= lock.key:
+            raise LockOrderError(
+                f"{task.name} acquires ptl pfn {lock.key} while holding "
+                f"ptl pfn {held.key} (ascending-pfn order required)")

@@ -1,0 +1,49 @@
+"""Virtual CPUs: one clock, one TLB, and one runqueue slot each.
+
+A :class:`VCPU` gives the SMP scheduler a hardware context to charge
+time against.  Each vCPU owns
+
+* its own :class:`~repro.timing.clock.SimClock` — lock queueing delay
+  and IPI acks propagate between vCPU clocks via ``advance_to``;
+* its own :class:`~repro.paging.tlb.TLB` with CR3-style semantics:
+  switching to a different ``mm`` flushes the TLB (the simulator has no
+  ASIDs/PCIDs), which is what makes remote-vCPU shootdowns observable —
+  a vCPU that keeps running the *same* mm keeps its cached translations
+  until an IPI invalidates them.
+"""
+
+from __future__ import annotations
+
+from ..paging.tlb import TLB
+from ..timing.clock import SimClock
+
+
+class VCPU:
+    """One virtual CPU of a :class:`~repro.smp.sched.Scheduler`."""
+
+    def __init__(self, cpu_id):
+        self.id = cpu_id
+        self.clock = SimClock()
+        self.tlb = TLB()
+        #: The mm whose translations :attr:`tlb` currently caches (CR3).
+        self.tlb_mm = None
+        #: Task currently (or last) resident on this CPU, for context
+        #: switch accounting.
+        self.current = None
+        self.ctx_switches = 0
+        self.ipis_received = 0
+
+    def __repr__(self):
+        return f"VCPU(id={self.id}, now={self.clock.now_ns}ns)"
+
+    @property
+    def now_ns(self):
+        return self.clock.now_ns
+
+    def tlb_for(self, mm):
+        """Return this CPU's TLB view of ``mm``, switching CR3 if needed."""
+        if self.tlb_mm is not mm:
+            if self.tlb_mm is not None:
+                self.tlb.flush_all()
+            self.tlb_mm = mm
+        return self.tlb

@@ -6,11 +6,19 @@ each versus 6.5 ms alone.  The cause is cacheline and memory contention on
 the ``struct page`` array (every fork's leaf loop reads ``compound_head``
 and atomically increments refcounts on densely packed cachelines).
 
-The simulator runs workloads one at a time over a shared virtual clock, so
-parallelism is modelled as a *contention level*: while ``k`` forkers are
-declared active, the struct-page portion of the per-PTE cost is multiplied
-by ``1 + alpha * (k - 1)`` with ``alpha`` fitted to the paper (2.10).  The
-:class:`ContentionGroup` context manager sets and restores the level.
+Two models produce that factor:
+
+* **Emergent (preferred):** on a ``Machine(smp=N)`` the SMP scheduler
+  (:mod:`repro.smp.sched`) counts how many vCPUs are actually inside the
+  fork copy loop at each charge and installs that count as the cost
+  model's ``contention_source``; ``k`` then rises and falls with the
+  real interleaving, and lock queueing/IPI delays add on top.
+* **Fitted fallback:** on a ``Machine(smp=None)`` the *contention level*
+  below applies — while ``k`` forkers are declared active, the
+  struct-page portion of the per-PTE cost is multiplied by
+  ``1 + alpha * (k - 1)`` with ``alpha`` fitted to the paper (2.10).
+  The :func:`contention_group` context manager sets and restores the
+  level; ``tests/test_calibration.py`` asserts the two models agree.
 """
 
 from __future__ import annotations

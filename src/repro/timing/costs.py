@@ -74,6 +74,11 @@ FN_LRU_SCAN = "shrink_inactive_list"
 FN_RMAP_UNMAP = "try_to_unmap"
 FN_SHARED_UNMAP = "odf_shared_table_unmap"
 FN_DIRECT_RECLAIM = "direct_reclaim"
+FN_MMAP_LOCK = "mmap_lock"
+FN_PT_LOCK = "ptl_lock"
+FN_LOCK_WAKEUP = "lock_handoff"
+FN_IPI = "flush_tlb_others"
+FN_CTX_SWITCH = "context_switch"
 
 
 @dataclass(frozen=True)
@@ -144,6 +149,15 @@ class CostParams:
     shared_table_unmap: float = 400.0     # in-place edit of a shared table
     direct_reclaim_fixed: float = 2_500.0  # foreground reclaim entry cost
 
+    # --- SMP: kernel locking and TLB shootdown IPIs -----------------------
+    mmap_lock_acquire: float = 40.0       # uncontended rwsem fast path
+    pt_lock_acquire: float = 25.0         # split page-table spinlock
+    lock_contended_wakeup: float = 120.0  # queue handoff after a blocked wait
+    ipi_send_fixed: float = 1_000.0       # APIC write + send window
+    ipi_send_per_cpu: float = 250.0       # per-target vector cost
+    ipi_handle: float = 800.0             # remote flush handler + ack
+    ctx_switch: float = 1_200.0           # vCPU runqueue task switch
+
     # --- cross-cutting factors --------------------------------------------
     contention_alpha: float = 2.10        # struct-page cacheline scaling
     odf_cow_warmth: float = 0.90          # COW copy discount after odfork
@@ -190,6 +204,11 @@ class CostModel:
     noise:
         Optional :class:`~repro.timing.noise.NoiseModel` applied
         multiplicatively to each charge (off for unit tests).
+    contention_source:
+        Optional zero-argument callable returning the *emergent* number of
+        CPUs concurrently inside the fork copy loop.  When set (by the SMP
+        scheduler) it overrides the static ``contention_level``, which
+        remains as the fitted-alpha fallback for ``Machine(smp=None)``.
     """
 
     clock: object
@@ -198,6 +217,7 @@ class CostModel:
     noise: object = None
     contention_level: int = 1
     suspended: bool = False
+    contention_source: object = None
 
     def background(self):
         """Context manager: suspend charging for off-CPU background work.
@@ -223,7 +243,10 @@ class CostModel:
 
     def contention_factor(self):
         """Multiplier on struct-page cacheline costs at the current level."""
-        k = max(1, self.contention_level)
+        if self.contention_source is not None:
+            k = max(1, self.contention_source())
+        else:
+            k = max(1, self.contention_level)
         return 1.0 + self.params.contention_alpha * (k - 1)
 
     # ---- classic fork ---------------------------------------------------
@@ -388,6 +411,34 @@ class CostModel:
     def charge_direct_reclaim(self):
         """Fixed entry cost of a foreground (direct) reclaim pass."""
         self.charge(FN_DIRECT_RECLAIM, self.params.direct_reclaim_fixed)
+
+    # ---- SMP: locking and IPIs ----------------------------------------------
+
+    def charge_mmap_lock(self):
+        """Uncontended mmap_lock (rwsem) acquire fast path."""
+        self.charge(FN_MMAP_LOCK, self.params.mmap_lock_acquire)
+
+    def charge_pt_lock(self):
+        """Split page-table spinlock acquire fast path."""
+        self.charge(FN_PT_LOCK, self.params.pt_lock_acquire)
+
+    def charge_lock_wakeup(self):
+        """Queue handoff charged to a waiter when a contended lock is granted."""
+        self.charge(FN_LOCK_WAKEUP, self.params.lock_contended_wakeup)
+
+    def charge_ipi_send(self, n_targets):
+        """Sender-side cost of a TLB shootdown IPI to ``n_targets`` vCPUs."""
+        if n_targets > 0:
+            p = self.params
+            self.charge(FN_IPI, p.ipi_send_fixed + p.ipi_send_per_cpu * n_targets)
+
+    def charge_ipi_handle(self):
+        """Remote-side cost of receiving one shootdown IPI (flush + ack)."""
+        self.charge(FN_IPI, self.params.ipi_handle)
+
+    def charge_ctx_switch(self):
+        """Switching the running task on a vCPU runqueue."""
+        self.charge(FN_CTX_SWITCH, self.params.ctx_switch)
 
 
 class _SuspendCharges:

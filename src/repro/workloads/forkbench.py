@@ -59,6 +59,56 @@ def fork_latency_for_size(machine, size_bytes, variant, repeats=5,
     return samples
 
 
+def concurrent_fork_latencies_smp(machine, size_bytes, n_instances=3,
+                                  variant=VARIANT_FORK, repeats=1):
+    """Per-fork latencies when ``n_instances`` processes fork *together*.
+
+    The emergent counterpart of ``concurrency=...``: requires a
+    ``Machine(smp=N)``.  Each instance is its own process with its own
+    ``size_bytes`` buffer; per repeat, one fork task per instance is
+    spawned and the SMP scheduler interleaves them, so the contention
+    level the cost model sees is the actual number of vCPUs inside the
+    copy loop at each charge — no fitted alpha involved.  Returns a list
+    of per-fork latencies (ns), ``n_instances`` per repeat.
+    """
+    from ..smp import ops
+
+    if variant not in VARIANTS:
+        raise InvalidArgumentError(f"unknown variant {variant!r}")
+    sched = machine.smp
+    if sched is None:
+        raise InvalidArgumentError("concurrent_fork_latencies_smp needs "
+                                   "a Machine(smp=N)")
+    use_odf = variant == VARIANT_ODFORK
+    parents = []
+    for i in range(n_instances):
+        parent = machine.spawn_process(f"forkbench-smp-{i}")
+        if variant == VARIANT_FORK_HUGE:
+            buf = parent.mmap_huge(size_bytes)
+        else:
+            buf = parent.mmap(size_bytes)
+        parent.touch_range(buf, size_bytes, write=True)
+        parents.append(parent)
+
+    samples = []
+    for _ in range(repeats):
+        tasks = [
+            sched.spawn(f"fork-{i}", ops.fork_flow(sched, p, use_odf=use_odf),
+                        mm=p.mm)
+            for i, p in enumerate(parents)
+        ]
+        sched.run()
+        for task in tasks:
+            samples.append(task.result["elapsed_ns"])
+            task.result["child"].exit()
+        for p in parents:
+            p.wait()
+    for p in parents:
+        p.exit()
+    machine.init_process.wait()
+    return samples
+
+
 def run_latency_sweep(sizes_gb=PAPER_SIZE_TICKS_GB, variant=VARIANT_FORK,
                       repeats=5, concurrency=1, noise_sigma=0.04, seed=1,
                       phys_headroom_gb=3.0):

@@ -33,7 +33,13 @@ def audit_machine(machine):
     expected_page_refs = defaultdict(int)   # data page pfn -> #table refs
     seen_leaf_tables = {}
 
-    live_mms = [t.mm for t in kernel.tasks.values() if not t.mm.dead]
+    live_mms = []
+    seen_mm_ids = set()
+    for t in kernel.tasks.values():
+        # clone_vm/vfork tasks share one mm; walk each address space once.
+        if not t.mm.dead and id(t.mm) not in seen_mm_ids:
+            seen_mm_ids.add(id(t.mm))
+            live_mms.append(t.mm)
     for mm in live_mms:
         for pud_index in mm.pgd.present_indices().tolist():
             pud = mm.resolve(mm.pgd.child_pfn(pud_index))
@@ -103,7 +109,8 @@ def audit_machine(machine):
     if kernel.swap is not None:
         errors += _audit_swap(kernel, seen_leaf_tables)
         errors += _audit_rmap_and_lru(kernel, pages, seen_leaf_tables)
-        errors += _audit_pt_sharers(kernel, expected_pt_refs, live_mms)
+    errors += _audit_pt_sharers(kernel, expected_pt_refs, live_mms)
+    errors += _audit_smp(machine)
 
     pages.check_no_negative()
     machine.allocator.check_consistency()
@@ -233,3 +240,12 @@ def _audit_pt_sharers(kernel, expected_pt_refs, live_mms):
         if leaf_pfn not in expected:
             errors.append(f"pt_sharers tracks dead leaf table {leaf_pfn}")
     return errors
+
+
+def _audit_smp(machine):
+    """Lock quiescence: no held locks, no queued waiters, no in-flight
+    IPIs, and no lingering copy-phase count once the scheduler is idle."""
+    sched = getattr(machine, "smp", None)
+    if sched is None:
+        return []
+    return sched.quiescence_errors()

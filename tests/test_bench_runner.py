@@ -59,5 +59,6 @@ class TestCLI:
         assert "regenerated" in out
 
     def test_registry_complete(self):
-        # 13 paper experiments + 3 ablations + 6 extensions.
-        assert len(EXPERIMENTS) == 22
+        # 13 paper experiments + fig2-concurrent + 3 ablations +
+        # 6 extensions.
+        assert len(EXPERIMENTS) == 23

@@ -56,7 +56,9 @@ class TestSwapOptIn:
         assert kernel.swap_cache is None
         assert kernel.rmap is None
         assert kernel.reclaim is None
-        assert kernel.pt_sharers is None
+        # The sharer registry is unconditional (the TLB shootdown engine
+        # needs it even without swap); it just starts empty.
+        assert kernel.pt_sharers == {}
 
     def test_swap_machine_wires_subsystem(self):
         machine = swap_machine()

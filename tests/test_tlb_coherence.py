@@ -99,3 +99,86 @@ class TestTableCopyShootdowns:
         proc.write(addr, b"CCCC")
         assert proc.read(addr, 4) == b"CCCC"
         assert child.read(addr, 4) == b"BBBB"
+
+
+class TestSmpShootdowns:
+    """Multi-vCPU coherence: odfork's write-protect must interrupt every
+    remote vCPU caching the parent's address space (the same-mm threads
+    case — a remote CPU holding a stale *writable* entry would keep
+    scribbling on frames the child now shares)."""
+
+    def _warm_vcpu0(self, machine, proc, addr, n_pages=8):
+        from repro.smp import ops
+        sched = machine.smp
+        sched.spawn("warm",
+                    ops.access_flow(sched, proc, addr, n_pages * 4096,
+                                    is_write=True),
+                    vcpu=0)
+        sched.run()
+        return sched.vcpus[0].tlb
+
+    def test_odfork_ipis_remote_vcpu_running_same_mm(self):
+        from repro.core.machine import Machine
+        from repro.smp import ops
+        machine = Machine(phys_mb=256, smp=2)
+        sched = machine.smp
+        parent = machine.spawn_process("threaded")
+        addr, _ = make_filled_region(parent)
+        parent.write(addr, b"ORIGINAL")
+        thread = parent.clone_vm("thread")   # same mm, as a second thread
+
+        # vCPU 0 runs the thread and caches writable translations.
+        vcpu0_tlb = self._warm_vcpu0(machine, thread, addr)
+        assert len(vcpu0_tlb) > 0
+        assert vcpu0_tlb.lookup(addr, is_write=True) is not None
+
+        # vCPU 1 odforks the same mm: the PMD write-protect must IPI
+        # vCPU 0 and flush its stale writable view.
+        before = machine.stats.ipis_sent
+        task = sched.spawn("odf", ops.fork_flow(sched, parent, use_odf=True),
+                           mm=parent.mm, vcpu=1)
+        sched.run()
+        child = task.result["child"]
+        assert machine.stats.ipis_sent > before
+        assert machine.stats.tlb_shootdowns >= 1
+        assert sched.vcpus[0].ipis_received >= 1
+        assert vcpu0_tlb.lookup(addr, is_write=True) is None
+
+        # And the semantics hold: a post-fork parent write COWs instead
+        # of riding a stale entry, so the child keeps the old bytes.
+        sched.spawn("pwrite", ops.write_flow(sched, parent, addr, b"PARENT-2"),
+                    mm=parent.mm, vcpu=0)
+        sched.run()
+        assert parent.read(addr, 8) == b"PARENT-2"
+        assert child.read(addr, 8) == b"ORIGINAL"
+        sched.assert_quiescent()
+
+    def test_classic_fork_also_shoots_down_remote_vcpu(self):
+        from repro.core.machine import Machine
+        from repro.smp import ops
+        machine = Machine(phys_mb=256, smp=2)
+        sched = machine.smp
+        parent = machine.spawn_process("threaded")
+        addr, _ = make_filled_region(parent)
+        thread = parent.clone_vm("thread")
+        vcpu0_tlb = self._warm_vcpu0(machine, thread, addr)
+        assert vcpu0_tlb.lookup(addr, is_write=True) is not None
+        task = sched.spawn("fork", ops.fork_flow(sched, parent),
+                           mm=parent.mm, vcpu=1)
+        sched.run()
+        assert sched.vcpus[0].ipis_received >= 1
+        assert vcpu0_tlb.lookup(addr, is_write=True) is None
+
+    def test_idle_vcpu_views_invalidated_without_ipi(self):
+        """A stale view on a vCPU that is *not* in a run is invalidated
+        lazily (CR3 reload on next use) — coherent, but no IPI charged."""
+        from repro.core.machine import Machine
+        machine = Machine(phys_mb=256, smp=2)
+        parent = machine.spawn_process("p")
+        addr, _ = make_filled_region(parent)
+        vcpu0_tlb = self._warm_vcpu0(machine, parent, addr)
+        assert len(vcpu0_tlb) > 0
+        before = machine.stats.ipis_sent
+        parent.odfork()                     # plain syscall, no run active
+        assert machine.stats.ipis_sent == before
+        assert vcpu0_tlb.lookup(addr, is_write=True) is None
