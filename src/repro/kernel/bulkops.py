@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SegmentationFault
+from ..errors import OutOfMemoryError, SegmentationFault
 from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE, PG_ANON, PG_DIRTY, PG_FILE
 from ..paging.entries import (
     BIT_ACCESSED,
@@ -132,6 +132,7 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
                           slot_start, is_write, events)
         return
     if not is_present(entry):
+        kernel.failpoints.hit("bulkops.leaf_table")
         leaf = mm.alloc_table(LEVEL_PTE)
         cost.charge_pte_table_alloc()
         pmd_table.entries[pmd_index] = _entries_for(
@@ -203,21 +204,25 @@ def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
     if vma.is_file_backed:
         # File pages come from the cache one index at a time; file-backed
         # regions in the workloads are small (binaries, shmem segments).
+        # RSS and stats are charged per page, not after the loop: a cache
+        # fill can fail under OOM mid-loop, and the entries already
+        # installed must already be accounted for.
         absent_positions = np.nonzero(absent)[0]
         writable_now = vma.writable and vma.is_shared
         for pos in absent_positions.tolist():
             vaddr = slot_start + (lo_index + pos) * PAGE_SIZE
             page_index = vma.file_offset_of(vaddr) // PAGE_SIZE
+            kernel.failpoints.hit("bulkops.file_fill")
             pfn = kernel.page_cache.get_page(vma.file, page_index)
             kernel.pages.ref_inc(pfn)
             sub[pos] = _entries_for(np.uint64(pfn), writable_now,
                                     dirty=is_write and writable_now)
+            mm.add_rss(1, file_backed=True)
+            kernel.stats.file_faults += 1
             cost.charge_page_cache_lookup()
             cost.charge_fault_base()
-        mm.add_rss(n, file_backed=True)
-        kernel.stats.file_faults += n
-        events["demand_zero"] += 0
         return
+    kernel.failpoints.hit("bulkops.fill_absent")
     pfns = kernel.alloc_data_frames_bulk(mm, n)
     kernel.pages.on_alloc_bulk(pfns, PG_ANON | (PG_DIRTY if is_write else 0))
     sub[absent] = _entries_for(pfns, vma.writable, dirty=is_write)
@@ -258,7 +263,13 @@ def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
         # Pin the sources: the allocation below may run direct reclaim,
         # which must not pick the very pages we are about to copy from.
         kernel.pages.ref_inc_bulk(src)
-    dst = kernel.alloc_data_frames_bulk(mm, n)
+    try:
+        kernel.failpoints.hit("bulkops.bulk_cow")
+        dst = kernel.alloc_data_frames_bulk(mm, n)
+    except OutOfMemoryError:
+        if kernel.rmap is not None:
+            kernel.pages.ref_dec_bulk(src)  # pins must not outlive the try
+        raise
     kernel.pages.on_alloc_bulk(dst, PG_ANON | PG_DIRTY)
     kernel.phys.copy_frames_bulk(src, dst)
     n_file = count_file_pages(kernel, src)
@@ -286,6 +297,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
     params = cost.params
     entry = pmd_table.entries[pmd_index]
     if not is_present(entry):
+        kernel.failpoints.hit("bulkops.huge_alloc")
         head = kernel.alloc_huge_frame(mm)
         kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER, PG_ANON)
         pmd_table.entries[pmd_index] = _entries_for(
@@ -302,6 +314,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
             kernel.stats.cow_reuse += 1
             cost.charge_fault_spurious()
             return
+        kernel.failpoints.hit("bulkops.huge_cow")
         new_head = kernel.alloc_huge_frame(mm)
         kernel.pages.on_alloc_compound(new_head, HUGE_PAGE_ORDER, PG_ANON | PG_DIRTY)
         for sub_pfn in range(1 << HUGE_PAGE_ORDER):

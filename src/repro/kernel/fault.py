@@ -22,7 +22,7 @@ compound page and whole-page COW, which is what makes huge-page COW faults
 
 from __future__ import annotations
 
-from ..errors import BusError, SegmentationFault
+from ..errors import BusError, OutOfMemoryError, SegmentationFault
 from ..mem.page import (
     HUGE_PAGE_ORDER,
     HUGE_PAGE_SIZE,
@@ -67,6 +67,7 @@ def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
     kernel.cost.charge_swap_cache_lookup()
     pfn = kernel.swap_cache.pfn_of(slot)
     if pfn is None:
+        kernel.failpoints.hit("fault.swap_in")
         pfn = kernel.alloc_data_frame(mm)
         kernel.pages.on_alloc(pfn, PG_ANON)  # this ref becomes the cache's
         data = kernel.swap.read(slot)
@@ -154,6 +155,7 @@ class FaultHandler:
                 # the last copy are now dedicated.
                 unshare_sole_owner(kernel, mm, pmd_table, pmd_index)
         else:
+            kernel.failpoints.hit("fault.pte_table_alloc")
             leaf = mm.alloc_table(LEVEL_PTE)
             kernel.cost.charge_pte_table_alloc()
             pmd_table.set(pmd_index, make_entry(leaf.pfn, writable=True, user=True))
@@ -177,6 +179,7 @@ class FaultHandler:
     def _demand_zero(self, mm, vma, leaf, pte_index, is_write):
         """Anonymous first touch: hand out a zeroed exclusive page."""
         kernel = self.kernel
+        kernel.failpoints.hit("fault.demand_zero")
         pfn = kernel.alloc_data_frame(mm)
         kernel.pages.on_alloc(pfn, PG_ANON)
         kernel.phys.zero(pfn)
@@ -202,6 +205,7 @@ class FaultHandler:
 
         if vma.is_private and is_write:
             # Private file write: COW straight into an anonymous page.
+            kernel.failpoints.hit("fault.file_cow")
             new_pfn = kernel.alloc_data_frame(mm)
             kernel.pages.on_alloc(new_pfn, PG_ANON)
             kernel.phys.copy_frame(cache_pfn, new_pfn)
@@ -252,7 +256,13 @@ class FaultHandler:
             # triggered inside alloc_data_frame must not evict the page
             # we are about to copy from.
             kernel.pages.ref_inc(pfn)
-        new_pfn = kernel.alloc_data_frame(mm)
+        try:
+            kernel.failpoints.hit("fault.cow_copy")
+            new_pfn = kernel.alloc_data_frame(mm)
+        except OutOfMemoryError:
+            if kernel.rmap is not None:
+                kernel.pages.ref_dec(pfn)  # the pin must not outlive the try
+            raise
         kernel.pages.on_alloc(new_pfn, PG_ANON | PG_DIRTY)
         kernel.phys.copy_frame(pfn, new_pfn)
         kernel.cost.charge_page_alloc()
@@ -286,6 +296,7 @@ class FaultHandler:
                 kernel.stats.cow_reuse += 1
                 kernel.cost.charge_fault_spurious()
                 return
+            kernel.failpoints.hit("fault.huge_cow")
             new_head = kernel.alloc_huge_frame(mm)
             kernel.pages.on_alloc_compound(new_head, HUGE_PAGE_ORDER,
                                            PG_ANON | PG_DIRTY)
@@ -320,6 +331,7 @@ class FaultHandler:
         entry = pmd_table.entries[pmd_index]
 
         if not is_present(entry):
+            kernel.failpoints.hit("fault.huge_alloc")
             head = kernel.alloc_huge_frame(mm)
             kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER, PG_ANON)
             kernel.cost.charge_page_alloc()
@@ -342,6 +354,7 @@ class FaultHandler:
                 kernel.stats.cow_reuse += 1
                 kernel.cost.charge_fault_spurious()
                 return
+            kernel.failpoints.hit("fault.huge_cow")
             new_head = kernel.alloc_huge_frame(mm)
             kernel.pages.on_alloc_compound(new_head, HUGE_PAGE_ORDER, PG_ANON | PG_DIRTY)
             for sub in range(1 << HUGE_PAGE_ORDER):

@@ -121,7 +121,14 @@ def begin_classic_copy(kernel, parent_mm, child_mm):
 
 def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
                       slot_start):
-    """Copy one present PMD slot (2 MiB) from parent to child."""
+    """Copy one present PMD slot (2 MiB) from parent to child.
+
+    Failure-atomic at slot granularity: the only fallible operations are
+    the table allocations at the top, so an OOM here leaves the child
+    with complete slots only (plus possibly empty upper tables), which
+    ``Kernel._abort_fork`` tears down like a normal exit.
+    """
+    kernel.failpoints.hit("fork.copy_slot")
     cost = kernel.cost
     drop_rw = np.uint64(~BIT_RW)
     entry = pmd.entries[pmd_index]

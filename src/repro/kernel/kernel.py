@@ -25,6 +25,7 @@ from ..mem.buddy import OutOfFramesError
 from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE
 from ..paging.table import page_align_up, page_offset
 from ..paging.walk import MMUFault, Walker
+from .failpoints import FailPoints
 from .fault import FaultHandler
 from .filesystem import SimFS
 from .fork import copy_mm_classic
@@ -142,6 +143,8 @@ class Kernel:
         self.smp = None
         from ..paging.tlb import ShootdownEngine
         self.tlbs = ShootdownEngine(self)
+        # Fail-point injection (inert unless a verify harness enables it).
+        self.failpoints = FailPoints()
 
     # ---- page-table registry (the model's page_address map) -------------
 
@@ -368,10 +371,14 @@ class Kernel:
         start_ns = self.clock.now_ns
         child = self._new_task(parent=task, name=name or f"{task.name}-child")
         child.odfork_default = task.odfork_default
-        if use_odf:
-            copy_mm_odf(self, task.mm, child.mm)
-        else:
-            copy_mm_classic(self, task.mm, child.mm)
+        try:
+            if use_odf:
+                copy_mm_odf(self, task.mm, child.mm)
+            else:
+                copy_mm_classic(self, task.mm, child.mm)
+        except OutOfMemoryError:
+            self._abort_fork(task, child)
+            raise
         noise = self.cost.noise
         if noise is not None and not self.cost.suspended:
             # Correlated per-invocation overrun (see NoiseModel docs).
@@ -379,6 +386,23 @@ class Kernel:
         task.last_fork_ns = self.clock.now_ns - start_ns
         task.fork_count += 1
         return child
+
+    def _abort_fork(self, parent, child):
+        """Unwind a fork whose address-space copy ran out of memory.
+
+        The half-built child mm is torn down like an exiting task's (that
+        path already handles shared tables, swap entries, and rmap), the
+        child task is unlinked, and the parent gets a TLB shootdown: the
+        copy may already have write-protected some of its entries, and a
+        CPU caching stale writable translations would skip the COW or
+        sole-owner faults those protections exist to force.
+        """
+        from .teardown import exit_mmap
+        exit_mmap(self, child.mm)
+        parent.children.remove(child)
+        del self.tasks[child.pid]
+        child.state = STATE_DEAD
+        self.tlbs.shootdown_mm(parent.mm, charge=False)
 
     def sys_exit(self, task, exit_code=0):
         """Terminate a task: tear down (or release) its mm, zombify."""

@@ -37,6 +37,7 @@ from .tableops import copy_shared_pte_table, put_pte_table
 
 def _dedicated_leaf_for(kernel, mm, vaddr):
     """The dedicated PTE table covering ``vaddr``, creating/copying as needed."""
+    kernel.failpoints.hit("mremap.target_leaf")
     pmd_table, pmd_index = mm.walk_to_pmd(vaddr, alloc=True)
     entry = pmd_table.entries[pmd_index]
     if not is_present(entry):
@@ -66,8 +67,15 @@ def move_mapping(kernel, mm, vma, new_size):
     # final geometry.
     mm.add_vma(new_vma)
 
+    # An OOM part-way through the walk (table COW on either side, or a
+    # fresh target leaf) aborts the move with both VMAs installed and the
+    # entries moved so far at their new addresses.  Every refcount stays
+    # consistent — each entry moves atomically — so the caller sees a
+    # failed syscall over a torn but audit-clean mapping, as with a
+    # mid-copy fork abort.
     moved = 0
     for pmd_table, pmd_index, slot_start, lo, hi in mm.pmd_slots(old_start, old_end):
+        kernel.failpoints.hit("mremap.move_slot")
         entry = pmd_table.entries[pmd_index]
         if not is_present(entry):
             continue

@@ -44,6 +44,14 @@ from .fork import (
 from ..paging.table import LEVEL_PMD, LEVEL_SPAN
 from .tableops import add_table_sharer, count_file_pages, table_present_pfns
 
+#: Deliberate-bug switch for the differential oracle's self-test: when
+#: True, odfork skips writing the write-protected entries back into the
+#: *parent's* PMD table, so parent writes bypass COW and leak into the
+#: child.  Exists so ``tests/test_verify_oracle.py`` can prove the oracle
+#: catches (and the shrinker minimizes) a real semantic divergence.
+#: Never enable outside that test.
+FAULT_INJECT_SKIP_PARENT_WP = False
+
 
 def _account_shared_table_rss(kernel, mm, child_mm, leaf_pfn):
     """Sharing a leaf table makes its present pages resident in the child.
@@ -72,6 +80,7 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
         present = present_mask(entries)
         if not present.any():
             continue
+        kernel.failpoints.hit("odfork.share_table")
         child_pmd = builder.pmd_table_for(table_base)
         huge = (entries & BIT_PS) != np.uint64(0)
         leaf_positions = present & ~huge
@@ -85,7 +94,8 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
                 kernel.pt_sharers[leaf_pfn].append(child_mm)
                 _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
             protected = entries[leaf_positions] & drop_rw
-            entries[leaf_positions] = protected
+            if not FAULT_INJECT_SKIP_PARENT_WP:
+                entries[leaf_positions] = protected
             child_pmd.entries[leaf_positions] = protected
             count = int(np.count_nonzero(leaf_positions))
             shared_tables += count
@@ -129,6 +139,7 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
     used by the SMP odfork flow so the scheduler can preempt between
     2 MiB slots.  Returns 1 when a leaf table was shared, else 0.
     """
+    kernel.failpoints.hit("odfork.share_table")
     cost = kernel.cost
     drop_rw = np.uint64(~BIT_RW)
     entry = pmd.entries[pmd_index]
@@ -153,7 +164,8 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
     add_table_sharer(kernel, leaf_pfn, child_mm)
     _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
     protected = entry & drop_rw
-    pmd.entries[pmd_index] = protected
+    if not FAULT_INJECT_SKIP_PARENT_WP:
+        pmd.entries[pmd_index] = protected
     child_pmd.entries[child_index] = protected
     child_mm.nr_pte_tables += 1
     cost.charge_share_tables(1)

@@ -218,7 +218,10 @@ class ReclaimState:
         if pages.get_ref(pfn) != expected:
             return False
         if cached_slot is None:
-            slot = kernel.swap.alloc_slot()
+            if kernel.failpoints.fails("reclaim.swap_slot"):
+                slot = None  # injected "swap full"
+            else:
+                slot = kernel.swap.alloc_slot()
             if slot is None:
                 return False  # swap full
             if kernel.phys.is_materialized(pfn):

@@ -23,10 +23,14 @@ The implementation here rides the same machinery On-demand-fork uses:
   snapshot can be restored again and again.
 * ``discard`` drops the snapshot's references.
 
-Restriction (documented, enforced): snapshots cover a single process with
-dedicated tables.  Combining with table sharing would need shared-table
-COW semantics in ``restore``; the experiment this primitive exists for
-(fuzzing resets) never does that, and ``create`` unshares proactively.
+Restrictions (documented): snapshots cover a single process; ``create``
+unshares proactively, and ``restore`` copies any table an odfork shared
+*after* the snapshot before editing it (the same COW-on-modify rule every
+other table-modifying operation follows).  Operations that delete or move
+the snapshotted leaf tables themselves — munmap/mremap/MADV_DONTNEED over
+a whole slot — are not supported while a snapshot is live (khugepaged
+collapse is refused for snapshotted address spaces for the same reason);
+the fuzzing-reset workload this primitive exists for never does that.
 """
 
 from __future__ import annotations
@@ -39,7 +43,12 @@ from ..paging.entries import BIT_RW, entry_pfn, is_huge, is_present, present_mas
 from ..paging.table import PMD_REGION_SIZE
 from .fork import iter_parent_pmds
 from .rmap import rmap_add_bulk, rmap_remove_bulk
-from .tableops import copy_shared_pte_table, free_anon_frames, private_cow_mask
+from .tableops import (
+    copy_shared_pte_table,
+    count_file_pages,
+    free_anon_frames,
+    private_cow_mask,
+)
 
 #: Cost per saved/diffed leaf table: one pass over 512 entries, comparable
 #: to the odfork share cost plus the protect write.
@@ -74,29 +83,36 @@ class Snapshot:
         kernel.cost.charge_syscall()
         snapshot = cls(kernel, mm)
         drop_rw = np.uint64(~BIT_RW)
-        for pmd_table, pmd_index, slot_start in list(iter_parent_pmds(mm)):
-            entry = pmd_table.entries[pmd_index]
-            if is_huge(entry):
-                raise InvalidArgumentError(
-                    "snapshot over huge mappings is not supported"
-                )
-            leaf = mm.resolve(int(entry_pfn(entry)))
-            if kernel.pages.pt_ref(leaf.pfn) > 1:
-                # Unshare proactively: restore must own its tables.
-                leaf = copy_shared_pte_table(kernel, mm, pmd_table,
-                                             pmd_index, slot_start)
-            cow = private_cow_mask(mm, slot_start)
-            protect = cow & present_mask(leaf.entries)
-            if protect.any():
-                leaf.entries[protect] &= drop_rw
-            saved = leaf.entries.copy()
-            snapshot.saved[(pmd_table, pmd_index, slot_start)] = saved
-            pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
-            if len(pfns):
-                kernel.pages.ref_inc_bulk(pfns)  # the snapshot's references
-            # Saved swap entries pin their slots the same way.
-            kernel.swap_dup_entries(saved)
-            kernel.cost.charge("snapshot_save_table", SNAPSHOT_PER_TABLE_NS)
+        try:
+            for pmd_table, pmd_index, slot_start in list(iter_parent_pmds(mm)):
+                entry = pmd_table.entries[pmd_index]
+                if is_huge(entry):
+                    raise InvalidArgumentError(
+                        "snapshot over huge mappings is not supported"
+                    )
+                leaf = mm.resolve(int(entry_pfn(entry)))
+                if kernel.pages.pt_ref(leaf.pfn) > 1:
+                    # Unshare proactively: restore must own its tables.
+                    leaf = copy_shared_pte_table(kernel, mm, pmd_table,
+                                                 pmd_index, slot_start)
+                cow = private_cow_mask(mm, slot_start)
+                protect = cow & present_mask(leaf.entries)
+                if protect.any():
+                    leaf.entries[protect] &= drop_rw
+                saved = leaf.entries.copy()
+                snapshot.saved[(pmd_table, pmd_index, slot_start)] = saved
+                pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
+                if len(pfns):
+                    kernel.pages.ref_inc_bulk(pfns)  # the snapshot's references
+                # Saved swap entries pin their slots the same way.
+                kernel.swap_dup_entries(saved)
+                kernel.cost.charge("snapshot_save_table", SNAPSHOT_PER_TABLE_NS)
+        except BaseException:
+            # A mid-walk failure (an unsharing copy hitting OOM, or an
+            # unsupported mapping) must not leak the page and slot
+            # references already taken for the partial snapshot.
+            snapshot.discard()
+            raise
         # Snapshot save write-protects COW-able entries: stale writable
         # translations must go from every CPU running this mm.
         kernel.tlbs.shootdown_mm(mm)
@@ -127,6 +143,13 @@ class Snapshot:
         restored_entries = 0
         for (pmd_table, pmd_index, slot_start), saved in self.saved.items():
             leaf = self._current_leaf(pmd_table, pmd_index)
+            if kernel.pages.pt_ref(leaf.pfn) > 1:
+                # An odfork after the snapshot shared this table; editing
+                # it in place would rewrite the other sharers' view, so
+                # restore follows the same rule as any table-modifying
+                # operation and takes a dedicated copy first.
+                leaf = copy_shared_pte_table(kernel, self.mm, pmd_table,
+                                             pmd_index, slot_start)
             kernel.cost.charge("snapshot_diff_table", RESTORE_PER_TABLE_NS)
             changed = leaf.entries != saved
             if not changed.any():
@@ -135,6 +158,7 @@ class Snapshot:
             current = leaf.entries[positions]
             current_present = present_mask(current)
             drop_pfns = entry_pfn(current[current_present]).astype(np.int64)
+            drop_file = count_file_pages(kernel, drop_pfns)
             if len(drop_pfns):
                 rmap_remove_bulk(kernel, drop_pfns, leaf.pfn)
                 zeroed = kernel.pages.ref_dec_bulk(drop_pfns)
@@ -151,6 +175,13 @@ class Snapshot:
                 # Re-take the table-ownership references for the pages the
                 # table is about to map again; the snapshot keeps its own.
                 kernel.pages.ref_inc_bulk(keep_pfns)
+            # Residency changes with the entry swap (a page demand-zeroed
+            # after the snapshot rolls back to absent, a page swapped out
+            # before it rolls back to resident): account the delta.
+            keep_file = count_file_pages(kernel, keep_pfns)
+            self.mm.add_rss(keep_file - drop_file, file_backed=True)
+            self.mm.add_rss((len(keep_pfns) - keep_file)
+                            - (len(drop_pfns) - drop_file))
             leaf.entries[positions] = saved_slice
             rmap_add_bulk(kernel, keep_pfns, leaf.pfn)
             restored_entries += len(positions)

@@ -167,6 +167,7 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     if kernel.pages.pt_ref(old_table.pfn) <= 1:
         raise KernelBug("copy_shared_pte_table on a dedicated table")
 
+    kernel.failpoints.hit("tableops.table_cow")
     new_table = mm.alloc_table(LEVEL_PTE)
     new_table.copy_entries_from(old_table)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import KernelBug
+from ..errors import KernelBug, OutOfMemoryError
 from ..mem.page import (
     HUGE_PAGE_ORDER,
     HUGE_PAGE_SIZE,
@@ -46,7 +46,7 @@ from ..paging.entries import (
 )
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
 from .rmap import rmap_add_bulk, rmap_remove_bulk
-from .tableops import put_pte_table
+from .tableops import free_anon_frames, put_pte_table
 
 #: Cost of scanning one candidate region (read 512 entries + struct pages).
 SCAN_COST_PER_REGION_NS = 2_500
@@ -104,6 +104,10 @@ class Khugepaged:
     def _try_collapse(self, mm, vma, slot_start):
         """Promote one 2 MiB region if every precondition holds."""
         kernel = self.kernel
+        if any(s.live and s.mm is mm for s in kernel.live_snapshots):
+            # A live snapshot indexes this mm's leaf tables by identity;
+            # collapsing one out from under it would break restore.
+            return False
         walked = mm.walk_to_pmd(slot_start, alloc=False)
         if walked is None:
             return False
@@ -128,7 +132,13 @@ class Khugepaged:
             return False  # anon-only collapse
 
         # Migrate: allocate the compound page, copy all 512 subpages.
-        head = kernel.alloc_huge_frame(mm)
+        # A failed huge allocation is not an error for a background
+        # promotion — the region simply stays 4 KiB-mapped, as in Linux.
+        try:
+            kernel.failpoints.hit("thp.collapse")
+            head = kernel.alloc_huge_frame(mm)
+        except OutOfMemoryError:
+            return False
         if kernel.swap is not None:
             # The huge allocation may have run reclaim, which can swap out
             # candidate pages behind our back; re-verify before committing.
@@ -184,13 +194,22 @@ def split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start):
     head = int(entry_pfn(entry))
     writable = bool(is_writable(entry))
 
+    kernel.failpoints.hit("thp.split")
     new_pfns = kernel.alloc_data_frames_bulk(mm, PTRS_PER_TABLE)
     kernel.pages.on_alloc_bulk(new_pfns, PG_ANON)
     kernel.phys.copy_frames_bulk(
         np.arange(head, head + PTRS_PER_TABLE, dtype=np.int64), new_pfns)
     kernel.cost.charge_bulk_copy(HUGE_PAGE_SIZE)
 
-    leaf = mm.alloc_table(LEVEL_PTE)
+    try:
+        kernel.failpoints.hit("thp.split_table")
+        leaf = mm.alloc_table(LEVEL_PTE)
+    except OutOfMemoryError:
+        # The split's new frames are not yet mapped anywhere; without
+        # this unwind a table-allocation failure would leak all 512.
+        zeroed = kernel.pages.ref_dec_bulk(new_pfns)
+        free_anon_frames(kernel, zeroed)
+        raise
     kernel.cost.charge_pte_table_alloc()
     from .bulkops import _entries_for
     leaf.entries[:] = _entries_for(new_pfns, writable=writable, dirty=False)

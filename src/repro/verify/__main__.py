@@ -1,0 +1,136 @@
+"""CLI driver: ``python -m repro.verify --traces N --seed S [--failpoints]``.
+
+Generates (or replays) traces, runs the differential oracle on each, and
+optionally sweeps every fail-point hit.  Failing traces are ddmin-shrunk
+and written to the regression corpus so CI replays them forever.
+
+Exit status: 0 when every trace is clean, 1 on any hard finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .oracle import check_trace, enumerate_failpoints, is_hard
+from .shrink import shrink_trace
+from .trace import generate_trace, load_trace, save_trace
+
+
+def _collect_traces(args):
+    if args.replay:
+        path = Path(args.replay)
+        if path.is_dir():
+            files = sorted(path.glob("*.json"))
+        elif path.is_file():
+            files = [path]
+        else:
+            raise SystemExit(f"no such trace file or directory: {path}")
+        if not files:
+            raise SystemExit(f"no *.json traces found in {path}")
+        return [(f.stem, load_trace(f)) for f in files]
+    return [(f"seed{args.seed + i}",
+             generate_trace(args.seed + i, n_ops=args.ops))
+            for i in range(args.traces)]
+
+
+def _shrink_predicate(args, pair):
+    """Re-check a candidate for the same class of failure (same pair).
+
+    The SMP leg only reruns when the original finding came from it, which
+    keeps shrinking to two machine builds per evaluation.
+    """
+    needs_smp = pair.startswith("smp")
+
+    def predicate(candidate):
+        findings = check_trace(candidate, smp=args.smp,
+                               include_smp=needs_smp)
+        return any(is_hard(f) and f.pair == pair for f in findings)
+
+    return predicate
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="differential conformance + fault-injection harness")
+    parser.add_argument("--traces", type=int, default=20,
+                        help="number of random traces (default 20)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; trace i uses seed+i (default 0)")
+    parser.add_argument("--ops", type=int, default=32,
+                        help="ops per generated trace (default 32)")
+    parser.add_argument("--smp", type=int, default=2,
+                        help="virtual CPUs for the SMP leg (default 2)")
+    parser.add_argument("--no-smp", action="store_true",
+                        help="skip the smp-vs-plain differential leg")
+    parser.add_argument("--failpoints", action="store_true",
+                        help="sweep fail-point hits per trace")
+    parser.add_argument("--max-failpoint-hits", type=int, default=4,
+                        help="armed runs per site; sampled beyond this "
+                             "(default 4)")
+    parser.add_argument("--exhaustive-failpoints", action="store_true",
+                        help="arm every recorded hit of every site")
+    parser.add_argument("--replay", metavar="PATH",
+                        help="replay a trace file or directory of *.json "
+                             "instead of generating")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without ddmin-shrinking them")
+    parser.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where shrunk failures are written")
+    args = parser.parse_args(argv)
+
+    traces = _collect_traces(args)
+    started = time.perf_counter()
+    hard_findings = 0
+    oom_warnings = 0
+    failpoint_runs = 0
+    failpoint_sampled_out = 0
+
+    for index, (name, trace) in enumerate(traces):
+        findings = check_trace(trace, smp=args.smp,
+                               include_smp=not args.no_smp)
+        hard = [f for f in findings if is_hard(f)]
+        oom_warnings += len(findings) - len(hard)
+        if hard:
+            hard_findings += len(hard)
+            print(f"FAIL {name} ({len(trace['ops'])} ops): {hard[0]}")
+            if not args.no_shrink:
+                shrunk = shrink_trace(
+                    trace, _shrink_predicate(args, hard[0].pair))
+                out = save_trace(
+                    shrunk, Path(args.corpus_dir) / f"shrunk-{name}.json")
+                print(f"  shrunk to {len(shrunk['ops'])} ops "
+                      f"({shrunk['shrink_evals']} evaluations) -> {out}")
+
+        if args.failpoints:
+            max_hits = (None if args.exhaustive_failpoints
+                        else args.max_failpoint_hits)
+            fp_findings, meta = enumerate_failpoints(
+                trace, max_hits_per_site=max_hits)
+            failpoint_runs += meta["runs"]
+            failpoint_sampled_out += meta["sampled_out"]
+            if fp_findings:
+                hard_findings += len(fp_findings)
+                for finding in fp_findings[:4]:
+                    print(f"FAIL {name}: {finding}")
+
+        done = index + 1
+        if done % 10 == 0 or done == len(traces):
+            elapsed = time.perf_counter() - started
+            print(f"  [{done}/{len(traces)}] traces checked, "
+                  f"{elapsed:.1f}s elapsed")
+
+    elapsed = time.perf_counter() - started
+    print(f"checked {len(traces)} traces in {elapsed:.1f}s: "
+          f"{hard_findings} failures, {oom_warnings} OOM-asymmetry warnings"
+          + (f", {failpoint_runs} fail-point runs"
+             f" ({failpoint_sampled_out} hits sampled out)"
+             if args.failpoints else ""))
+    return 1 if hard_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

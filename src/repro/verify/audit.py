@@ -1,0 +1,272 @@
+"""Exhaustive kernel-state cross-checks (tests, benchmarks, the fuzzer).
+
+``audit_machine`` recomputes every reference count from first principles —
+walking each live address space's paging tree and the page cache — and
+compares against the kernel's incremental accounting.  Any drift (the bug
+class that makes real kernels corrupt memory) fails loudly.
+
+Lives in ``repro.verify`` so the trace oracle, the benchmarks, and the
+test suite share one auditor; ``tests/auditor.py`` is a re-export shim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..mem.page import PG_ANON, PG_FILE, PG_PAGETABLE
+from ..paging import (
+    entry_pfn,
+    is_huge,
+    is_present,
+    present_mask,
+    swap_entry_slot,
+    swap_mask,
+)
+from ..paging.table import LEVEL_PMD, LEVEL_PTE
+
+
+def audit_machine(machine):
+    """Recompute and verify all refcounts and table registrations."""
+    kernel = machine.kernel
+    pages = machine.pages
+
+    expected_pt_refs = defaultdict(int)     # leaf table pfn -> #PMD refs
+    expected_page_refs = defaultdict(int)   # data page pfn -> #table refs
+    seen_leaf_tables = {}
+
+    live_mms = []
+    seen_mm_ids = set()
+    for t in kernel.tasks.values():
+        # clone_vm/vfork tasks share one mm; walk each address space once.
+        if not t.mm.dead and id(t.mm) not in seen_mm_ids:
+            seen_mm_ids.add(id(t.mm))
+            live_mms.append(t.mm)
+    for mm in live_mms:
+        for pud_index in mm.pgd.present_indices().tolist():
+            pud = mm.resolve(mm.pgd.child_pfn(pud_index))
+            for pmd_index in pud.present_indices().tolist():
+                pmd = mm.resolve(pud.child_pfn(pmd_index))
+                entries = pmd.entries
+                for slot in pmd.present_indices().tolist():
+                    entry = entries[slot]
+                    if is_huge(entry):
+                        expected_page_refs[int(entry_pfn(entry))] += 1
+                        continue
+                    leaf_pfn = int(entry_pfn(entry))
+                    expected_pt_refs[leaf_pfn] += 1
+                    seen_leaf_tables[leaf_pfn] = mm.resolve(leaf_pfn)
+
+    # Each leaf table *object* owns one reference per present data page.
+    for leaf in seen_leaf_tables.values():
+        for slot in leaf.present_indices().tolist():
+            expected_page_refs[int(entry_pfn(leaf.entries[slot]))] += 1
+
+    # The page cache holds one reference per cached page.
+    for pfn in kernel.page_cache._cache.values():
+        expected_page_refs[pfn] += 1
+
+    # Live in-place snapshots hold one reference per saved present page.
+    for snapshot in kernel.live_snapshots:
+        for saved in snapshot.saved.values():
+            for pfn in entry_pfn(saved[present_mask(saved)]).tolist():
+                expected_page_refs[int(pfn)] += 1
+
+    # The swap cache holds one reference per cached frame.
+    if kernel.swap_cache is not None:
+        for _slot, pfn in kernel.swap_cache.items():
+            expected_page_refs[pfn] += 1
+
+    errors = []
+    for leaf_pfn, count in expected_pt_refs.items():
+        actual = pages.pt_ref(leaf_pfn)
+        if actual != count:
+            errors.append(
+                f"leaf table {leaf_pfn}: pt_refcount {actual}, "
+                f"{count} PMD references found"
+            )
+    for pfn, count in expected_page_refs.items():
+        actual = pages.get_ref(pfn)
+        if actual != count:
+            errors.append(
+                f"page {pfn}: refcount {actual}, {count} references found"
+            )
+
+    # No data page should have a refcount without a referent (leak), and
+    # table frames must be registered.
+    live = np.nonzero(pages.refcount > 0)[0]
+    for pfn in live.tolist():
+        if pfn == 0:
+            continue  # reserved frame
+        if pages.has_flags(pfn, PG_PAGETABLE):
+            if pfn not in kernel._tables:
+                errors.append(f"table frame {pfn} not registered")
+            continue
+        if pages.flags[pfn] & np.uint16(0x10):  # PG_COMPOUND_TAIL
+            continue
+        if pfn not in expected_page_refs:
+            errors.append(f"page {pfn} live (ref={pages.get_ref(pfn)}) "
+                          f"but unreachable: leak")
+
+    # Registered table frames must be exactly the reachable ones: a table
+    # allocated but never installed (a botched unwind) would otherwise
+    # pass every refcount check while leaking its frame.
+    reachable_tables = set(seen_leaf_tables)
+    for mm in live_mms:
+        reachable_tables.add(mm.pgd.pfn)
+        for table in mm.upper_tables():
+            reachable_tables.add(table.pfn)
+    registered = set(kernel._tables)
+    stray = registered - reachable_tables
+    unregistered = reachable_tables - registered
+    if stray:
+        errors.append(f"table frames registered but unreachable: "
+                      f"{sorted(stray)[:8]}")
+    if unregistered:
+        errors.append(f"reachable table frames not registered: "
+                      f"{sorted(unregistered)[:8]}")
+
+    if kernel.swap is not None:
+        errors += _audit_swap(kernel, seen_leaf_tables)
+        errors += _audit_rmap_and_lru(kernel, pages, seen_leaf_tables)
+    errors += _audit_pt_sharers(kernel, expected_pt_refs, live_mms)
+    errors += _audit_smp(machine)
+
+    pages.check_no_negative()
+    machine.allocator.check_consistency()
+    if errors:
+        raise AssertionError("kernel audit failed:\n  " + "\n  ".join(errors[:12]))
+
+
+def _audit_swap(kernel, seen_leaf_tables):
+    """Recompute swap_map from table objects + snapshots; check the cache
+    and the free list."""
+    errors = []
+    dev = kernel.swap
+    expected_slots = defaultdict(int)   # slot -> #references
+    for leaf in seen_leaf_tables.values():
+        entries = leaf.entries
+        swapped = swap_mask(entries)
+        for slot in swap_entry_slot(entries[swapped]).tolist():
+            expected_slots[int(slot)] += 1
+    for snapshot in kernel.live_snapshots:
+        for saved in snapshot.saved.values():
+            for slot in swap_entry_slot(saved[swap_mask(saved)]).tolist():
+                expected_slots[int(slot)] += 1
+
+    for slot, count in expected_slots.items():
+        actual = int(dev.swap_map[slot])
+        if actual != count:
+            errors.append(
+                f"swap slot {slot}: swap_map {actual}, {count} references found"
+            )
+    for slot in np.nonzero(dev.swap_map > 0)[0].tolist():
+        if slot not in expected_slots:
+            errors.append(
+                f"swap slot {slot} has {int(dev.swap_map[slot])} refs "
+                f"but no referent: leaked slot"
+            )
+
+    # Free-list consistency: free slots carry no refs, and every slot is
+    # either free or referenced.
+    free = set(dev._free)
+    if len(free) != len(dev._free):
+        errors.append("swap free list contains duplicates")
+    live = set(np.nonzero(dev.swap_map > 0)[0].tolist())
+    overlap = free & live
+    if overlap:
+        errors.append(f"swap slots both free and referenced: {sorted(overlap)[:8]}")
+    if len(free) + len(live) != dev.n_slots:
+        errors.append(
+            f"swap slot accounting: {len(free)} free + {len(live)} live "
+            f"!= {dev.n_slots} total"
+        )
+
+    # Every cached slot must still be referenced, and the mapping must be
+    # bijective.
+    for slot, pfn in kernel.swap_cache.items():
+        if dev.swap_map[slot] <= 0:
+            errors.append(f"swap cache holds slot {slot} with no references")
+        if kernel.swap_cache.slot_of(pfn) != slot:
+            errors.append(f"swap cache slot {slot} <-> pfn {pfn} not bijective")
+    return errors
+
+
+def _audit_rmap_and_lru(kernel, pages, seen_leaf_tables):
+    """Recompute the anon reverse map from the paging trees, then check the
+    LRU lists track exactly the rmapped pages."""
+    errors = []
+    eligible = np.uint16(PG_ANON)
+    expected = defaultdict(lambda: defaultdict(int))  # pfn -> {leaf_pfn: n}
+    for leaf in seen_leaf_tables.values():
+        entries = leaf.entries
+        for pfn in entry_pfn(entries[present_mask(entries)]).tolist():
+            pfn = int(pfn)
+            if pages.flags[pfn] & eligible and not (
+                    pages.flags[pfn] & np.uint16(PG_FILE)):
+                expected[pfn][leaf.pfn] += 1
+
+    actual = kernel.rmap._tables
+    for pfn, tables in expected.items():
+        got = actual.get(pfn)
+        if got != dict(tables):
+            errors.append(f"rmap for page {pfn}: kernel has {got}, "
+                          f"walk found {dict(tables)}")
+    for pfn in actual:
+        if pfn not in expected:
+            errors.append(f"rmap tracks page {pfn} with no mapping: dangling")
+
+    reclaim = kernel.reclaim
+    active = set(reclaim.active)
+    inactive = set(reclaim.inactive)
+    both = active & inactive
+    if both:
+        errors.append(f"pages on both LRU lists: {sorted(both)[:8]}")
+    on_lru = active | inactive
+    tracked = set(expected)
+    if on_lru != tracked:
+        missing = sorted(tracked - on_lru)[:8]
+        stray = sorted(on_lru - tracked)[:8]
+        if missing:
+            errors.append(f"mapped anon pages missing from LRU: {missing}")
+        if stray:
+            errors.append(f"LRU holds unmapped pages: {stray}")
+    return errors
+
+
+def _audit_pt_sharers(kernel, expected_pt_refs, live_mms):
+    """The sharer registry must list exactly the mms whose PMDs reference
+    each leaf table."""
+    errors = []
+    expected = defaultdict(list)   # leaf pfn -> [mm, ...]
+    for mm in live_mms:
+        for pud_index in mm.pgd.present_indices().tolist():
+            pud = mm.resolve(mm.pgd.child_pfn(pud_index))
+            for pmd_index in pud.present_indices().tolist():
+                pmd = mm.resolve(pud.child_pfn(pmd_index))
+                for slot in pmd.present_indices().tolist():
+                    entry = pmd.entries[slot]
+                    if not is_huge(entry):
+                        expected[int(entry_pfn(entry))].append(mm)
+
+    for leaf_pfn, mms in expected.items():
+        registered = kernel.pt_sharers.get(leaf_pfn, [])
+        if sorted(map(id, registered)) != sorted(map(id, mms)):
+            errors.append(
+                f"pt_sharers for leaf {leaf_pfn}: {len(registered)} "
+                f"registered, {len(mms)} referencing mms found"
+            )
+    for leaf_pfn in kernel.pt_sharers:
+        if leaf_pfn not in expected:
+            errors.append(f"pt_sharers tracks dead leaf table {leaf_pfn}")
+    return errors
+
+
+def _audit_smp(machine):
+    """Lock quiescence: no held locks, no queued waiters, no in-flight
+    IPIs, and no lingering copy-phase count once the scheduler is idle."""
+    sched = getattr(machine, "smp", None)
+    if sched is None:
+        return []
+    return sched.quiescence_errors()

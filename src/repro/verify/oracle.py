@@ -1,0 +1,256 @@
+"""Differential oracle: paired-machine execution and fail-point sweeps.
+
+Two checking modes, both driven by the traces in :mod:`repro.verify.trace`:
+
+* :func:`check_trace` runs one trace on three machines — an *odfork*
+  machine (trace-level ``fork`` ops use on-demand fork), a *classic*
+  machine (eager copies), and a classic machine with the deterministic
+  SMP scheduler enabled — and diffs what each observed: per-op outcomes,
+  per-process logical-memory digests, RSS invariants, and the
+  from-first-principles :func:`~repro.verify.audit.audit_machine` result
+  at every capture point.  The paper's central claim is that odfork is
+  *semantically invisible*; any divergence here falsifies it.
+
+* :func:`enumerate_failpoints` records how often each fail-point site
+  (``kernel.failpoints``) is hit by a trace, then re-runs the trace once
+  per (site, Nth-hit) with that allocation forced to fail — asserting the
+  kernel either surfaces a clean ``OutOfMemoryError`` or succeeds, and in
+  both cases tears down to a zero-leak machine (one live table frame: the
+  init PGD; no used data frames beyond the page cache; no referenced swap
+  slots).
+
+Outcome comparison stops at the first divergence: after it, the paired
+executors' bookkeeping may legitimately disagree, so later diffs would
+be noise.  An asymmetric ``OutOfMemoryError`` is classified separately
+(``oom-divergence``) — resource headroom differs across copy strategies
+by design, so it is inconclusive rather than a semantic failure; the
+verify machine sizing makes it effectively unreachable in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .audit import audit_machine
+from .trace import TraceExecutor, make_machine
+
+
+@dataclass
+class Finding:
+    """One oracle verdict; ``kind`` is one of outcome / state / invariant /
+    audit / crash / leak / oom-divergence."""
+
+    kind: str
+    op_index: int
+    detail: str
+    pair: str
+
+    def __str__(self):
+        return f"[{self.pair}] {self.kind} at op {self.op_index}: {self.detail}"
+
+
+def is_hard(finding):
+    """Everything except resource-asymmetry noise is a real failure."""
+    return finding.kind != "oom-divergence"
+
+
+# --------------------------------------------------------------------- #
+# Differential execution
+
+
+def run_differential(trace, flavor, smp=None):
+    """Execute ``trace`` on a fresh machine; returns (executor, RunResult)."""
+    executor = TraceExecutor(make_machine(smp=smp), flavor=flavor)
+    return executor, executor.run(trace)
+
+
+def compare_runs(trace, res_a, res_b, pair, name_a="A", name_b="B"):
+    """Diff two RunResults of the same trace; returns Findings."""
+    findings = []
+    for name, res in ((name_a, res_a), (name_b, res_b)):
+        if res.crash is not None:
+            findings.append(Finding("crash", res.crash[0],
+                                    f"machine {name}: {res.crash[1]}", pair))
+    if findings:
+        return findings
+
+    for name, res in ((name_a, res_a), (name_b, res_b)):
+        for index in sorted(res.audits):
+            for error in res.audits[index]:
+                findings.append(Finding("audit", index,
+                                        f"machine {name}: {error}", pair))
+    if findings:
+        return findings
+
+    for i, (a, b) in enumerate(zip(res_a.outcomes, res_b.outcomes)):
+        if a == b:
+            continue
+        if ("err", "OutOfMemoryError") in (a, b):
+            findings.append(Finding(
+                "oom-divergence", i,
+                f"{name_a}={a} vs {name_b}={b} (resource asymmetry)", pair))
+        else:
+            findings.append(Finding(
+                "outcome", i,
+                f"{trace['ops'][i]} -> {name_a}={a} vs {name_b}={b}", pair))
+        return findings
+
+    for index in sorted(res_a.captures):
+        findings.extend(_diff_state(index, res_a.captures[index],
+                                    res_b.captures[index], pair,
+                                    name_a, name_b))
+        if findings:
+            return findings
+    return findings
+
+
+def _diff_state(index, state_a, state_b, pair, name_a, name_b):
+    findings = []
+    procs_a, procs_b = state_a["procs"], state_b["procs"]
+    if set(procs_a) != set(procs_b):
+        return [Finding("state", index,
+                        f"live procs {sorted(procs_a)} vs {sorted(procs_b)}",
+                        pair)]
+    # A process's smaps disagreeing with its RSS counter is an invariant
+    # violation on that machine alone — flag it even if both sides match.
+    for name, procs in ((name_a, procs_a), (name_b, procs_b)):
+        for pid, snap in procs.items():
+            if not snap["smaps_consistent"]:
+                findings.append(Finding(
+                    "invariant", index,
+                    f"machine {name} proc {pid}: smaps sum != VmRSS", pair))
+    if findings:
+        return findings
+    for pid in sorted(procs_a):
+        regions_a = procs_a[pid]["regions"]
+        regions_b = procs_b[pid]["regions"]
+        for rid in sorted(regions_a):
+            if regions_a[rid] != regions_b[rid]:
+                return [Finding(
+                    "state", index,
+                    f"proc {pid} region {rid} memory differs: "
+                    f"{name_a}={regions_a[rid]} vs {name_b}={regions_b[rid]}",
+                    pair)]
+    # RSS is only comparable while neither machine has reclaimed (eviction
+    # picks are machine-local); the verify sizing keeps pgsteal at 0.
+    if state_a["pgsteal"] == 0 and state_b["pgsteal"] == 0:
+        for pid in sorted(procs_a):
+            if procs_a[pid]["rss"] != procs_b[pid]["rss"]:
+                return [Finding(
+                    "state", index,
+                    f"proc {pid} RSS {name_a}={procs_a[pid]['rss']} vs "
+                    f"{name_b}={procs_b[pid]['rss']} with no reclaim", pair)]
+    return findings
+
+
+def check_trace(trace, smp=2, include_smp=True):
+    """Run the full differential battery on one trace; returns Findings."""
+    _, classic = run_differential(trace, "classic")
+    _, odfork = run_differential(trace, "odfork")
+    findings = compare_runs(trace, odfork, classic, "odfork-vs-classic",
+                            name_a="odfork", name_b="classic")
+    if include_smp:
+        _, smp_run = run_differential(trace, "classic", smp=smp)
+        findings += compare_runs(trace, smp_run, classic, "smp-vs-plain",
+                                 name_a=f"smp={smp}", name_b="plain")
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# Fail-point enumeration
+
+
+def check_clean_shutdown(executor):
+    """Tear the executor's machine down and verify nothing leaked."""
+    machine = executor.machine
+    kernel = machine.kernel
+    errors = []
+    try:
+        audit_machine(machine)
+    except AssertionError as exc:
+        errors.append(f"pre-teardown audit: {exc}")
+    try:
+        executor.finish()
+    except Exception as exc:
+        errors.append(f"teardown crashed: {type(exc).__name__}: {exc}")
+        return errors
+    try:
+        audit_machine(machine)
+    except AssertionError as exc:
+        errors.append(f"post-teardown audit: {exc}")
+    if kernel.live_tables != 1:  # only init's PGD survives
+        errors.append(f"{kernel.live_tables} table frames live after "
+                      f"teardown (expected 1)")
+    cached = len(kernel.page_cache._cache)
+    expected = kernel.live_tables + cached
+    if machine.used_frames() != expected:
+        errors.append(f"{machine.used_frames()} frames used after teardown, "
+                      f"expected {expected} (tables + page cache)")
+    if kernel.swap is not None:
+        used_slots = kernel.swap.n_slots - len(kernel.swap._free)
+        if used_slots:
+            errors.append(f"{used_slots} swap slots still referenced "
+                          f"after teardown")
+    return errors
+
+
+def _sample_hits(count, max_hits):
+    """Which Nth-hits to arm for a site hit ``count`` times.
+
+    Exhaustive when the budget allows; otherwise a deterministic spread —
+    first, second, middle, last — the hits most likely to sit at distinct
+    points of an operation's unwind path.
+    """
+    if max_hits is None or count <= max_hits:
+        return list(range(1, count + 1))
+    picks = {1, 2, (count + 1) // 2, count}
+    step = max(1, count // max_hits)
+    for nth in range(1, count + 1, step):
+        if len(picks) >= max_hits:
+            break
+        picks.add(nth)
+    return sorted(picks)[:max_hits]
+
+
+def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
+    """Force each fail-point hit to fail, one run per (site, Nth hit).
+
+    Returns ``(findings, meta)`` where meta reports per-site hit counts,
+    the number of armed runs, and how many hits sampling skipped (so a
+    bounded sweep never silently reads as exhaustive).
+    """
+    machine = make_machine()
+    failpoints = machine.kernel.failpoints
+    failpoints.record()
+    recorder = TraceExecutor(machine, flavor=flavor)
+    recording = recorder.run(trace, capture=False, audit=False)
+    failpoints.disarm()
+    counts = dict(failpoints.counts)
+    meta = {"sites": counts, "runs": 0, "sampled_out": 0}
+
+    if recording.crash is not None:
+        return [Finding("crash", recording.crash[0],
+                        f"recording run: {recording.crash[1]}",
+                        "failpoint:record")], meta
+
+    findings = []
+    for site in sorted(counts):
+        hits = _sample_hits(counts[site], max_hits_per_site)
+        meta["sampled_out"] += counts[site] - len(hits)
+        for nth in hits:
+            meta["runs"] += 1
+            findings.extend(_armed_run(trace, flavor, site, nth))
+    return findings, meta
+
+
+def _armed_run(trace, flavor, site, nth):
+    tag = f"failpoint:{site}#{nth}"
+    machine = make_machine()
+    machine.kernel.failpoints.arm(site, nth)
+    executor = TraceExecutor(machine, flavor=flavor)
+    result = executor.run(trace, capture=False, audit=False)
+    machine.kernel.failpoints.disarm()
+    if result.crash is not None:
+        return [Finding("crash", result.crash[0], result.crash[1], tag)]
+    return [Finding("leak", len(trace["ops"]), error, tag)
+            for error in check_clean_shutdown(executor)]

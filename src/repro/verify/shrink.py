@@ -1,0 +1,74 @@
+"""Delta-debugging minimizer for failing traces (Zeller's ddmin).
+
+Works directly on op lists because the executor makes *every* subsequence
+of a trace a valid trace (ops referencing ids that no longer exist are
+skipped).  ``shrink_trace`` repeatedly deletes complement chunks while the
+predicate still reports failure, converging to 1-minimality: removing any
+single remaining op makes the failure disappear.
+"""
+
+from __future__ import annotations
+
+
+def _chunks(ops, n):
+    """Split ``ops`` into ``n`` contiguous near-equal non-empty chunks."""
+    quotient, remainder = divmod(len(ops), n)
+    chunks = []
+    start = 0
+    for i in range(n):
+        size = quotient + (1 if i < remainder else 0)
+        if size:
+            chunks.append(ops[start:start + size])
+            start += size
+    return chunks
+
+
+def shrink_trace(trace, predicate, max_evals=512):
+    """Minimize ``trace`` while ``predicate(candidate_trace)`` stays true.
+
+    ``predicate`` receives a full trace dict and must return True when the
+    candidate still exhibits the failure.  Returns the shrunk trace (the
+    original, marked ``shrunk``, if nothing could be removed) along with
+    the evaluation count in its ``shrink_evals`` field.
+    """
+    ops = list(trace["ops"])
+    evals = 0
+
+    def still_fails(candidate_ops):
+        nonlocal evals
+        evals += 1
+        return predicate(_rebuild(trace, candidate_ops))
+
+    granularity = 2
+    while len(ops) >= 2 and evals < max_evals:
+        chunks = _chunks(ops, granularity)
+        reduced = False
+        for i in range(len(chunks)):
+            complement = [op for j, chunk in enumerate(chunks)
+                          for op in chunk if j != i]
+            if not complement:
+                continue
+            if still_fails(complement):
+                ops = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if evals >= max_evals:
+                break
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+
+    result = _rebuild(trace, ops)
+    result["shrink_evals"] = evals
+    return result
+
+
+def _rebuild(trace, ops):
+    return {
+        "format": trace.get("format", 1),
+        "seed": trace.get("seed"),
+        "ops": list(ops),
+        "shrunk": True,
+    }

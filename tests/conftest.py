@@ -1,10 +1,25 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import MIB, Machine
+
+try:
+    from hypothesis import settings
+
+    # "ci" is the default: derandomized so every run (local or CI) explores
+    # the same cases — property failures reproduce instead of flaking.
+    # HYPOTHESIS_PROFILE=dev restores random exploration for bug hunting.
+    settings.register_profile("ci", derandomize=True, deadline=None,
+                              max_examples=25)
+    settings.register_profile("dev", deadline=None, max_examples=50)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # hypothesis-based tests skip themselves
+    pass
 
 
 @pytest.fixture

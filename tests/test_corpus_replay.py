@@ -1,0 +1,43 @@
+"""Replay the regression corpus through the full oracle battery.
+
+Every trace in ``tests/corpus/`` was once a failure (shrunk by ddmin) or
+pins a tricky op mix; each must stay clean under the odfork-vs-classic
+differential *and* the fail-point sweep.  New shrunk failures written by
+``python -m repro.verify`` land here and are replayed forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import check_trace, enumerate_failpoints, load_trace
+from repro.verify.oracle import is_hard
+
+CORPUS = Path(__file__).parent / "corpus"
+TRACES = sorted(CORPUS.glob("*.json"))
+
+
+def _ids(paths):
+    return [p.stem for p in paths]
+
+
+@pytest.mark.parametrize("path", TRACES, ids=_ids(TRACES))
+def test_corpus_trace_differential_clean(path):
+    trace = load_trace(path)
+    findings = [f for f in check_trace(trace, include_smp=True)
+                if is_hard(f)]
+    assert findings == [], "\n".join(map(str, findings))
+
+
+@pytest.mark.parametrize("path", TRACES, ids=_ids(TRACES))
+def test_corpus_trace_failpoints_clean(path):
+    trace = load_trace(path)
+    findings, meta = enumerate_failpoints(trace, max_hits_per_site=2)
+    assert findings == [], "\n".join(map(str, findings))
+    assert meta["runs"] > 0
+
+
+def test_corpus_is_not_empty():
+    assert len(TRACES) >= 3

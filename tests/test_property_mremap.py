@@ -1,0 +1,117 @@
+"""Property-based mremap × odfork interaction tests (hypothesis).
+
+Random interleavings of parent mremap (move/grow/shrink), parent/child
+writes, and on-demand forks over shared PTE tables — after every
+operation the machine is audited from first principles and both
+processes' views are checked against an independent Python model of
+their memory.  This is the satellite companion to the trace fuzzer: it
+drills one pairing (mremap's table moves against odfork's table sharing)
+far deeper than the broad random traces do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from auditor import audit_machine  # noqa: E402
+
+from repro import Machine  # noqa: E402
+
+PAGE = 4096
+MAX_PAGES = 16
+
+op_strategy = st.one_of(
+    st.tuples(st.just("mremap"), st.integers(1, MAX_PAGES)),
+    st.tuples(st.just("parent_write"), st.integers(0, MAX_PAGES - 1),
+              st.integers(0, 255)),
+    st.tuples(st.just("child_write"), st.integers(0, MAX_PAGES - 1),
+              st.integers(0, 255)),
+    st.tuples(st.just("odfork"), st.just(0)),
+)
+
+
+def _expected(model, page):
+    """A page never written reads as zeros."""
+    return bytes([model[page]] * 8) if page in model else b"\x00" * 8
+
+
+def _check_view(process, addr, pages, model):
+    for page in range(pages):
+        assert process.read(addr + page * PAGE, 8) == _expected(model, page)
+
+
+@given(st.integers(1, MAX_PAGES),
+       st.lists(op_strategy, min_size=1, max_size=12))
+def test_mremap_odfork_interleaving(initial_pages, ops):
+    machine = Machine(phys_mb=128)
+    parent = machine.spawn_process("parent")
+    addr = parent.mmap(initial_pages * PAGE)
+    pages = initial_pages
+    parent_model = {}
+
+    children = []   # (process, child_addr, child_pages, child_model)
+
+    for op in ops:
+        if op[0] == "mremap":
+            new_pages = op[1]
+            addr = parent.mremap(addr, pages * PAGE, new_pages * PAGE)
+            pages = new_pages
+            # Truncation discards tail pages; growth exposes fresh zeros.
+            parent_model = {p: v for p, v in parent_model.items()
+                            if p < pages}
+        elif op[0] == "parent_write":
+            page, val = op[1] % pages, op[2]
+            parent.write(addr + page * PAGE, bytes([val] * 8))
+            parent_model[page] = val
+        elif op[0] == "child_write" and children:
+            child, c_addr, c_pages, c_model = children[-1]
+            page, val = op[1] % c_pages, op[2]
+            child.write(c_addr + page * PAGE, bytes([val] * 8))
+            c_model[page] = val
+        elif op[0] == "odfork":
+            child = parent.odfork()
+            # The child inherits the parent's mapping at the same address
+            # and a private copy-on-write view of its contents.
+            children.append((child, addr, pages, dict(parent_model)))
+
+        audit_machine(machine)
+        _check_view(parent, addr, pages, parent_model)
+        for child, c_addr, c_pages, c_model in children:
+            _check_view(child, c_addr, c_pages, c_model)
+
+    for child, *_ in reversed(children):
+        child.exit()
+        audit_machine(machine)
+    parent.exit()
+    audit_machine(machine)
+    assert machine.used_frames() == 1  # init's PGD only
+
+
+@given(st.integers(2, MAX_PAGES), st.integers(1, MAX_PAGES),
+       st.integers(0, 255))
+def test_mremap_of_shared_tables_preserves_child(old_pages, new_pages, val):
+    """Parent mremap right after odfork: the child's view, backed by the
+    tables the parent is moving away from, must be unaffected."""
+    machine = Machine(phys_mb=128)
+    parent = machine.spawn_process("parent")
+    addr = parent.mmap(old_pages * PAGE)
+    parent.touch_range(addr, old_pages * PAGE, write=True)
+    parent.write(addr, bytes([val] * 8))
+
+    child = parent.odfork()
+    new_addr = parent.mremap(addr, old_pages * PAGE, new_pages * PAGE)
+    audit_machine(machine)
+
+    assert child.read(addr, 8) == bytes([val] * 8)
+    assert parent.read(new_addr, 8) == bytes([val] * 8)
+
+    parent.write(new_addr, b"\xee" * 8)
+    assert child.read(addr, 8) == bytes([val] * 8)
+    audit_machine(machine)
+
+    child.exit()
+    parent.exit()
+    audit_machine(machine)

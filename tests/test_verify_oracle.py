@@ -1,0 +1,130 @@
+"""End-to-end tests for the differential oracle, shrinker, and CLI glue.
+
+The headline test proves the oracle is *able* to catch a semantic
+divergence: it flips ``FAULT_INJECT_SKIP_PARENT_WP`` (odfork skipping the
+parent-side PMD write-protect — exactly the bug class the paper's §3.2
+design prevents), watches the odfork-vs-classic pair diverge, and checks
+ddmin shrinks the failure to a handful of ops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import odfork
+from repro.verify import (
+    check_trace,
+    enumerate_failpoints,
+    generate_trace,
+    load_trace,
+    save_trace,
+    shrink_trace,
+)
+from repro.verify.oracle import is_hard
+from repro.verify.trace import TraceExecutor, make_machine
+
+
+def hard_findings(trace, **kwargs):
+    return [f for f in check_trace(trace, **kwargs) if is_hard(f)]
+
+
+# --------------------------------------------------------------------- #
+# Clean runs
+
+
+def test_differential_clean_on_random_traces():
+    for seed in (0, 1, 2):
+        trace = generate_trace(seed)
+        assert hard_findings(trace, include_smp=False) == []
+
+
+def test_differential_clean_with_smp_leg():
+    assert hard_findings(generate_trace(3), include_smp=True, smp=2) == []
+
+
+def test_failpoint_enumeration_clean():
+    findings, meta = enumerate_failpoints(generate_trace(4, n_ops=20),
+                                          max_hits_per_site=2)
+    assert findings == []
+    assert meta["runs"] > 0
+    assert "fork.copy_slot" in meta["sites"] or meta["sites"]
+
+
+# --------------------------------------------------------------------- #
+# The oracle catches an injected semantic bug and shrinks it
+
+
+def test_oracle_catches_and_shrinks_missing_parent_wp():
+    odfork.FAULT_INJECT_SKIP_PARENT_WP = True
+    try:
+        caught = None
+        for seed in range(100, 130):
+            trace = generate_trace(seed)
+            hard = hard_findings(trace, include_smp=False)
+            if hard:
+                caught = (trace, hard[0])
+                break
+        assert caught is not None, "oracle missed the injected WP bug"
+        trace, finding = caught
+        assert finding.pair == "odfork-vs-classic"
+        assert finding.kind in ("state", "outcome")
+
+        shrunk = shrink_trace(
+            trace,
+            lambda t: any(is_hard(f)
+                          for f in check_trace(t, include_smp=False)))
+        assert len(shrunk["ops"]) <= 10
+        # The minimized repro must still exhibit the divergence...
+        assert hard_findings(shrunk, include_smp=False)
+    finally:
+        odfork.FAULT_INJECT_SKIP_PARENT_WP = False
+    # ...and be clean again once the injected bug is gone.
+    assert hard_findings(shrunk, include_smp=False) == []
+
+
+# --------------------------------------------------------------------- #
+# Trace mechanics
+
+
+def test_trace_json_round_trip(tmp_path):
+    trace = generate_trace(11)
+    path = save_trace(trace, tmp_path / "t.json")
+    assert load_trace(path) == trace
+
+
+def test_load_trace_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 99, "ops": []}')
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_executor_skips_dangling_references():
+    """Any subsequence is a valid trace: unknown ids skip cleanly."""
+    executor = TraceExecutor(make_machine(), flavor="classic")
+    assert executor.execute({"op": "write", "proc": 9, "region": 0,
+                             "page": 0, "val": 1}) == ("skip",)
+    assert executor.execute({"op": "restore", "snap": 5}) == ("skip",)
+    assert executor.execute({"op": "exit", "proc": 3}) == ("skip",)
+    assert executor.execute({"op": "made-up"}) == ("skip",)
+    # Ops on a live process still work after the skips.
+    assert executor.execute({"op": "mmap", "proc": 0, "region": 0,
+                             "pages": 2, "huge": False})[0] == "ok"
+
+
+def test_executor_skips_table_moves_under_live_snapshot():
+    executor = TraceExecutor(make_machine(), flavor="classic")
+    executor.execute({"op": "mmap", "proc": 0, "region": 0, "pages": 2,
+                      "huge": False})
+    executor.execute({"op": "touch", "proc": 0, "region": 0, "lo": 0,
+                      "hi": 2, "write": True})
+    assert executor.execute({"op": "snapshot", "proc": 0,
+                             "snap": 0}) == ("ok",)
+    assert executor.execute({"op": "munmap", "proc": 0, "region": 0,
+                             "lo": 0, "hi": 2}) == ("skip",)
+    assert executor.execute({"op": "mremap", "proc": 0, "region": 0,
+                             "new_pages": 4}) == ("skip",)
+    assert executor.execute({"op": "discard", "snap": 0}) == ("ok",)
+    # The restriction lifts with the snapshot.
+    assert executor.execute({"op": "munmap", "proc": 0, "region": 0,
+                             "lo": 0, "hi": 2}) == ("ok",)
