@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..analysis.stats import mean
 from ..core.machine import GIB, Machine
 from ..kernel.odfork import copy_mm_odf
+from ..sancheck.annotations import acquires
 from ..timing import costs
 from ..workloads.forkbench import VARIANT_FORK, run_latency_sweep
 from .runner import ExperimentResult
@@ -48,6 +49,7 @@ def run_upper_level_share(sizes_gb=(1, 4, 16)):
     )
 
 
+@acquires("mmap_lock", "ptl")
 def run_share_huge(size_gb=4, repeats=5):
     """Eager-copy vs shared 2 MiB entries when odforking a hugetlb heap."""
     rows = []

@@ -29,7 +29,7 @@ class Machine:
     """A simulated host: hardware model + kernel + process table."""
 
     def __init__(self, phys_mb=4096, cost_params=None, noise_sigma=0.0,
-                 seed=0, n_cores=16, swap_mb=0, smp=None):
+                 seed=0, n_cores=16, swap_mb=0, smp=None, sanitize=None):
         if phys_mb <= 0:
             raise ConfigurationError("machine needs physical memory")
         self.n_cores = int(n_cores)
@@ -65,6 +65,28 @@ class Machine:
             from ..smp.sched import Scheduler
             self.smp = Scheduler(self, n_cpus=int(smp), seed=seed)
             self.kernel.smp = self.smp
+        # Opt-in dynamic sanitizers (repro.sancheck): "kasan" poisons +
+        # quarantines freed frames and catches UAF/double-free; "kcsan"
+        # samples data races under the SMP scheduler; "all" enables both.
+        self.kasan = None
+        self.kcsan = None
+        if sanitize is not None:
+            if sanitize not in ("kasan", "kcsan", "all"):
+                raise ConfigurationError(
+                    f"sanitize must be 'kasan', 'kcsan' or 'all', "
+                    f"got {sanitize!r}")
+            if sanitize in ("kasan", "all"):
+                from ..sancheck.kasan import KasanState
+                self.kasan = KasanState(self.allocator, self.phys)
+                self.allocator.sanitizer = self.kasan
+                self.phys.sanitizer = self.kasan
+            if sanitize in ("kcsan", "all"):
+                if self.smp is None:
+                    raise ConfigurationError(
+                        "sanitize='kcsan' needs the SMP scheduler (smp=N)")
+                from ..sancheck.kcsan import KcsanState
+                self.kcsan = KcsanState(self.smp)
+                self.kernel.san = self.kcsan
         self._init_process = None
 
     def _reserve_frame_zero(self):

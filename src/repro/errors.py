@@ -61,3 +61,21 @@ class KernelBug(ReproError):
     Raised instead of silently corrupting state so that tests catch
     refcounting or paging-structure mistakes immediately.
     """
+
+
+class SanitizerError(KernelBug):
+    """Base class for dynamic-sanitizer reports (KASAN/KCSAN).
+
+    Subclasses :class:`KernelBug` deliberately: a sanitizer report means
+    the kernel broke an invariant, so harnesses that classify KernelBug
+    as a crash finding (the verify oracle, pytest) treat it the same way
+    a real KASAN splat stops a syzkaller run.
+    """
+
+
+class KasanError(SanitizerError):
+    """Use-after-free, double-free, or invalid-free of a physical frame."""
+
+
+class KcsanError(SanitizerError):
+    """Conflicting concurrent accesses with no common lock held."""

@@ -35,6 +35,7 @@ from ..paging.entries import (
 from ..paging.table import LEVEL_PTE, page_align_down, page_align_up
 from .fault import swap_in_entry
 from .rmap import rmap_add_bulk, rmap_remove_bulk
+from ..sancheck.annotations import acquires, must_hold
 from .tableops import (
     copy_shared_pte_table,
     count_file_pages,
@@ -68,6 +69,7 @@ def _check_coverage(mm, start, end, is_write):
     raise SegmentationFault(cursor, is_write, "gap in range")
 
 
+@acquires("mmap_lock", "ptl")
 def access_range(kernel, task, start, length, is_write, charge_memcpy=True):
     """Touch ``[start, start+length)`` for read or write, in bulk.
 
@@ -122,6 +124,7 @@ def populate_range(kernel, task, start, length):
 
 # --------------------------------------------------------------------- #
 
+@must_hold("mmap_lock", "ptl")
 def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
                        lo, hi, is_write, events):
     cost = kernel.cost
@@ -196,6 +199,7 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
     sub[present & writable_mask(sub)] |= BIT_DIRTY | BIT_ACCESSED
 
 
+@must_hold("mmap_lock", "ptl")
 def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
                  sub, absent, is_write, events):
     cost = kernel.cost
@@ -235,6 +239,7 @@ def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
     events["demand_zero"] += n
 
 
+@must_hold("mmap_lock", "ptl")
 def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
     """COW every read-only private page in the mask, vectorised."""
     cost = kernel.cost
@@ -291,6 +296,7 @@ def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
     events["cow_pages"] += n
 
 
+@must_hold("mmap_lock", "ptl")
 def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
                       is_write, events):
     cost = kernel.cost

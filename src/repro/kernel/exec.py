@@ -75,8 +75,12 @@ def sys_execve(kernel, task, binary, stack_bytes=EXEC_STACK_BYTES):
     """
     task.require_alive()
     kernel.cost.charge_syscall()
+    # Allocate the fresh descriptor *before* releasing the old image: a
+    # PGD-allocation failure must leave the caller's address space
+    # intact (execve reports -ENOMEM, it does not kill the image).
+    new_mm = MMStruct(kernel, owner_pid=task.pid)
     release_mm(kernel, task)
-    task.mm = MMStruct(kernel, owner_pid=task.pid)
+    task.mm = new_mm
     result = load_image(kernel, task, binary, stack_bytes=stack_bytes)
     _resume_vfork_parent(task)
     return result

@@ -47,8 +47,10 @@ import numpy as np
 from ..paging.table import LEVEL_PTE, level_base, table_index
 from .rmap import rmap_add, rmap_remove
 from .tableops import copy_shared_pte_table, free_anon_frames, unshare_sole_owner
+from ..sancheck.annotations import acquires, must_hold
 
 
+@must_hold("mmap_lock", "ptl")
 def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
     """Fault-time swap-in of one swap-entry PTE (Linux's ``do_swap_page``).
 
@@ -104,6 +106,8 @@ class FaultHandler:
 
     # ------------------------------------------------------------------ #
 
+    @must_hold("mmap_lock")
+    @acquires("ptl")
     def handle(self, task, vaddr, is_write):
         """Fix up a fault or raise ``SegmentationFault``/``BusError``."""
         kernel = self.kernel
@@ -130,6 +134,7 @@ class FaultHandler:
 
     # ---- 4 KiB path ---------------------------------------------------- #
 
+    @must_hold("mmap_lock", "ptl")
     def _handle_normal(self, mm, vma, vaddr, is_write):
         kernel = self.kernel
         pmd_table, pmd_index = mm.walk_to_pmd(vaddr, alloc=True)
@@ -143,6 +148,9 @@ class FaultHandler:
                                        vaddr, is_write)
                 return
             leaf = mm.resolve(int(entry_pfn(pmd_entry)))
+            # KCSAN watchpoint on the leaf table, keyed by the pfn the
+            # split-PTL protocol locks on for this address.
+            kernel.san_access("pt", int(entry_pfn(pmd_entry)))
             shared = kernel.pages.pt_ref(leaf.pfn) > 1
             pte_index = table_index(vaddr, LEVEL_PTE)
             pte_present = leaf.is_present(pte_index)
@@ -176,6 +184,7 @@ class FaultHandler:
             kernel.stats.spurious_faults += 1
             kernel.cost.charge_fault_spurious()
 
+    @must_hold("mmap_lock", "ptl")
     def _demand_zero(self, mm, vma, leaf, pte_index, is_write):
         """Anonymous first touch: hand out a zeroed exclusive page."""
         kernel = self.kernel
@@ -192,6 +201,7 @@ class FaultHandler:
         mm.add_rss(1, file_backed=False)
         kernel.stats.demand_zero_faults += 1
 
+    @must_hold("mmap_lock", "ptl")
     def _file_fault(self, mm, vma, leaf, pte_index, vaddr, is_write):
         """Fill from the page cache (§3.7: forwarded to the cache/fs)."""
         kernel = self.kernel
@@ -229,6 +239,7 @@ class FaultHandler:
             kernel.page_cache.mark_dirty(cache_pfn)
         mm.add_rss(1, file_backed=True)
 
+    @must_hold("mmap_lock", "ptl")
     def _write_protect_fault(self, mm, vma, leaf, pte_index, vaddr):
         """A write hit a present read-only PTE: COW, reuse, or re-enable."""
         kernel = self.kernel
@@ -284,6 +295,7 @@ class FaultHandler:
             mm.add_rss(1, file_backed=False)
         kernel.stats.cow_faults += 1
 
+    @must_hold("mmap_lock", "ptl")
     def _huge_entry_fault(self, mm, vma, pmd_table, pmd_index, vaddr,
                           is_write):
         """Fault on a present THP entry: COW/reuse at 2 MiB granularity."""
@@ -325,6 +337,7 @@ class FaultHandler:
 
     # ---- 2 MiB (hugetlb) path ------------------------------------------- #
 
+    @must_hold("mmap_lock", "ptl")
     def _handle_huge(self, mm, vma, vaddr, is_write):
         kernel = self.kernel
         pmd_table, pmd_index = mm.walk_to_pmd(vaddr, alloc=True)

@@ -25,6 +25,7 @@ from ..paging.table import (
     LEVEL_SPAN,
 )
 from .tableops import count_file_pages, private_cow_mask, table_present_pfns
+from ..sancheck.annotations import acquires, must_hold, tlb_deferred
 
 
 def iter_parent_pmd_tables(mm):
@@ -62,6 +63,7 @@ class ChildTreeBuilder:
         self._pmd_cache = {}
         self.upper_tables_created = 0
 
+    @must_hold("mmap_lock")
     def pmd_for(self, slot_start):
         """The child PMD table and index covering ``slot_start``."""
         pmd_key = slot_start // LEVEL_SPAN[LEVEL_PUD]
@@ -70,6 +72,10 @@ class ChildTreeBuilder:
             pud_key = slot_start // LEVEL_SPAN[LEVEL_PGD]
             pud = self._pud_cache.get(pud_key)
             child = self.child_mm
+            # Covers both table allocations below; an OOM at either point
+            # unwinds through _abort_fork, which tears the partial child
+            # tree down like an exiting task's.
+            child.kernel.failpoints.hit("fork.upper_table")
             if pud is None:
                 pud = child.alloc_table(LEVEL_PUD)
                 self.upper_tables_created += 1
@@ -84,6 +90,7 @@ class ChildTreeBuilder:
         pmd_index = (slot_start // LEVEL_SPAN[LEVEL_PMD]) % PTRS_PER_TABLE
         return pmd, pmd_index
 
+    @must_hold("mmap_lock")
     def pmd_table_for(self, table_base):
         """The child PMD table mirroring the parent table at ``table_base``."""
         return self.pmd_for(table_base)[0]
@@ -112,6 +119,7 @@ class ClassicCopyState:
         self.n_huge_entries = 0
 
 
+@must_hold("mmap_lock")
 def begin_classic_copy(kernel, parent_mm, child_mm):
     """Fixed-cost prologue: task/VMA duplication and the child tree root."""
     kernel.cost.charge_fork_fixed(len(parent_mm.vmas))
@@ -119,6 +127,8 @@ def begin_classic_copy(kernel, parent_mm, child_mm):
     return ClassicCopyState(ChildTreeBuilder(child_mm))
 
 
+@must_hold("mmap_lock", "ptl")
+@tlb_deferred("write-protects parent COW entries; finish_classic_copy shoots the parent down once for the whole copy")
 def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
                       slot_start):
     """Copy one present PMD slot (2 MiB) from parent to child.
@@ -147,6 +157,7 @@ def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
         return
 
     parent_leaf = parent_mm.resolve(int(entry_pfn(entry)))
+    kernel.san_access("pt", int(entry_pfn(entry)))
     child_leaf = child_mm.alloc_table(LEVEL_PTE)
     child_leaf.copy_entries_from(parent_leaf)
 
@@ -181,6 +192,7 @@ def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
     state.n_leaf_tables += 1
 
 
+@must_hold("mmap_lock")
 def finish_classic_copy(kernel, parent_mm, child_mm, state):
     """Epilogue: warm-up/fixed charges, RSS copy, and the parent shootdown."""
     cost = kernel.cost
@@ -198,6 +210,8 @@ def finish_classic_copy(kernel, parent_mm, child_mm, state):
     kernel.stats.forks += 1
 
 
+@must_hold("mmap_lock")
+@acquires("ptl")
 def copy_mm_classic(kernel, parent_mm, child_mm):
     """Duplicate ``parent_mm`` into ``child_mm`` the traditional way."""
     state = begin_classic_copy(kernel, parent_mm, child_mm)

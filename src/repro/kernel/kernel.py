@@ -12,6 +12,7 @@ reroutes plain ``fork`` for unmodified applications.
 """
 
 from __future__ import annotations
+from ..sancheck.annotations import acquires, must_hold, tlb_deferred
 
 from dataclasses import dataclass
 
@@ -104,7 +105,12 @@ class Kernel:
         self.pages = pages
         self.phys = phys
         self.fs = SimFS()
-        self.page_cache = PageCache(allocator, pages, phys)
+        # Fail-point injection (inert unless a verify harness enables it).
+        # Created first: the page cache and the mm layer thread their
+        # allocation sites through it.
+        self.failpoints = FailPoints()
+        self.page_cache = PageCache(allocator, pages, phys,
+                                    failpoints=self.failpoints)
         self.stats = VMStats()
         self._tables = {}
         self.walker = Walker(self.resolve_table)
@@ -141,10 +147,23 @@ class Kernel:
         # The SMP scheduler (Machine(smp=N)) plugs itself in here; the
         # shootdown engine routes every TLB invalidation through it.
         self.smp = None
+        # The KCSAN race sampler (Machine(sanitize="kcsan")) plugs in
+        # here; san_access() is the instrumentation entry point.
+        self.san = None
         from ..paging.tlb import ShootdownEngine
         self.tlbs = ShootdownEngine(self)
-        # Fail-point injection (inert unless a verify harness enables it).
-        self.failpoints = FailPoints()
+
+    def san_access(self, kind, key, write=True):
+        """KCSAN instrumentation hook: record a kernel access to a word.
+
+        ``kind`` names the word class ("pt" for leaf-table entries,
+        "pageref" for struct-page refcounts), ``key`` identifies the word
+        (a table or data pfn).  A no-op unless a sanitizer is attached
+        and a scheduled task is running.
+        """
+        san = self.san
+        if san is not None and self.smp is not None:
+            san.access(kind, key, write)
 
     # ---- page-table registry (the model's page_address map) -------------
 
@@ -366,6 +385,7 @@ class Kernel:
         """The paper's new system call: share last-level page tables."""
         return self._do_fork(task, use_odf=True, name=name)
 
+    @acquires("mmap_lock")
     def _do_fork(self, task, use_odf, name):
         task.require_alive()
         start_ns = self.clock.now_ns
@@ -467,6 +487,7 @@ class Kernel:
             populate_range(self, task, addr, size)
         return addr
 
+    @acquires("mmap_lock")
     def sys_munmap(self, task, addr, length, _charge=True):
         """Unmap ``[addr, addr+length)``, splitting edge VMAs."""
         task.require_alive()
@@ -494,6 +515,7 @@ class Kernel:
         for vma in list(mm.vmas.overlapping(addr, end)):
             mm.remove_vma(vma)
 
+    @acquires("mmap_lock")
     def sys_mprotect(self, task, addr, length, prot):
         """Change protection; permission loss takes effect immediately.
 
@@ -525,6 +547,9 @@ class Kernel:
         # every CPU running this address space, not just the caller's.
         self.tlbs.shootdown_mm(mm, addr, end)
 
+    @must_hold("mmap_lock")
+    @acquires("ptl")
+    @tlb_deferred("sys_mprotect shoots the range down after the walk")
     def _clear_write_bits(self, mm, start, end):
         import numpy as np
         from ..paging.entries import BIT_RW, entry_pfn, is_huge, is_present
@@ -552,6 +577,7 @@ class Kernel:
             leaf.entries[lo_index:hi_index] &= drop
             self.cost.charge_zap_entries(hi_index - lo_index)
 
+    @acquires("mmap_lock")
     def sys_mremap(self, task, old_addr, old_size, new_size, may_move=True):
         """Resize (and possibly move) a mapping; returns the new address."""
         task.require_alive()
@@ -681,6 +707,7 @@ class Kernel:
             self._khugepaged.policy = policy
         return self._khugepaged
 
+    @acquires("mmap_lock")
     def sys_madvise(self, task, addr, length, advice):
         """madvise: MADV_DONTNEED / MADV_HUGEPAGE / MADV_NOHUGEPAGE.
 
@@ -742,6 +769,7 @@ class Kernel:
             return smp.current.vcpu.tlb_for(mm)
         return mm.tlb
 
+    @acquires("mmap_lock")
     def _translate_for_access(self, task, addr, is_write):
         mm = task.mm
         tlb = self.active_tlb(mm)

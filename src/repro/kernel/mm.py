@@ -58,6 +58,9 @@ class MMStruct:
         # discount: shared tables and untouched struct pages leave more of
         # the cache hierarchy to user data.
         self.odf_lineage = False
+        # Last fallible step: an injected (or real) OOM here leaves no
+        # half-built descriptor behind — nothing above allocates.
+        kernel.failpoints.hit("mm.pgd_alloc")
         self.pgd = self.alloc_table(LEVEL_PGD)
 
     # ---- page-table node lifecycle -------------------------------------
@@ -113,6 +116,9 @@ class MMStruct:
             if not is_present(entry):
                 if not alloc:
                     return None
+                # An OOM mid-walk leaves the upper levels built so far
+                # linked and empty; exit_mmap frees them like any others.
+                self.kernel.failpoints.hit("mm.upper_table_alloc")
                 child = self.alloc_table(level - 1)
                 self.kernel.cost.charge_upper_copy()
                 table.set(index, make_entry(child.pfn, writable=True, user=True))

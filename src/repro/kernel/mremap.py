@@ -33,8 +33,10 @@ from ..paging.entries import (
 from ..paging.table import LEVEL_PTE, level_base, table_index
 from .rmap import rmap_move
 from .tableops import copy_shared_pte_table, put_pte_table
+from ..sancheck.annotations import acquires, must_hold
 
 
+@must_hold("mmap_lock", "ptl")
 def _dedicated_leaf_for(kernel, mm, vaddr):
     """The dedicated PTE table covering ``vaddr``, creating/copying as needed."""
     kernel.failpoints.hit("mremap.target_leaf")
@@ -54,6 +56,8 @@ def _dedicated_leaf_for(kernel, mm, vaddr):
     return pmd_table, pmd_index, leaf
 
 
+@must_hold("mmap_lock")
+@acquires("ptl")
 def move_mapping(kernel, mm, vma, new_size):
     """Relocate ``vma`` to a fresh area of ``new_size`` bytes; returns it."""
     old_start, old_end = vma.start, vma.end

@@ -43,6 +43,7 @@ from .fork import (
 )
 from ..paging.table import LEVEL_PMD, LEVEL_SPAN
 from .tableops import add_table_sharer, count_file_pages, table_present_pfns
+from ..sancheck.annotations import acquires, must_hold, tlb_deferred
 
 #: Deliberate-bug switch for the differential oracle's self-test: when
 #: True, odfork skips writing the write-protected entries back into the
@@ -68,6 +69,8 @@ def _account_shared_table_rss(kernel, mm, child_mm, leaf_pfn):
         child_mm.add_rss(len(pfns) - n_file, file_backed=False)
 
 
+@must_hold("mmap_lock")
+@acquires("ptl")
 def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
     """Share ``parent_mm``'s leaf tables into ``child_mm`` (§3.1, §3.5)."""
     cost = kernel.cost
@@ -124,6 +127,7 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
     return shared_tables
 
 
+@must_hold("mmap_lock")
 def begin_odf_copy(kernel, parent_mm, child_mm):
     """Fixed-cost prologue of an on-demand-fork (task + VMAs + tree root)."""
     kernel.cost.charge_odfork_fixed(len(parent_mm.vmas))
@@ -131,6 +135,8 @@ def begin_odf_copy(kernel, parent_mm, child_mm):
     return ChildTreeBuilder(child_mm)
 
 
+@must_hold("mmap_lock", "ptl")
+@tlb_deferred("the PMD write-protect is batched; finish_odf_copy shoots the parent down once")
 def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
                    slot_start, share_huge=False):
     """Share (or eagerly copy, for huge entries) one present PMD slot.
@@ -160,6 +166,7 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
         return 0
 
     leaf_pfn = int(entry_pfn(entry))
+    kernel.san_access("pt", leaf_pfn)
     kernel.pages.pt_refcount[leaf_pfn] += 1
     add_table_sharer(kernel, leaf_pfn, child_mm)
     _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
@@ -172,6 +179,7 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
     return 1
 
 
+@must_hold("mmap_lock")
 def finish_odf_copy(kernel, parent_mm, child_mm, builder, shared_tables):
     """Epilogue: upper-level copy, RSS/lineage, and the write-protect
     shootdown.

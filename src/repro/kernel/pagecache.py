@@ -21,10 +21,11 @@ from ..mem.page import PAGE_SIZE, PG_DIRTY, PG_FILE
 class PageCache:
     """(inode, page index) -> pfn mapping with cache-held references."""
 
-    def __init__(self, allocator, pages, phys):
+    def __init__(self, allocator, pages, phys, failpoints=None):
         self._allocator = allocator
         self._pages = pages
         self._phys = phys
+        self._failpoints = failpoints
         self._cache = {}
         self.lookups = 0
         self.fills = 0
@@ -49,6 +50,8 @@ class PageCache:
         self.lookups += 1
         if pfn is not None:
             return pfn
+        if self._failpoints is not None:
+            self._failpoints.hit("pagecache.fill")
         pfn = int(self._allocator.alloc(0))
         self._pages.on_alloc(pfn, PG_FILE)
         data = file.initial_page(page_index)

@@ -34,6 +34,7 @@ from __future__ import annotations
 from ..errors import KernelBug
 from ..mem.page import PAGE_SIZE
 from .rmap import free_one_anon_frame, test_and_clear_referenced, try_to_unmap
+from ..sancheck.annotations import acquires, must_hold
 
 
 class LRUList:
@@ -104,6 +105,7 @@ class ReclaimState:
 
     # -- shrinking -------------------------------------------------------
 
+    @acquires("ptl")
     def shrink(self, nr_target, from_kswapd):
         """Reclaim up to ``nr_target`` frames from the LRU; returns freed."""
         kernel = self.kernel
@@ -183,6 +185,7 @@ class ReclaimState:
                 continue
             return pfn
 
+    @must_hold("ptl")
     def evict_candidate(self, pfn, from_kswapd=True):
         """Evict one picked victim; rotates it back to active on failure."""
         stats = self.kernel.stats
@@ -198,6 +201,7 @@ class ReclaimState:
 
     # -- eviction --------------------------------------------------------
 
+    @must_hold("ptl")
     def _evict(self, pfn):
         """Try to reclaim one frame; returns True when it was freed.
 

@@ -22,6 +22,7 @@ clean-cache reclaim handles their eviction separately.
 """
 
 from __future__ import annotations
+from ..sancheck.annotations import must_hold
 
 import numpy as np
 
@@ -193,6 +194,7 @@ def free_one_anon_frame(kernel, pfn):
     kernel.allocator.free(pfn, 0)
 
 
+@must_hold("ptl")
 def try_to_unmap(kernel, pfn, slot):
     """Replace every PTE mapping ``pfn`` with the swap entry for ``slot``.
 
@@ -210,6 +212,7 @@ def try_to_unmap(kernel, pfn, slot):
     total = 0
     for leaf_pfn in rmap.tables_for(pfn):
         leaf = kernel.resolve_table(leaf_pfn)
+        kernel.san_access("pt", leaf_pfn)
         entries = leaf.entries
         match = present_mask(entries) & (entry_pfn(entries) == target)
         n = int(np.count_nonzero(match))

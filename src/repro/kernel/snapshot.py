@@ -34,6 +34,7 @@ the fuzzing-reset workload this primitive exists for never does that.
 """
 
 from __future__ import annotations
+from ..sancheck.annotations import acquires, releases_refs
 
 import numpy as np
 
@@ -72,6 +73,7 @@ class Snapshot:
     # ---- creation --------------------------------------------------------
 
     @classmethod
+    @acquires("mmap_lock", "ptl")
     def create(cls, kernel, task):
         """Snapshot ``task``'s address space; returns the Snapshot."""
         task.require_alive()
@@ -136,6 +138,7 @@ class Snapshot:
 
     # ---- restore ---------------------------------------------------------------
 
+    @acquires("mmap_lock", "ptl")
     def restore(self):
         """Roll every page written since the snapshot back to saved state."""
         self._require_live()
@@ -196,6 +199,7 @@ class Snapshot:
 
     # ---- discard -----------------------------------------------------------------
 
+    @releases_refs("page", "swap")
     def discard(self):
         """Release the snapshot's page references."""
         if not self.live:

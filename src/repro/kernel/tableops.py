@@ -36,6 +36,7 @@ from ..paging.entries import (
     present_mask,
 )
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
+from ..sancheck.annotations import must_hold
 
 
 def add_table_sharer(kernel, leaf_pfn, mm):
@@ -116,6 +117,7 @@ def free_anon_frames(kernel, pfns):
     kernel.allocator.free_bulk(pfns)
 
 
+@must_hold("mmap_lock")
 def release_table_references(kernel, mm, table, charge=True):
     """Destructor body: drop the table's page references, free the frame."""
     from .rmap import rmap_remove_bulk
@@ -132,6 +134,7 @@ def release_table_references(kernel, mm, table, charge=True):
     mm.free_table_frame(table)
 
 
+@must_hold("mmap_lock")
 def put_pte_table(kernel, mm, table, account_rss=True, charge=True):
     """Drop one sharer's reference on a leaf table (§3.5 lifecycle).
 
@@ -154,6 +157,7 @@ def put_pte_table(kernel, mm, table, account_rss=True, charge=True):
     return new_count
 
 
+@must_hold("mmap_lock", "ptl")
 def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     """COW a shared PTE table for ``mm`` (paper §3.4).
 
@@ -210,6 +214,7 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     return new_table
 
 
+@must_hold("mmap_lock", "ptl")
 def unshare_sole_owner(kernel, mm, pmd_table, pmd_index):
     """§3.4: the last sharer flips its PMD write bit back on.
 

@@ -21,6 +21,7 @@ is: one refcount decrement per table, no per-page work.
 """
 
 from __future__ import annotations
+from ..sancheck.annotations import acquires, must_hold, tlb_deferred
 
 import numpy as np
 
@@ -47,6 +48,8 @@ from .tableops import (
 )
 
 
+@must_hold("mmap_lock")
+@acquires("ptl")
 def zap_range(kernel, mm, start, end, account_rss=True):
     """Clear all translations for ``[start, end)`` and release pages."""
     if start % PAGE_SIZE or end % PAGE_SIZE:
@@ -94,6 +97,8 @@ def zap_range(kernel, mm, start, end, account_rss=True):
     kernel.tlbs.shootdown_mm(mm, start, end)
 
 
+@must_hold("mmap_lock", "ptl")
+@tlb_deferred("zap_range shoots the whole range down after the walk")
 def _zap_huge(kernel, mm, pmd_table, pmd_index, slot_start, lo, hi,
               account_rss=True):
     if lo != slot_start or hi != slot_start + PMD_REGION_SIZE:
@@ -107,6 +112,8 @@ def _zap_huge(kernel, mm, pmd_table, pmd_index, slot_start, lo, hi,
         kernel.free_huge_frame(head)
 
 
+@must_hold("mmap_lock", "ptl")
+@tlb_deferred("zap_range shoots the whole range down after the walk")
 def _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss=True):
     lo_index = (lo - slot_start) // PAGE_SIZE
     hi_index = (hi - slot_start) // PAGE_SIZE
@@ -124,6 +131,8 @@ def _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss=Tru
     leaf.entries[lo_index:hi_index] = ENTRY_NONE
 
 
+@must_hold("mmap_lock", "ptl")
+@tlb_deferred("exit_mmap shoots the dying mm down once after the walk")
 def _exit_release_pmd_table(kernel, mm, pmd_table, table_base):
     """Release every mapping a PMD table reaches, vectorised.
 
@@ -166,6 +175,7 @@ def _exit_release_pmd_table(kernel, mm, pmd_table, table_base):
                   slot_start + PMD_REGION_SIZE, account_rss=False)
 
 
+@acquires("mmap_lock", "ptl")
 def exit_mmap(kernel, mm):
     """Tear down an entire address space on process exit."""
     if mm.dead:

@@ -47,6 +47,7 @@ from ..paging.entries import (
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
 from .rmap import rmap_add_bulk, rmap_remove_bulk
 from .tableops import free_anon_frames, put_pte_table
+from ..sancheck.annotations import acquires, must_hold
 
 #: Cost of scanning one candidate region (read 512 entries + struct pages).
 SCAN_COST_PER_REGION_NS = 2_500
@@ -101,6 +102,7 @@ class Khugepaged:
         self.last_scan_ns = self.kernel.clock.now_ns - watch_start
         return promoted
 
+    @acquires("mmap_lock", "ptl")
     def _try_collapse(self, mm, vma, slot_start):
         """Promote one 2 MiB region if every precondition holds."""
         kernel = self.kernel
@@ -180,6 +182,7 @@ class Khugepaged:
         return True
 
 
+@must_hold("mmap_lock", "ptl")
 def split_huge_entry(kernel, mm, pmd_table, pmd_index, slot_start):
     """Split a THP-promoted entry back into 512 4 KiB pages.
 

@@ -53,6 +53,10 @@ class BuddyAllocator:
         self._stamp_counter = 0
         # _alloc_order[pfn] = order if pfn heads a live allocation, else -1.
         self._alloc_order = np.full(self.n_frames, -1, dtype=np.int8)
+        # Optional KASAN-style interceptor (see repro.sancheck.kasan):
+        # when set, frees are poisoned + quarantined instead of returned
+        # to the free lists immediately.
+        self.sanitizer = None
         self._seed_free_lists()
 
     def _seed_free_lists(self):
@@ -119,6 +123,13 @@ class BuddyAllocator:
 
     def free(self, pfn, order=None):
         """Free a block previously returned by :meth:`alloc` or bulk paths."""
+        if self.sanitizer is not None:
+            self.sanitizer.intercept_free(pfn, order)
+            return
+        self._free_now(pfn, order)
+
+    def _free_now(self, pfn, order=None):
+        """The real free path (quarantine eviction enters here directly)."""
         recorded = int(self._alloc_order[pfn])
         if recorded < 0:
             raise KernelBug(f"double free or bad free of pfn {pfn}")
@@ -191,6 +202,12 @@ class BuddyAllocator:
         """
         pfns = np.asarray(pfns, dtype=np.int64)
         if pfns.size == 0:
+            return
+        if self.sanitizer is not None:
+            # Route every frame through the interceptor so bulk frees get
+            # the same double-free/poisoning treatment as single frees.
+            for pfn in pfns.tolist():
+                self.sanitizer.intercept_free(pfn, 0)
             return
         if np.any(self._alloc_order[pfns] != 0):
             raise KernelBug("free_bulk on frames not allocated at order 0")

@@ -24,6 +24,11 @@ class PhysicalMemory:
             raise InvalidArgumentError("physical memory needs at least one frame")
         self.n_frames = int(n_frames)
         self._frames = {}
+        # Optional KASAN-style access checker (see repro.sancheck.kasan):
+        # when set, data accesses to quarantined frames raise KasanError.
+        # The zero()/zero_bulk() paths stay exempt — they are part of the
+        # free path itself (and of quarantine eviction).
+        self.sanitizer = None
 
     @property
     def materialized_frames(self):
@@ -39,6 +44,8 @@ class PhysicalMemory:
     def read(self, pfn, offset, length):
         """Read ``length`` bytes; unmaterialised frames read as zeros."""
         self._check(pfn, offset, length)
+        if self.sanitizer is not None:
+            self.sanitizer.check_access(pfn, "read")
         buf = self._frames.get(pfn)
         if buf is None:
             return _ZERO_PAGE[:length]
@@ -47,6 +54,8 @@ class PhysicalMemory:
     def write(self, pfn, offset, data):
         """Write bytes into a frame, materialising its buffer if needed."""
         self._check(pfn, offset, len(data))
+        if self.sanitizer is not None:
+            self.sanitizer.check_access(pfn, "write")
         buf = self._frames.get(pfn)
         if buf is None:
             buf = bytearray(PAGE_SIZE)
@@ -61,6 +70,9 @@ class PhysicalMemory:
         """
         self._check(src_pfn, 0, 0)
         self._check(dst_pfn, 0, 0)
+        if self.sanitizer is not None:
+            self.sanitizer.check_access(src_pfn, "copy-read")
+            self.sanitizer.check_access(dst_pfn, "copy-write")
         src = self._frames.get(src_pfn)
         if src is None:
             self._frames.pop(dst_pfn, None)
@@ -75,10 +87,14 @@ class PhysicalMemory:
         arrays.
         """
         frames = self._frames
-        if not frames:
-            return
         src_list = src_pfns.tolist() if hasattr(src_pfns, "tolist") else list(src_pfns)
         dst_list = dst_pfns.tolist() if hasattr(dst_pfns, "tolist") else list(dst_pfns)
+        if self.sanitizer is not None:
+            for src, dst in zip(src_list, dst_list):
+                self.sanitizer.check_access(src, "copy-read")
+                self.sanitizer.check_access(dst, "copy-write")
+        if not frames:
+            return
         if len(frames) * 4 < len(src_list):
             materialized = set(frames).intersection(src_list)
             if not materialized:

@@ -1,0 +1,84 @@
+"""CLI: ``python -m repro.sancheck [--strict] [paths...]``.
+
+With no paths, checks the whole ``src/repro`` tree.  Exit status is 0
+when no unsuppressed, unbaselined violation fires; ``--strict``
+additionally fails on stale baseline entries (so the baseline only ever
+shrinks) — CI runs ``--strict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from .checker import (
+    apply_baseline,
+    check_paths,
+    check_repo,
+    load_baseline,
+    repo_src_root,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sancheck",
+        description="static lock/failpoint/refcount/TLB checker")
+    parser.add_argument("paths", nargs="*",
+                        help="files to check (default: all of src/repro)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline JSON (default: "
+                             "src/repro/sancheck/baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current violations to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on stale baseline entries")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        violations = check_paths(args.paths)
+    else:
+        violations = check_repo()
+
+    entries, problems = load_baseline(args.baseline)
+    if args.write_baseline:
+        written = write_baseline(violations, args.baseline)
+        print(f"wrote {len(written)} baseline entries to {args.baseline}")
+        return 0
+
+    new, baselined, stale = apply_baseline(violations, entries)
+
+    if not args.quiet:
+        for violation in new:
+            print(violation)
+        for problem in problems:
+            print(f"baseline: {problem}")
+        if args.strict:
+            for entry in stale:
+                print(f"baseline: stale entry "
+                      f"{entry['rule']}:{entry['module']}:{entry['func']} "
+                      f"(no longer fires — remove it)")
+
+    counts = Counter(v.rule for v in new)
+    scanned = "paths" if args.paths else f"src root {repo_src_root()}"
+    summary = ", ".join(f"{rule}={counts[rule]}" for rule in sorted(counts))
+    print(f"sancheck: {len(new)} violation(s) [{summary or 'clean'}], "
+          f"{len(baselined)} baselined, {len(stale)} stale baseline "
+          f"entries ({scanned})")
+
+    failed = bool(new) or bool(problems)
+    if args.strict:
+        failed = failed or bool(stale)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Lock-context and ownership annotations (sparse's ``__must_hold`` family).
+
+These decorators are **runtime no-ops**: they return the function
+unchanged, tagging it with a ``__sancheck__`` attribute the static
+checker (and nothing else) reads.  Keeping them inert means annotating a
+hot path costs one attribute write at import time and zero per call.
+
+Vocabulary (lock names are strings; the kernel uses ``"mmap_lock"`` for
+the per-mm rwsem and ``"ptl"`` for the split per-leaf-table locks):
+
+``@must_hold("mmap_lock")``
+    Callers must already hold the lock; the checker verifies every call
+    site sits in a context that holds or acquires it.  Sparse's
+    ``__must_hold``.
+
+``@acquires("mmap_lock", "ptl")``
+    The function takes (and releases) the locks itself — a lock-context
+    *root*.  On a single-threaded machine the "acquire" is the degenerate
+    no-contention case; under SMP the generator flows yield real
+    ``Acquire``/``Release`` events.  Sparse's ``__acquires``.
+
+``@releases("ptl")``
+    The function exits with the lock dropped; callers must hold it on
+    entry.  Sparse's ``__releases``.
+
+``@tlb_deferred("reason")``
+    The function clears or downgrades translations but intentionally
+    leaves the TLB flush to its caller (batching, as Linux's
+    ``tlb_gather`` does).  The TLB-discipline rule then checks the
+    *callers* flush or defer in turn.
+
+``@releases_refs("page", "swap")``
+    Calling this function releases every open reference of the given
+    kinds held by the caller (e.g. ``Snapshot.discard``); the refcount
+    rule treats a call as closing those pins on the paths it covers.
+"""
+
+from __future__ import annotations
+
+#: The lock names the checker knows about (anything else is a typo).
+KNOWN_LOCKS = frozenset({"mmap_lock", "ptl"})
+#: Reference kinds tracked by the refcount-pairing rule.
+KNOWN_REF_KINDS = frozenset({"page", "ptref", "swap"})
+
+
+def _tag(func, key, value):
+    meta = getattr(func, "__sancheck__", None)
+    if meta is None:
+        meta = {}
+        func.__sancheck__ = meta
+    meta[key] = value
+    return func
+
+
+def _lock_decorator(key, locks):
+    unknown = set(locks) - KNOWN_LOCKS
+    if unknown:
+        raise ValueError(f"unknown lock name(s) {sorted(unknown)}; "
+                         f"known: {sorted(KNOWN_LOCKS)}")
+
+    def decorate(func):
+        return _tag(func, key, tuple(locks))
+
+    return decorate
+
+
+def must_hold(*locks):
+    """Callers must hold ``locks`` at every call site."""
+    return _lock_decorator("must_hold", locks)
+
+
+def acquires(*locks):
+    """The function takes and releases ``locks`` itself."""
+    return _lock_decorator("acquires", locks)
+
+
+def releases(*locks):
+    """The function returns with ``locks`` dropped (entered held)."""
+    return _lock_decorator("releases", locks)
+
+
+def tlb_deferred(reason):
+    """Clears/downgrades PTEs but defers the TLB flush to the caller."""
+    if not isinstance(reason, str) or not reason:
+        raise ValueError("tlb_deferred needs a non-empty reason string")
+
+    def decorate(func):
+        return _tag(func, "tlb_deferred", reason)
+
+    return decorate
+
+
+def releases_refs(*kinds):
+    """Calling this closes the caller's open reference pins of ``kinds``."""
+    unknown = set(kinds) - KNOWN_REF_KINDS
+    if unknown:
+        raise ValueError(f"unknown ref kind(s) {sorted(unknown)}; "
+                         f"known: {sorted(KNOWN_REF_KINDS)}")
+
+    def decorate(func):
+        return _tag(func, "releases_refs", tuple(kinds))
+
+    return decorate

@@ -1,0 +1,146 @@
+"""Checker driver: harvest, run rules, apply suppressions and baseline.
+
+Suppression layers, in order:
+
+1. ``# sancheck: ignore[rule] -- why`` inline comments.  The justification
+   after ``--`` is mandatory: an unjustified ignore is itself reported
+   (rule ``ignore``) and cannot be baselined away.
+2. A committed JSON baseline (``--baseline``), entries
+   ``{"rule", "module", "func", "reason"}``.  Entries are keyed on the
+   violation identity, not line numbers, so they survive reformatting;
+   entries whose violation no longer fires are *stale* and fail
+   ``--strict`` (the baseline only ever shrinks).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .model import harvest
+from .rules import RULES, Violation, run_all_rules
+
+__all__ = ["Violation", "check_files", "check_paths", "check_repo",
+           "load_baseline", "apply_baseline", "repo_src_root"]
+
+
+def repo_src_root():
+    """The ``src`` directory containing the installed ``repro`` package."""
+    import repro
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def repo_files(src_root=None):
+    src_root = Path(src_root) if src_root else repo_src_root()
+    paths = sorted(
+        p for p in (src_root / "repro").rglob("*.py")
+        # The checker does not check itself: the sanitizer runtimes sit
+        # below the kernel discipline layer, and harvesting them would
+        # pollute the name-based fixpoints (e.g. KASAN's free
+        # interceptor writing poison would make every `.free()` in the
+        # kernel look OOM-fallible).
+        if "sancheck" not in p.parts)
+    return paths, src_root
+
+
+def check_files(files):
+    """Run every rule over harvested files; returns surviving violations.
+
+    Inline-suppressed violations are dropped; unjustified ignore comments
+    are appended as ``ignore``-rule violations.
+    """
+    violations = []
+    by_path = {sf.path: sf for sf in files}
+    func_index = {}
+    for sf in files:
+        for func in sf.functions:
+            func_index[(sf.path, func.qualname)] = func
+
+    for violation in run_all_rules(files):
+        sf = next((s for s in files if s.module == violation.module), None)
+        if sf is not None:
+            func = next((f for f in sf.functions
+                         if f.qualname == violation.func), None)
+            ig = sf.ignore_for(violation.rule, violation.lineno, func)
+            if ig is not None:
+                if not ig.justification:
+                    violations.append(Violation(
+                        "ignore", sf.module, violation.func, ig.lineno,
+                        f"ignore[{violation.rule}] has no justification — "
+                        f"append '-- <why this is safe>'"))
+                continue
+        violations.append(violation)
+
+    # Ignore comments that never matched a violation but lack a
+    # justification are still wrong (they will silently eat the next one).
+    for sf in by_path.values():
+        for ig in sf.ignores:
+            if not ig.justification:
+                already = any(v.rule == "ignore" and v.module == sf.module
+                              and v.lineno == ig.lineno for v in violations)
+                if not already:
+                    violations.append(Violation(
+                        "ignore", sf.module, "<module>", ig.lineno,
+                        "ignore comment has no justification — append "
+                        "'-- <why this is safe>'"))
+    violations.sort(key=lambda v: (v.module, v.lineno))
+    return violations
+
+
+def check_repo(src_root=None):
+    """Check the whole ``src/repro`` tree."""
+    paths, src_root = repo_files(src_root)
+    return check_files(harvest(paths, src_root))
+
+
+def check_paths(paths):
+    """Check explicit files (fixture mode: modules named by stem)."""
+    return check_files(harvest(paths, repo_src_root()))
+
+
+# ------------------------------------------------------------------ #
+# Baseline
+
+
+def load_baseline(path):
+    entries = json.loads(Path(path).read_text()) if Path(path).exists() else []
+    problems = []
+    for entry in entries:
+        missing = {"rule", "module", "func"} - set(entry)
+        if missing:
+            problems.append(f"baseline entry {entry} missing {sorted(missing)}")
+        elif entry.get("rule") not in RULES:
+            problems.append(f"baseline entry has unknown rule "
+                            f"{entry.get('rule')!r}")
+        elif entry.get("rule") == "ignore":
+            problems.append("the 'ignore' rule cannot be baselined: "
+                            "justify the inline comment instead")
+        elif not entry.get("reason"):
+            problems.append(f"baseline entry "
+                            f"{entry['rule']}:{entry['module']}:"
+                            f"{entry['func']} has no reason")
+    return entries, problems
+
+
+def apply_baseline(violations, entries):
+    """Split violations into (new, baselined) and find stale entries."""
+    keys = {f"{e['rule']}:{e['module']}:{e['func']}" for e in entries}
+    new = [v for v in violations if v.ident not in keys]
+    baselined = [v for v in violations if v.ident in keys]
+    fired = {v.ident for v in baselined}
+    stale = [e for e in entries
+             if f"{e['rule']}:{e['module']}:{e['func']}" not in fired]
+    return new, baselined, stale
+
+
+def write_baseline(violations, path, reason="baselined by --write-baseline"):
+    entries = []
+    seen = set()
+    for v in violations:
+        if v.ident in seen or v.rule == "ignore":
+            continue
+        seen.add(v.ident)
+        entries.append({"rule": v.rule, "module": v.module,
+                        "func": v.func, "reason": reason})
+    Path(path).write_text(json.dumps(entries, indent=1) + "\n")
+    return entries

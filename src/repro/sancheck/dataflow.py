@@ -1,0 +1,420 @@
+"""Intraprocedural path walker for the refcount and TLB rules.
+
+A deliberately small abstract interpreter over function bodies:
+
+* Paths are enumerated over ``if``/``try``/``for``/``while`` structure —
+  loops as zero-or-one iterations, conditions memoized by their source
+  text (so ``if kernel.rmap is not None:`` guards taken at an ``inc``
+  stay consistent with the same guard at the paired ``dec``).
+* State is (open reference pins, pending-unflushed-TLB flag).  Calls are
+  classified into events — inc/dec, fallible (may raise OOM), flush,
+  deferred-flush, releases-refs — by name against project-wide fixpoint
+  sets computed in :mod:`repro.sancheck.rules`.
+* A *fallible* call forks a ``raise`` path that routes through enclosing
+  ``try`` handlers; a reference pin still open when a raise path leaves
+  the function is a refcount violation, and a pending TLB downgrade
+  still unflushed when a *normal* path leaves is a TLB violation
+  (raise exits are exempt: abort paths shoot down at the caller).
+
+The walker under-approximates by design (one loop iteration, text-based
+pin keys, ownership transfer closing pins) — a checker that floods real
+kernels with false positives gets turned off; one that misses a corner
+but holds the line on the common shapes gets kept on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .model import call_name
+
+#: Calls that take a reference, by last name segment -> pin kind.
+INC_CALLS = {
+    "ref_inc": "page", "ref_inc_bulk": "page",
+    "pt_ref_inc": "ptref",
+    "swap_dup": "swap", "swap_dup_entries": "swap",
+}
+#: Calls that drop a reference (pairing with the above).
+DEC_CALLS = {
+    "ref_dec": "page", "ref_dec_bulk": "page",
+    "pt_ref_dec": "ptref",
+    "swap_put": "swap", "swap_put_entries": "swap",
+}
+#: TLB flush primitives (the ShootdownEngine / per-mm TLB surface).
+FLUSH_CALLS = frozenset({
+    "flush_page", "flush_range", "flush_all",
+    "local_flush_page", "local_flush_range",
+    "shootdown_page", "shootdown_mm", "shootdown_sharers",
+})
+#: Calls that hand an already-taken reference to a longer-lived owner
+#: (entry installs are handled structurally; these are the call forms).
+TRANSFER_CALLS = frozenset({"rmap_add", "rmap_add_bulk", "set"})
+
+#: Per-function cap on simultaneously live abstract states.  A function
+#: that overflows it is skipped (under-approximation, never a false
+#: positive); nothing in the tree comes close.
+STATE_BUDGET = 1024
+
+FALL, RETURN, RAISE, BREAK = "fall", "return", "raise", "break"
+
+
+@dataclass
+class Classifier:
+    """Project-wide call knowledge the walker consults by name."""
+
+    fallible: frozenset = frozenset()     # names that may raise OOM
+    flushing: frozenset = frozenset()     # names that flush on their paths
+    deferred: frozenset = frozenset()     # names tagged @tlb_deferred
+    releasers: dict = field(default_factory=dict)  # name -> ref kinds
+
+
+@dataclass
+class PathState:
+    pins: dict = field(default_factory=dict)   # (kind, key) -> (count, line)
+    tlb_line: int | None = None                # pending downgrade, or None
+    conds: dict = field(default_factory=dict)  # memoized branch decisions
+    raise_line: int | None = None              # where this path raised
+    #: a KernelBug raise: the kernel is dead, nothing unwinds (BUG_ON
+    #: semantics) — the refcount rule exempts these paths.
+    bug: bool = False
+
+    def copy(self):
+        return PathState(dict(self.pins), self.tlb_line, dict(self.conds),
+                         self.raise_line, self.bug)
+
+    def signature(self):
+        return (tuple(sorted((k, v[0]) for k, v in self.pins.items())),
+                self.tlb_line, tuple(sorted(self.conds.items())),
+                self.raise_line, self.bug)
+
+
+def _dedupe(paths):
+    seen = set()
+    out = []
+    for outcome, state in paths:
+        sig = (outcome, state.signature())
+        if sig not in seen:
+            seen.add(sig)
+            out.append((outcome, state))
+    return out
+
+
+def _calls_in_order(node):
+    """Call nodes under ``node`` in source-position order."""
+    calls = [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+    calls.sort(key=lambda n: (n.lineno, n.col_offset))
+    return calls
+
+
+def _text(node):
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return ""
+
+
+def _pin_key(call):
+    """A textual identity for the reference a call takes or drops."""
+    if call.args:
+        return _text(call.args[0])
+    return "<noarg>"
+
+
+class FunctionWalker:
+    """Walks one function; collects refcount and TLB findings."""
+
+    def __init__(self, func, classifier):
+        self.func = func
+        self.classifier = classifier
+        self.overflowed = False
+        #: set when the function contains make_swap_entry: any entry
+        #: store then counts as a downgrade (present -> swap-entry PTE).
+        self._swapifies = "make_swap_entry" in func.source
+
+    # -- events ----------------------------------------------------------
+
+    def _apply_call(self, call, state):
+        """Mutates ``state``; returns a forked raise-state or None."""
+        name, receiver = call_name(call)
+        cls = self.classifier
+        forked = None
+        if name in INC_CALLS:
+            kind = INC_CALLS[name]
+            key = (kind, _pin_key(call))
+            count, _ = state.pins.get(key, (0, call.lineno))
+            state.pins[key] = (count + 1, call.lineno)
+        elif name in DEC_CALLS:
+            kind = DEC_CALLS[name]
+            key = (kind, _pin_key(call))
+            entry = state.pins.get(key)
+            if entry is not None:
+                count, line = entry
+                if count <= 1:
+                    del state.pins[key]
+                else:
+                    state.pins[key] = (count - 1, line)
+        elif name in cls.releasers:
+            kinds = cls.releasers[name]
+            for key in [k for k in state.pins if k[0] in kinds]:
+                del state.pins[key]
+        elif name in FLUSH_CALLS:
+            state.tlb_line = None
+        elif name in cls.flushing:
+            state.tlb_line = None
+        elif name in TRANSFER_CALLS:
+            self._transfer(state, _text(call))
+        if name == "clear" and call.args and "table" in receiver:
+            state.tlb_line = call.lineno
+        if name in cls.deferred:
+            state.tlb_line = call.lineno
+
+        if (name in cls.fallible
+                or (name in ("hit",) and "failpoints" in receiver)):
+            forked = state.copy()
+            forked.raise_line = call.lineno
+        return forked
+
+    def _transfer(self, state, text):
+        """Close pins whose key appears in an ownership-transfer site."""
+        for key in [k for k in state.pins
+                    if k[1] != "<noarg>" and k[1] in text]:
+            del state.pins[key]
+
+    def _apply_pt_refcount_aug(self, node, state):
+        target_text = _text(node.target)
+        if "pt_refcount" not in target_text:
+            return
+        key = ("ptref", target_text)
+        if isinstance(node.op, ast.Add):
+            count, _ = state.pins.get(key, (0, node.lineno))
+            state.pins[key] = (count + 1, node.lineno)
+        elif isinstance(node.op, ast.Sub) and key in state.pins:
+            count, line = state.pins[key]
+            if count <= 1:
+                del state.pins[key]
+            else:
+                state.pins[key] = (count - 1, line)
+
+    def _is_entries_target(self, target):
+        return (isinstance(target, ast.Subscript)
+                and ("entries" in _text(target.value)))
+
+    def _downgrade_line(self, node):
+        """Line of a PTE/PMD clear-or-downgrade in ``node``, else None."""
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitAnd):
+            text = _text(node)
+            soft = (("BIT_ACCESSED" in text or "BIT_DIRTY" in text)
+                    and "RW" not in text and "drop" not in text.lower())
+            if soft:
+                return None
+            if self._is_entries_target(node.target):
+                return node.lineno
+            # ``entry &= drop_rw`` on a local that is then stored back.
+            if isinstance(node.target, ast.Name) and "drop" in text:
+                return node.lineno
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not self._is_entries_target(target):
+                    continue
+                value = _text(node.value)
+                if ("ENTRY_NONE" in value or value == "0"
+                        or "protected" in value or "drop" in value
+                        or self._swapifies):
+                    return node.lineno
+        return None
+
+    # -- statement walk --------------------------------------------------
+
+    def run(self):
+        """Returns the function's exit paths as (outcome, state) pairs."""
+        exits = []
+        falls = self._block(self.func.node.body, [PathState()], exits)
+        for state in falls:
+            exits.append((FALL, state))
+        return exits
+
+    def _block(self, stmts, states, exits):
+        """Run ``stmts`` over ``states``; non-fall outcomes go to
+        ``exits`` (return/raise) or are returned tagged (break)."""
+        for stmt in stmts:
+            if not states:
+                break
+            next_states = []
+            for state in states:
+                for outcome, out_state in self._stmt(stmt, state, exits):
+                    if outcome is FALL:
+                        next_states.append(out_state)
+                    else:
+                        exits.append((outcome, out_state))
+            states = self._budget([(FALL, s) for s in next_states])
+            states = [s for _, s in states]
+        return states
+
+    def _budget(self, paths):
+        paths = _dedupe(paths)
+        if len(paths) > STATE_BUDGET:
+            self.overflowed = True
+            paths = paths[:STATE_BUDGET]
+        return paths
+
+    def _stmt(self, stmt, state, exits):
+        handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if handler is not None:
+            return handler(stmt, state, exits)
+        # Default: evaluate any embedded calls, stay on the fall path.
+        return self._eval(stmt, state)
+
+    def _eval(self, node, state):
+        """Process call/downgrade events in one simple statement."""
+        results = [(FALL, state)]
+        for call in _calls_in_order(node):
+            forked = self._apply_call(call, state)
+            if forked is not None:
+                results.append((RAISE, forked))
+        if isinstance(node, ast.AugAssign):
+            self._apply_pt_refcount_aug(node, state)
+        line = self._downgrade_line(node) if isinstance(
+            node, (ast.Assign, ast.AugAssign)) else None
+        if line is not None:
+            state.tlb_line = line
+        if isinstance(node, ast.Assign):
+            # Ownership transfer: a pinned object stored into a container
+            # or table entry now belongs to that owner.
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self._transfer(state, _text(node.value))
+        return results
+
+    # individual statement kinds ----------------------------------------
+
+    def _stmt_Return(self, stmt, state, exits):
+        results = []
+        if stmt.value is not None:
+            for outcome, st in self._eval(stmt.value, state):
+                if outcome is RAISE:
+                    results.append((RAISE, st))
+        results.append((RETURN, state))
+        return results
+
+    def _stmt_Raise(self, stmt, state, exits):
+        state.raise_line = stmt.lineno
+        if stmt.exc is not None and "KernelBug" in _text(stmt.exc):
+            state.bug = True
+        return [(RAISE, state)]
+
+    def _stmt_Break(self, stmt, state, exits):
+        return [(BREAK, state)]
+
+    _stmt_Continue = _stmt_Break
+
+    def _stmt_If(self, stmt, state, exits):
+        test_text = _text(stmt.test)
+        memo = len(test_text) < 80
+        results = []
+        decided = state.conds.get(test_text) if memo else None
+        for take in (True, False):
+            if decided is not None and take is not decided:
+                continue
+            branch = state.copy() if decided is None else state
+            if memo and decided is None:
+                branch.conds[test_text] = take
+            body = stmt.body if take else stmt.orelse
+            sub_exits = []
+            falls = self._block(body, [branch], sub_exits)
+            results.extend(sub_exits)
+            results.extend((FALL, s) for s in falls)
+        return _dedupe(results)
+
+    def _stmt_For(self, stmt, state, exits):
+        return self._loop(stmt.body, stmt.orelse, stmt.iter, state)
+
+    def _stmt_While(self, stmt, state, exits):
+        return self._loop(stmt.body, stmt.orelse, stmt.test, state)
+
+    def _loop(self, body, orelse, head, state):
+        results = []
+        # Head expression may itself call something fallible.
+        head_results = self._eval(head, state) if head is not None else [
+            (FALL, state)]
+        for outcome, st in head_results:
+            if outcome is RAISE:
+                results.append((RAISE, st))
+        # Zero iterations:
+        skip = state.copy()
+        sub_exits = []
+        falls = self._block(orelse, [skip], sub_exits)
+        results.extend(sub_exits)
+        results.extend((FALL, s) for s in falls)
+        # One iteration (break/continue end it):
+        once = state.copy()
+        sub_exits = []
+        falls = self._block(body, [once], sub_exits)
+        for outcome, st in sub_exits:
+            if outcome is BREAK:
+                results.append((FALL, st))
+            else:
+                results.append((outcome, st))
+        results.extend((FALL, s) for s in falls)
+        return _dedupe(results)
+
+    def _stmt_With(self, stmt, state, exits):
+        for item in stmt.items:
+            for outcome, st in self._eval(item.context_expr, state):
+                if outcome is RAISE:
+                    exits.append((RAISE, st))
+        sub_exits = []
+        falls = self._block(stmt.body, [state], sub_exits)
+        results = list(sub_exits)
+        results.extend((FALL, s) for s in falls)
+        return results
+
+    def _stmt_Try(self, stmt, state, exits):
+        results = []
+        body_exits = []
+        body_falls = self._block(stmt.body, [state], body_exits)
+
+        raised, passed = [], []
+        for outcome, st in body_exits:
+            (raised if outcome is RAISE else passed).append((outcome, st))
+
+        # Raises route through each handler (types are not tracked).
+        for _, st in raised:
+            if not stmt.handlers:
+                passed.append((RAISE, st))
+                continue
+            for handler in stmt.handlers:
+                h_state = st.copy()
+                h_exits = []
+                h_falls = self._block(handler.body, [h_state], h_exits)
+                passed.extend(h_exits)
+                for h_fall in h_falls:  # handled: not raising any more
+                    h_fall.raise_line = None
+                body_falls = body_falls + h_falls
+
+        # else-block runs after a clean body.
+        if stmt.orelse:
+            e_exits = []
+            body_falls = self._block(stmt.orelse, list(body_falls), e_exits)
+            passed.extend(e_exits)
+
+        # finally runs on every path.
+        if stmt.finalbody:
+            fin_passed = []
+            for outcome, st in passed:
+                f_exits = []
+                f_falls = self._block(stmt.finalbody, [st], f_exits)
+                fin_passed.extend(f_exits)
+                fin_passed.extend((outcome, s) for s in f_falls)
+            passed = fin_passed
+            fin_falls = []
+            for st in body_falls:
+                f_exits = []
+                f_falls = self._block(stmt.finalbody, [st], f_exits)
+                passed.extend(f_exits)
+                fin_falls.extend(f_falls)
+            body_falls = fin_falls
+
+        results.extend(passed)
+        results.extend((FALL, s) for s in body_falls)
+        return self._budget(results)

@@ -1,0 +1,92 @@
+"""KCSAN-style data-race sampling for the SMP scheduler.
+
+The real KCSAN plants watchpoints on sampled memory accesses and reports
+when a conflicting access from another CPU lands while the watchpoint is
+armed.  The cooperative model gives us something stronger: every
+instrumented kernel access (``Kernel.san_access``) leaves a watchpoint
+on its logical word — a leaf-table pfn, a struct-page refcount — tagged
+with the accessing task and the locks (with hold modes) it held at that
+moment.
+
+A later access to the same word conflicts when all of:
+
+* it comes from a **different task** that is still live (the previous
+  accessor has not exited — its critical section could still be open);
+* at least one of the two accesses is a **write**;
+* **no common lock serialises the pair**.  A lock held by both sides
+  serialises them unless *both* held it in read mode: two readers of
+  the same rwsem are not mutually excluded — exactly the subtlety a
+  pure "do they share a lock?" check misses and KCSAN catches.
+"""
+
+from __future__ import annotations
+
+from ..errors import KcsanError
+
+
+def _lockset(task):
+    """Map ``id(lock) -> hold mode`` for every lock ``task`` holds.
+
+    PTLs are always exclusive (``"w"``); an ``MMapLock`` records whether
+    this task holds it as the writer or as one of the readers.
+    """
+    out = {}
+    for lock in task.held:
+        if hasattr(lock, "readers"):
+            out[id(lock)] = "w" if lock.writer is task else "r"
+        else:
+            out[id(lock)] = "w"
+    return out
+
+
+def _serialized(locks_a, locks_b):
+    """Whether some common lock orders the two accesses.
+
+    A shared lock serialises the pair unless both sides held it for
+    read (read/read holds of an rwsem exclude nobody).
+    """
+    for lock_id, mode_a in locks_a.items():
+        mode_b = locks_b.get(lock_id)
+        if mode_b is not None and (mode_a == "w" or mode_b == "w"):
+            return True
+    return False
+
+
+class KcsanState:
+    """Watchpoint table keyed by (kind, word) logical addresses."""
+
+    def __init__(self, sched):
+        self.sched = sched
+        # (kind, key) -> (task, lockset, was_write)
+        self.watchpoints = {}
+        self.reports = []
+        self.accesses = 0
+
+    def access(self, kind, key, write):
+        """Record an instrumented access; raise on a conflicting pair."""
+        task = self.sched.current
+        if task is None:
+            return  # not running under the scheduler (setup/teardown)
+        self.accesses += 1
+        locks = _lockset(task)
+        word = (kind, key)
+        prev = self.watchpoints.get(word)
+        self.watchpoints[word] = (task, locks, bool(write))
+        if prev is None:
+            return
+        prev_task, prev_locks, prev_write = prev
+        if prev_task is task or prev_task.state == "done":
+            return
+        if not (write or prev_write):
+            return  # read/read never races
+        if _serialized(locks, prev_locks):
+            return
+        message = (
+            f"data race on {kind}:{key}: "
+            f"{'write' if write else 'read'} by {task.name} "
+            f"(holding {len(locks)} lock(s)) conflicts with "
+            f"{'write' if prev_write else 'read'} by {prev_task.name} "
+            f"(holding {len(prev_locks)} lock(s)) — "
+            f"no common lock serialises the pair")
+        self.reports.append(message)
+        raise KcsanError(message)

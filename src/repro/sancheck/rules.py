@@ -1,0 +1,276 @@
+"""The four rule families of the static checker.
+
+Every rule consumes the harvested :class:`~repro.sancheck.model.SourceFile`
+records and yields :class:`Violation`s.  Scoping mirrors where each
+discipline applies:
+
+* **lock-context** — global: any harvested caller of an annotated
+  function is checked.
+* **failpoint**, **refcount**, **tlb** — the kernel proper
+  (``repro.kernel``/``repro.smp``) plus any non-``repro`` file passed
+  explicitly (the test fixtures); the mem/paging/core layers sit below
+  the disciplines these rules encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataflow import (
+    Classifier,
+    FALL,
+    FLUSH_CALLS,
+    FunctionWalker,
+    RAISE,
+    RETURN,
+)
+
+RULES = ("lock-context", "failpoint", "refcount", "tlb", "ignore")
+
+
+@dataclass
+class Violation:
+    rule: str
+    module: str
+    func: str          # qualname
+    lineno: int
+    message: str
+
+    @property
+    def ident(self):
+        """Baseline identity: stable across line-number churn."""
+        return f"{self.rule}:{self.module}:{self.func}"
+
+    def __str__(self):
+        return (f"{self.module}:{self.lineno}: [{self.rule}] "
+                f"{self.func}: {self.message}")
+
+
+def _kernel_scope(func):
+    module = func.module
+    return (module.startswith("repro.kernel")
+            or module.startswith("repro.smp")
+            or not module.startswith("repro"))
+
+
+# ------------------------------------------------------------------ #
+# Project-wide fixpoints
+
+
+#: The reclaim-on-pressure allocation wrappers: they *are* the fallible
+#: primitives the failpoint rule guards, so they are exempt from needing
+#: a failpoint themselves (their callers carry the sites).
+ALLOC_WRAPPERS = frozenset({
+    "alloc_data_frame", "alloc_data_frames_bulk", "alloc_huge_frame",
+    "alloc_table_frame", "alloc_table",
+})
+
+
+def _raw_alloc_calls(func):
+    """Call sites in ``func`` that allocate frames or swap slots."""
+    sites = []
+    for call in func.calls:
+        if call.name in ALLOC_WRAPPERS:
+            sites.append(call)
+        elif call.name in ("alloc", "alloc_bulk") and (
+                "allocator" in call.receiver):
+            sites.append(call)
+        elif call.name == "alloc_slot" and "swap" in call.receiver:
+            sites.append(call)
+    return sites
+
+
+def _has_failpoint(func):
+    return any(call.name in ("hit", "fails") and "failpoints" in call.receiver
+               for call in func.calls)
+
+
+def _raises_oom(func):
+    return ("raise OutOfMemoryError" in func.source
+            or "raise OutOfFramesError" in func.source)
+
+
+def compute_fallible(files):
+    """Names of functions that can raise OOM, to a call-graph fixpoint."""
+    by_name = {}
+    fallible = set()
+    for sf in files:
+        for func in sf.functions:
+            by_name.setdefault(func.name, []).append(func)
+            if (_raw_alloc_calls(func) or _has_failpoint(func)
+                    or _raises_oom(func)):
+                fallible.add(func.name)
+    changed = True
+    while changed:
+        changed = False
+        for sf in files:
+            for func in sf.functions:
+                if func.name in fallible:
+                    continue
+                if any(c.name in fallible for c in func.calls):
+                    fallible.add(func.name)
+                    changed = True
+    return frozenset(fallible)
+
+
+def compute_flushing(files):
+    """Names of functions that reach a TLB flush, to a fixpoint."""
+    flushing = set()
+    for sf in files:
+        for func in sf.functions:
+            if any(c.name in FLUSH_CALLS for c in func.calls):
+                flushing.add(func.name)
+    changed = True
+    while changed:
+        changed = False
+        for sf in files:
+            for func in sf.functions:
+                if func.name in flushing:
+                    continue
+                if any(c.name in flushing for c in func.calls):
+                    flushing.add(func.name)
+                    changed = True
+    return frozenset(flushing)
+
+
+def build_classifier(files):
+    deferred = set()
+    releasers = {}
+    for sf in files:
+        for func in sf.functions:
+            if func.tlb_deferred is not None:
+                deferred.add(func.name)
+            if func.releases_refs:
+                kinds = set(releasers.get(func.name, ()))
+                kinds.update(func.releases_refs)
+                releasers[func.name] = frozenset(kinds)
+    return Classifier(
+        fallible=compute_fallible(files),
+        flushing=compute_flushing(files),
+        deferred=frozenset(deferred),
+        releasers=releasers,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Rule 1: lock-context
+
+
+def _inline_acquires(func):
+    """Locks a generator flow takes via explicit Acquire events."""
+    held = set()
+    if "Acquire(" not in func.source:
+        return held
+    if "mmap_lock(" in func.source:
+        held.add("mmap_lock")
+    if "pt_lock(" in func.source:
+        held.add("ptl")
+    return held
+
+
+def check_lock_context(files):
+    annotated = {}
+    for sf in files:
+        for func in sf.functions:
+            if func.must_hold or func.releases:
+                annotated.setdefault(func.name, []).append(func)
+
+    violations = []
+    for sf in files:
+        for func in sf.functions:
+            held = None
+            for call in func.calls:
+                candidates = annotated.get(call.name)
+                if not candidates:
+                    continue
+                required = set(candidates[0].must_hold) | set(
+                    candidates[0].releases)
+                for cand in candidates[1:]:
+                    required &= set(cand.must_hold) | set(cand.releases)
+                if not required:
+                    continue
+                if held is None:
+                    held = (set(func.must_hold) | set(func.acquires)
+                            | _inline_acquires(func))
+                missing = sorted(required - held)
+                if missing:
+                    violations.append(Violation(
+                        "lock-context", sf.module, func.qualname, call.lineno,
+                        f"calls {call.name}() which requires "
+                        f"{'+'.join(missing)}; caller holds "
+                        f"{sorted(held) or 'nothing'} — annotate with "
+                        f"@must_hold/@acquires or take the lock"))
+    return violations
+
+
+# ------------------------------------------------------------------ #
+# Rule 2: failpoint coverage
+
+
+def check_failpoints(files):
+    violations = []
+    for sf in files:
+        if sf.module == "repro.kernel.failpoints":
+            continue
+        for func in sf.functions:
+            if not _kernel_scope(func) or func.name in ALLOC_WRAPPERS:
+                continue
+            sites = _raw_alloc_calls(func)
+            if sites and not _has_failpoint(func):
+                call = sites[0]
+                violations.append(Violation(
+                    "failpoint", sf.module, func.qualname, call.lineno,
+                    f"allocation via {call.name}() has no failpoints.hit() "
+                    f"in this function — fault-injection cannot reach "
+                    f"this OOM path"))
+    return violations
+
+
+# ------------------------------------------------------------------ #
+# Rules 3+4: refcount pairing and TLB discipline (shared path walk)
+
+
+def check_dataflow(files, classifier):
+    violations = []
+    for sf in files:
+        for func in sf.functions:
+            if not _kernel_scope(func):
+                continue
+            walker = FunctionWalker(func, classifier)
+            exits = walker.run()
+            if walker.overflowed:
+                continue  # under-approximate rather than guess
+            seen_ref = set()
+            seen_tlb = False
+            for outcome, state in exits:
+                if outcome is RAISE and state.pins and not state.bug:
+                    for (kind, key), (count, line) in state.pins.items():
+                        if (kind, key) in seen_ref:
+                            continue
+                        seen_ref.add((kind, key))
+                        violations.append(Violation(
+                            "refcount", sf.module, func.qualname,
+                            state.raise_line or line,
+                            f"{kind} reference '{key}' (taken at line "
+                            f"{line}) is still held when an exception "
+                            f"path leaves the function — release it in "
+                            f"the unwind or transfer ownership first"))
+                if (outcome in (FALL, RETURN) and state.tlb_line is not None
+                        and func.tlb_deferred is None and not seen_tlb):
+                    seen_tlb = True
+                    violations.append(Violation(
+                        "tlb", sf.module, func.qualname, state.tlb_line,
+                        "PTE/PMD cleared or downgraded (line "
+                        f"{state.tlb_line}) with no TLB flush before a "
+                        "normal exit — flush, or mark @tlb_deferred and "
+                        "flush in the caller"))
+    return violations
+
+
+def run_all_rules(files):
+    classifier = build_classifier(files)
+    violations = []
+    violations += check_lock_context(files)
+    violations += check_failpoints(files)
+    violations += check_dataflow(files, classifier)
+    return violations

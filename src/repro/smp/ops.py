@@ -30,6 +30,13 @@ from ..paging.walk import MMUFault
 from .locks import MODE_READ, MODE_WRITE
 from .sched import Acquire, Preempt, Release
 
+#: FAULT INJECTION (tests only): skip the split page-table lock around the
+#: fault handler in :func:`access_flow`.  Two tasks faulting into the same
+#: leaf table then mutate it with no common exclusive lock — the bug class
+#: the KCSAN sampler and the static lock-context rule both exist to catch.
+#: Never enable outside a test.
+FAULT_INJECT_SKIP_PTL = False
+
 
 def _ptl_key(mm, vaddr):
     """The split-lock key guarding ``vaddr``'s last-level translation.
@@ -152,18 +159,20 @@ def access_flow(sched, process, vaddr, n_bytes=1, is_write=True):
                         sched.phase_exit()
                     continue
                 ptl = sched.pt_lock(key)
-                yield Acquire(ptl)
-                if _ptl_key(mm, page) != key:
-                    # The table was replaced while we queued; retry with
-                    # the lock that now covers the address.
-                    yield Release(ptl)
-                    continue
+                if not FAULT_INJECT_SKIP_PTL:
+                    yield Acquire(ptl)
+                    if _ptl_key(mm, page) != key:
+                        # The table was replaced while we queued; retry
+                        # with the lock that now covers the address.
+                        yield Release(ptl)
+                        continue
                 sched.phase_enter()
                 try:
                     kernel.fault_handler.handle(task, page, is_write)
                 finally:
                     sched.phase_exit()
-                yield Release(ptl)
+                if not FAULT_INJECT_SKIP_PTL:
+                    yield Release(ptl)
                 continue
             else:
                 tlb.insert(page, tr.pfn, tr.writable, tr.huge)

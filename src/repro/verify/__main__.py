@@ -14,7 +14,8 @@ import sys
 import time
 from pathlib import Path
 
-from .oracle import check_trace, enumerate_failpoints, is_hard
+from .oracle import (check_trace, check_trace_sanitized,
+                     enumerate_failpoints, is_hard)
 from .shrink import shrink_trace
 from .trace import generate_trace, load_trace, save_trace
 
@@ -68,6 +69,10 @@ def main(argv=None):
                         help="skip the smp-vs-plain differential leg")
     parser.add_argument("--failpoints", action="store_true",
                         help="sweep fail-point hits per trace")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="re-run each trace under KASAN (frame "
+                             "poisoning/quarantine) and KCSAN (SMP data "
+                             "races)")
     parser.add_argument("--max-failpoint-hits", type=int, default=4,
                         help="armed runs per site; sampled beyond this "
                              "(default 4)")
@@ -104,6 +109,13 @@ def main(argv=None):
                     shrunk, Path(args.corpus_dir) / f"shrunk-{name}.json")
                 print(f"  shrunk to {len(shrunk['ops'])} ops "
                       f"({shrunk['shrink_evals']} evaluations) -> {out}")
+
+        if args.sanitize:
+            san_findings = check_trace_sanitized(trace, smp=args.smp)
+            if san_findings:
+                hard_findings += len(san_findings)
+                for finding in san_findings[:4]:
+                    print(f"FAIL {name}: {finding}")
 
         if args.failpoints:
             max_hits = (None if args.exhaustive_failpoints

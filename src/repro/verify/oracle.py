@@ -156,6 +156,42 @@ def check_trace(trace, smp=2, include_smp=True):
     return findings
 
 
+def check_trace_sanitized(trace, smp=2):
+    """Run one trace under the dynamic sanitizers; returns Findings.
+
+    Three legs: a KASAN machine per flavor (classic and odfork — frame
+    poisoning, quarantine, and UAF/double-free checks live for every
+    alloc/free the trace drives) and a KCSAN machine sampling data races
+    under the deterministic SMP scheduler.  Sanitizer reports arrive as
+    crash findings (:class:`~repro.errors.SanitizerError` subclasses
+    ``KernelBug``); the KASAN legs additionally drain the quarantine,
+    detach the sanitizer, and re-run the leak check — quarantined frames
+    count as allocated, so leak accounting needs the real frees.
+    """
+    findings = []
+    for flavor in ("classic", "odfork"):
+        tag = f"kasan:{flavor}"
+        machine = make_machine(sanitize="kasan")
+        executor = TraceExecutor(machine, flavor=flavor)
+        result = executor.run(trace, capture=False, audit=False)
+        if result.crash is not None:
+            findings.append(Finding("crash", result.crash[0],
+                                    result.crash[1], tag))
+            continue
+        machine.kasan.flush()
+        machine.allocator.sanitizer = None
+        machine.phys.sanitizer = None
+        findings.extend(Finding("leak", len(trace["ops"]), error, tag)
+                        for error in check_clean_shutdown(executor))
+    machine = make_machine(smp=smp, sanitize="kcsan")
+    executor = TraceExecutor(machine, flavor="classic")
+    result = executor.run(trace, capture=False, audit=False)
+    if result.crash is not None:
+        findings.append(Finding("crash", result.crash[0], result.crash[1],
+                                f"kcsan:smp={smp}"))
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # Fail-point enumeration
 
@@ -221,8 +257,11 @@ def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
     """
     machine = make_machine()
     failpoints = machine.kernel.failpoints
-    failpoints.record()
+    # Record (and later arm) only after the executor has spawned the root
+    # process: setup allocations hit the same sites (e.g. mm.pgd_alloc)
+    # but are not part of the trace under test.
     recorder = TraceExecutor(machine, flavor=flavor)
+    failpoints.record()
     recording = recorder.run(trace, capture=False, audit=False)
     failpoints.disarm()
     counts = dict(failpoints.counts)
@@ -246,8 +285,8 @@ def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
 def _armed_run(trace, flavor, site, nth):
     tag = f"failpoint:{site}#{nth}"
     machine = make_machine()
-    machine.kernel.failpoints.arm(site, nth)
     executor = TraceExecutor(machine, flavor=flavor)
+    machine.kernel.failpoints.arm(site, nth)
     result = executor.run(trace, capture=False, audit=False)
     machine.kernel.failpoints.disarm()
     if result.crash is not None:

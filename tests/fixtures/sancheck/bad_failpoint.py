@@ -1,0 +1,11 @@
+"""Known-bad failpoint fixture.
+
+``fill_frame`` allocates straight from the buddy allocator with no
+``failpoints.hit`` in the function, so fault injection can never force
+this OOM path — the checker must flag the allocation.
+"""
+
+
+def fill_frame(kernel):
+    pfn = int(kernel.allocator.alloc(0))
+    return pfn

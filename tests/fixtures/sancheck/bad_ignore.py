@@ -1,0 +1,13 @@
+"""Known-bad suppression fixture: an ignore comment with no -- reason.
+
+The underlying TLB violation is matched by the comment, but because the
+justification is missing the checker must refuse the suppression and
+report rule ``ignore`` instead.
+"""
+
+ENTRY_NONE = 0
+
+
+def zap_entry(leaf, index):
+    leaf.entries[index] = ENTRY_NONE  # sancheck: ignore[tlb]
+    return leaf

@@ -1,0 +1,17 @@
+"""Known-bad lock-context fixture.
+
+``racy_fault`` mirrors the shape of ``smp.ops.access_flow`` with the
+split page-table lock acquire dropped: it calls a ``@must_hold("ptl")``
+function while holding nothing.  The static checker must flag the call.
+"""
+
+from repro.sancheck.annotations import must_hold
+
+
+@must_hold("ptl")
+def install_entry(leaf, index, entry):
+    leaf.entries[index] = entry
+
+
+def racy_fault(leaf, index, entry):
+    install_entry(leaf, index, entry)

@@ -1,0 +1,13 @@
+"""Known-bad refcount fixture.
+
+``share_page`` takes a page reference, then crosses a fallible operation
+(the failpoint may raise ``OutOfMemoryError``) *before* handing the
+reference to its long-lived owner.  On the raise path the pin leaks —
+the checker must flag the exception exit.
+"""
+
+
+def share_page(kernel, pages, pfn, leaf):
+    pages.ref_inc(pfn)
+    kernel.failpoints.hit("fixture.share_page")
+    leaf.set(0, pfn)

@@ -1,0 +1,13 @@
+"""Known-bad TLB fixture.
+
+``zap_entry`` clears a present PTE and returns without any flush — a
+stale translation survives on every CPU caching the mm.  The checker
+must flag the normal exit.
+"""
+
+ENTRY_NONE = 0
+
+
+def zap_entry(leaf, index):
+    leaf.entries[index] = ENTRY_NONE
+    return leaf

@@ -1,0 +1,7 @@
+"""Known-good failpoint fixture: the allocation sits behind a site."""
+
+
+def fill_frame(kernel):
+    kernel.failpoints.hit("fixture.fill_frame")
+    pfn = int(kernel.allocator.alloc(0))
+    return pfn

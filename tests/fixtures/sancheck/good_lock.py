@@ -1,0 +1,25 @@
+"""Known-good lock-context fixture: both caller disciplines pass.
+
+``locked_fault`` declares the acquire with ``@acquires``; ``flow_fault``
+is a generator flow that takes the lock via explicit ``Acquire`` events,
+which the checker recognises from the flow's source.
+"""
+
+from repro.sancheck.annotations import acquires, must_hold
+
+
+@must_hold("ptl")
+def install_entry(leaf, index, entry):
+    leaf.entries[index] = entry
+
+
+@acquires("ptl")
+def locked_fault(leaf, index, entry):
+    install_entry(leaf, index, entry)
+
+
+def flow_fault(sched, leaf, index, entry, Acquire, Release):
+    ptl = sched.pt_lock(int(leaf.pfn))
+    yield Acquire(ptl)
+    install_entry(leaf, index, entry)
+    yield Release(ptl)

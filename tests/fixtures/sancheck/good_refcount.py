@@ -1,0 +1,21 @@
+"""Known-good refcount fixtures: two ways to survive the raise path.
+
+``share_page`` does the fallible work first and only then pins;
+``share_page_unwind`` pins early but releases in the unwind handler.
+"""
+
+
+def share_page(kernel, pages, pfn, leaf):
+    kernel.failpoints.hit("fixture.share_page")
+    pages.ref_inc(pfn)
+    leaf.set(0, pfn)
+
+
+def share_page_unwind(kernel, pages, pfn, leaf):
+    pages.ref_inc(pfn)
+    try:
+        kernel.failpoints.hit("fixture.share_page")
+    except Exception:
+        pages.ref_dec(pfn)
+        raise
+    leaf.set(0, pfn)

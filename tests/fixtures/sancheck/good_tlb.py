@@ -1,0 +1,17 @@
+"""Known-good TLB fixtures: flush before exit, or declare deferral."""
+
+from repro.sancheck.annotations import tlb_deferred
+
+ENTRY_NONE = 0
+
+
+def zap_entry(kernel, mm, leaf, index, vaddr):
+    leaf.entries[index] = ENTRY_NONE
+    kernel.tlbs.shootdown_page(mm, vaddr)
+    return leaf
+
+
+@tlb_deferred("the caller shoots the whole range down after the walk")
+def zap_entry_batched(leaf, index):
+    leaf.entries[index] = ENTRY_NONE
+    return leaf

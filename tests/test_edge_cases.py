@@ -132,7 +132,7 @@ class TestEndurance:
     def test_everything_together(self, big_machine):
         """One long mixed scenario: all features, audited at the end."""
         from repro.kernel.kernel import MADV_DONTNEED, MADV_HUGEPAGE
-        from auditor import audit_machine
+        from repro.verify.audit import audit_machine
         machine = big_machine
         p = machine.spawn_process("endurance")
 

@@ -10,7 +10,7 @@ robustness story for odfork depends on mid-copy failure being recoverable.
 from __future__ import annotations
 
 import pytest
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 from conftest import make_filled_region
 
 from repro import Machine, MIB, OutOfMemoryError
@@ -176,4 +176,91 @@ def test_snapshot_create_oom_discards_partial_state(machine):
     assert p.read(addr, 3) == b"\xabQ\x00"
     snap.discard()
     child.exit()
+    audit_machine(machine)
+
+
+# --------------------------------------------------------------------- #
+# Descriptor construction: PGD and upper-table allocations are fallible
+
+
+def test_spawn_pgd_alloc_oom_leaves_no_task(machine):
+    tasks_before = set(machine.kernel.tasks)
+    frames_before = machine.used_frames()
+    machine.kernel.failpoints.arm("mm.pgd_alloc", nth=1)
+    with pytest.raises(OutOfMemoryError):
+        machine.spawn_process("doomed")
+    assert set(machine.kernel.tasks) == tasks_before
+    assert machine.used_frames() == frames_before
+    audit_machine(machine)
+    # One-shot: the retry spawns normally.
+    p = machine.spawn_process("survivor")
+    assert p.pid in machine.kernel.tasks
+    audit_machine(machine)
+
+
+def test_upper_table_alloc_oom_unwinds_fault(machine):
+    p = machine.spawn_process("p")
+    addr = p.mmap(4 * MIB)
+    # The first touch builds PUD+PMD; fail that mid-walk allocation.
+    machine.kernel.failpoints.arm("mm.upper_table_alloc", nth=1)
+    with pytest.raises(OutOfMemoryError):
+        p.write(addr, b"x")
+    audit_machine(machine)
+    # The aborted walk left nothing the retry cannot reuse or rebuild.
+    p.write(addr, b"retry ok")
+    assert p.read(addr, 8) == b"retry ok"
+    audit_machine(machine)
+
+
+def test_fork_upper_table_oom_unwinds_child(machine):
+    p = machine.spawn_process("p")
+    addr, probes = make_filled_region(p, size=8 * MIB)
+    frames_before = machine.used_frames()
+    machine.kernel.failpoints.arm("fork.upper_table", nth=1)
+    with pytest.raises(OutOfMemoryError):
+        p.fork()
+    assert p.task.children == []
+    assert machine.used_frames() == frames_before
+    audit_machine(machine)
+    assert p.read(addr + probes[0], 2) == b"\xabQ"
+
+
+def test_pagecache_fill_oom_is_retryable(machine):
+    f = machine.kernel.fs.create("/data", size=64 * 1024)
+    f.set_initial_contents(b"cached bytes")
+    p = machine.spawn_process("p")
+    from repro.kernel.vma import MAP_PRIVATE, PROT_READ
+    addr = p.mmap(64 * 1024, prot=PROT_READ, flags=MAP_PRIVATE, file=f)
+    machine.kernel.failpoints.arm("pagecache.fill", nth=1)
+    with pytest.raises(OutOfMemoryError):
+        p.read(addr, 6)
+    audit_machine(machine)
+    # The miss was not cached as a success: the retry fills and reads.
+    assert p.read(addr, 6) == b"cached"
+    audit_machine(machine)
+
+
+# --------------------------------------------------------------------- #
+# execve atomicity: a failed exec reports -ENOMEM, it does not kill
+# the calling image (the fresh PGD is allocated before the old mm drops)
+
+
+def test_execve_pgd_oom_preserves_old_image(machine):
+    binary = machine.kernel.fs.create("/bin/app", size=48 * 1024)
+    binary.set_initial_contents(b"\x7fELF app image")
+    p = machine.spawn_process("p")
+    addr = p.mmap(2 * MIB)
+    p.write(addr, b"old image data")
+
+    machine.kernel.failpoints.arm("mm.pgd_alloc", nth=1)
+    with pytest.raises(OutOfMemoryError):
+        p.execve(binary)
+
+    # The caller's address space survived the failed exec intact.
+    assert p.alive
+    assert p.read(addr, 14) == b"old image data"
+    audit_machine(machine)
+    # And the retry replaces the image as usual.
+    text, _stack = p.execve(binary)
+    assert p.read(text, 4) == b"\x7fELF"
     audit_machine(machine)

@@ -1,0 +1,154 @@
+"""KASAN-style frame sanitizer: poisoning, quarantine, UAF/double-free.
+
+The dynamic half of the sancheck layer (ISSUE 4).  A machine built with
+``sanitize="kasan"`` routes every buddy free through a quarantine:
+freed frames are poisoned (0xFB) and held back from reallocation, so a
+use-after-free or double free inside the window is caught at the exact
+access instead of surfacing later as silent corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MIB, Machine
+from repro.errors import ConfigurationError, KasanError
+from repro.sancheck.kasan import POISON_BYTE, QUARANTINE_DEPTH
+from repro.verify.audit import audit_machine
+from conftest import make_filled_region
+
+
+@pytest.fixture
+def kmachine():
+    return Machine(phys_mb=64, sanitize="kasan")
+
+
+def detach(machine):
+    """Drop the sanitizer hooks (after flush) so audits see real state."""
+    machine.kasan.flush()
+    machine.allocator.sanitizer = None
+    machine.phys.sanitizer = None
+
+
+class TestWiring:
+    def test_sanitize_kasan_attaches_state(self, kmachine):
+        assert kmachine.kasan is not None
+        assert kmachine.allocator.sanitizer is kmachine.kasan
+        assert kmachine.phys.sanitizer is kmachine.kasan
+        assert kmachine.kcsan is None
+
+    def test_sanitize_off_by_default(self):
+        machine = Machine(phys_mb=64)
+        assert machine.kasan is None
+        assert machine.allocator.sanitizer is None
+
+    def test_unknown_sanitizer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(phys_mb=64, sanitize="valgrind")
+
+
+class TestDoubleFree:
+    def test_double_free_caught(self, kmachine):
+        pfn = int(kmachine.allocator.alloc(0))
+        kmachine.allocator.free(pfn, 0)
+        with pytest.raises(KasanError, match="double free"):
+            kmachine.allocator.free(pfn, 0)
+        assert kmachine.kasan.reports
+
+    def test_invalid_free_of_never_allocated_frame(self, kmachine):
+        free_head = int(kmachine.allocator.alloc(0))
+        kmachine.allocator.free(free_head, 0)
+        kmachine.kasan.flush()
+        with pytest.raises(KasanError, match="free"):
+            kmachine.allocator.free(free_head, 0)
+
+
+class TestUseAfterFree:
+    def test_read_after_free_caught(self, kmachine):
+        pfn = int(kmachine.allocator.alloc(0))
+        kmachine.phys.write(pfn, 0, b"live data")
+        kmachine.allocator.free(pfn, 0)
+        with pytest.raises(KasanError, match="use-after-free"):
+            kmachine.phys.read(pfn, 0, 4)
+
+    def test_write_after_free_caught(self, kmachine):
+        pfn = int(kmachine.allocator.alloc(0))
+        kmachine.allocator.free(pfn, 0)
+        with pytest.raises(KasanError, match="use-after-free"):
+            kmachine.phys.write(pfn, 0, b"dangling store")
+
+    def test_freed_frame_is_poisoned(self, kmachine):
+        pfn = int(kmachine.allocator.alloc(0))
+        kmachine.phys.write(pfn, 0, b"secret")
+        kmachine.allocator.free(pfn, 0)
+        # Peek below the access checker: the data bytes were overwritten
+        # with the poison pattern the moment the frame entered quarantine.
+        kmachine.phys.sanitizer = None
+        assert kmachine.phys.read(pfn, 0, 6) == bytes([POISON_BYTE]) * 6
+
+    def test_dangling_pointer_after_munmap(self, kmachine):
+        """The seeded-defect shape: kernel code caching a pfn across a
+        free.  munmap releases the frame; a later access through the
+        stale pfn must trip the sanitizer, not read recycled data."""
+        p = kmachine.spawn_process("p")
+        addr = p.mmap(1 * MIB)
+        p.write(addr, b"user bytes")
+        pfn = int(kmachine.kernel.walker.translate(p.mm.pgd, addr, True).pfn)
+        p.munmap(addr, 1 * MIB)
+        with pytest.raises(KasanError, match="use-after-free"):
+            kmachine.phys.read(pfn, 0, 10)
+
+
+class TestQuarantine:
+    def test_quarantine_delays_reuse(self, kmachine):
+        pfn = int(kmachine.allocator.alloc(0))
+        kmachine.allocator.free(pfn, 0)
+        assert pfn in kmachine.kasan.poisoned
+        assert len(kmachine.kasan.quarantine) == 1
+
+    def test_eviction_past_depth_really_frees(self, kmachine):
+        pfns = [int(kmachine.allocator.alloc(0))
+                for _ in range(QUARANTINE_DEPTH + 4)]
+        for pfn in pfns:
+            kmachine.allocator.free(pfn, 0)
+        assert len(kmachine.kasan.quarantine) == QUARANTINE_DEPTH
+        # The oldest entries were evicted: unpoisoned, zeroed, reusable.
+        for pfn in pfns[:4]:
+            assert pfn not in kmachine.kasan.poisoned
+        assert kmachine.kasan.frees_intercepted == len(pfns)
+
+    def test_flush_drains_everything(self, kmachine):
+        baseline = kmachine.used_frames()
+        pfns = [int(kmachine.allocator.alloc(0)) for _ in range(8)]
+        for pfn in pfns:
+            kmachine.allocator.free(pfn, 0)
+        kmachine.kasan.flush()
+        assert len(kmachine.kasan.quarantine) == 0
+        assert not kmachine.kasan.poisoned
+        assert kmachine.used_frames() == baseline
+
+    def test_multi_frame_order_poisons_every_frame(self, kmachine):
+        head = int(kmachine.allocator.alloc(2))
+        kmachine.allocator.free(head, 2)
+        for frame in range(head, head + 4):
+            with pytest.raises(KasanError):
+                kmachine.phys.read(frame, 0, 1)
+
+
+class TestCleanWorkload:
+    def test_fork_exit_workload_is_kasan_clean(self, kmachine):
+        """A correct fork/COW/odfork/exit cycle never touches quarantined
+        frames — the sanitizer stays silent end to end."""
+        p = kmachine.spawn_process("p")
+        addr, probes = make_filled_region(p, size=4 * MIB)
+        child = p.fork()
+        child.write(addr, b"cow in child")
+        odf = p.odfork()
+        assert odf.read(addr + probes[0], 2) == p.read(addr + probes[0], 2)
+        odf.write(addr + probes[1], b"table cow")
+        child.exit()
+        odf.exit()
+        p.exit()
+        assert kmachine.kasan.reports == []
+        detach(kmachine)
+        audit_machine(kmachine)

@@ -21,7 +21,7 @@ from hypothesis.stateful import (
 import hypothesis.strategies as st
 
 from repro import MIB, Machine
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 REGION = 4 * MIB
 PAGE = 4096

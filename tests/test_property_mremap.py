@@ -16,7 +16,7 @@ import pytest
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, strategies as st  # noqa: E402
 
-from auditor import audit_machine  # noqa: E402
+from repro.verify.audit import audit_machine  # noqa: E402
 
 from repro import Machine  # noqa: E402
 

@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings
 import hypothesis.strategies as st
 
 from repro import MIB, Machine
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 REGION = 2 * MIB
 PAGE = 4096

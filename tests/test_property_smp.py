@@ -15,7 +15,7 @@ import hypothesis.strategies as st
 
 from repro.smp.explore import check_race_suite, make_race_suite
 from repro.smp.sched import RandomPolicy
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 
 @settings(max_examples=30, deadline=None)

@@ -13,7 +13,7 @@ import hypothesis.strategies as st
 
 from repro import MIB, Machine
 from repro.kernel.kernel import MADV_HUGEPAGE
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 REGION = 4 * MIB
 PAGE = 4096

@@ -2,7 +2,7 @@
 
 import pytest
 
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 from repro import MADV_DONTNEED, MIB, Machine, OutOfMemoryError
 from repro.mem.page import PAGE_SIZE
 from repro.paging import (

@@ -1,0 +1,118 @@
+"""Repo-level sancheck gate, baseline machinery, and the CLI contract.
+
+The tentpole promise of ISSUE 4: ``python -m repro.sancheck --strict``
+exits 0 over the whole tree — every annotation discharged, every ignore
+justified, no stale baseline fat.  These tests keep that promise honest
+and exercise the baseline lifecycle (load/apply/stale/refuse-ignore).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sancheck.checker import (
+    apply_baseline,
+    check_paths,
+    check_repo,
+    load_baseline,
+    repo_files,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "sancheck"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRepoGate:
+    def test_repo_is_clean(self):
+        assert check_repo() == []
+
+    def test_repo_sweep_covers_the_kernel(self):
+        paths, _ = repo_files()
+        modules = {p.parent.name for p in paths}
+        assert {"kernel", "smp", "paging", "mem", "verify"} <= modules
+
+    def test_checker_does_not_check_itself(self):
+        # The sanitizer runtimes would pollute the name-based fixpoints
+        # (KASAN's poison write would make every `.free()` fallible).
+        paths, _ = repo_files()
+        assert not [p for p in paths if "sancheck" in p.parts]
+
+    def test_cli_strict_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sancheck", "--strict", "--quiet"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 stale" in proc.stdout
+
+    def test_cli_flags_bad_fixture(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sancheck",
+             "--baseline", str(tmp_path / "empty.json"),
+             str(FIXTURES / "bad_tlb.py")],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 1
+        assert "[tlb]" in proc.stdout
+
+
+class TestBaseline:
+    def violations(self):
+        return check_paths([FIXTURES / "bad_tlb.py"])
+
+    def test_write_then_apply_suppresses(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(self.violations(), path, reason="known debt")
+        entries, problems = load_baseline(path)
+        assert problems == []
+        new, baselined, stale = apply_baseline(self.violations(), entries)
+        assert new == [] and len(baselined) == 1 and stale == []
+
+    def test_stale_entry_detected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([
+            {"rule": "tlb", "module": "long_gone", "func": "fixed_ages_ago",
+             "reason": "was real once"}]))
+        entries, problems = load_baseline(path)
+        assert problems == []
+        new, baselined, stale = apply_baseline(self.violations(), entries)
+        assert len(new) == 1 and baselined == [] and len(stale) == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        entries, problems = load_baseline(tmp_path / "nope.json")
+        assert entries == [] and problems == []
+
+    @pytest.mark.parametrize("entry,needle", [
+        ({"rule": "tlb", "module": "m"}, "missing"),
+        ({"rule": "nonsense", "module": "m", "func": "f",
+          "reason": "r"}, "unknown rule"),
+        ({"rule": "ignore", "module": "m", "func": "f",
+          "reason": "r"}, "cannot be baselined"),
+        ({"rule": "tlb", "module": "m", "func": "f"}, "no reason"),
+    ])
+    def test_malformed_entries_rejected(self, tmp_path, entry, needle):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([entry]))
+        _entries, problems = load_baseline(path)
+        assert problems and needle in problems[0]
+
+    def test_write_baseline_skips_ignore_rule(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        vs = check_paths([FIXTURES / "bad_ignore.py"])
+        assert {v.rule for v in vs} == {"ignore"}
+        written = write_baseline(vs, path)
+        assert written == []
+
+    def test_committed_baseline_is_empty(self):
+        # The repo ships with zero baselined debt; this fails the moment
+        # someone baselines a violation instead of fixing it.
+        committed = (REPO_ROOT / "src" / "repro" / "sancheck"
+                     / "baseline.json")
+        if committed.exists():
+            assert json.loads(committed.read_text()) == []

@@ -30,7 +30,7 @@ from repro.smp.explore import (
     make_race_suite,
     replay,
 )
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 
 def smp_machine(n=2, phys_mb=256, **kw):

@@ -5,7 +5,7 @@ import pytest
 from repro import MIB, Machine
 from repro.errors import InvalidArgumentError
 from conftest import make_filled_region
-from auditor import audit_machine
+from repro.verify.audit import audit_machine
 
 
 @pytest.fixture
