@@ -106,6 +106,9 @@ def main(argv=None):
                         help="fast CI subset at quick settings")
     parser.add_argument("--json", metavar="PATH",
                         help="also dump all results as JSON to PATH")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a kernel tracepoint timeline across "
+                             "the run and export Chrome-trace JSON to PATH")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -125,16 +128,35 @@ def main(argv=None):
         parser.error(f"unknown experiment ids: {unknown} "
                      f"(--list shows the valid ones)")
 
+    tracer = None
+    if args.trace:
+        # Every Machine built from here on binds to the tracer; events
+        # are drained and exported once the whole selection finishes.
+        from ..trace import points as trace_points
+        from ..trace.tracer import Tracer
+        tracer = Tracer()
+        trace_points.attach(tracer)
+
     collected = []
-    for exp_id in selected:
-        started = time.time()
-        result = experiments[exp_id](args.full)
-        results = result if isinstance(result, tuple) else (result,)
-        for item in results:
-            print_result(item)
-            collected.append(item)
-        print(f"  [{exp_id} regenerated in {time.time() - started:.1f}s "
-              f"host time]\n")
+    try:
+        for exp_id in selected:
+            started = time.time()
+            result = experiments[exp_id](args.full)
+            results = result if isinstance(result, tuple) else (result,)
+            for item in results:
+                print_result(item)
+                collected.append(item)
+            print(f"  [{exp_id} regenerated in {time.time() - started:.1f}s "
+                  f"host time]\n")
+    finally:
+        if tracer is not None:
+            from ..trace import points as trace_points
+            from ..trace.export import write_chrome_trace
+            trace_points.detach()
+            events = tracer.drain()
+            n = write_chrome_trace(events, args.trace)
+            print(f"wrote {n} trace entries to {args.trace} "
+                  f"({tracer.emitted} emitted, {tracer.dropped} dropped)")
     if args.json:
         import json
         payload = [

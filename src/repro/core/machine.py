@@ -19,10 +19,40 @@ from ..timing.clock import SimClock
 from ..timing.contention import contention_group
 from ..timing.costs import CostModel, CostParams
 from ..timing.noise import NoiseModel
+from ..trace import points
+from ..trace.metrics import MetricsRegistry
 from .process import Process
 
 MIB = 1024 * 1024
 GIB = 1024 * MIB
+
+
+class StatsView:
+    """``machine.stats``: attribute access *and* the unified snapshot.
+
+    Attribute reads/writes proxy to the kernel's ``VMStats`` (the
+    historical ``machine.stats.page_faults`` shape every test and
+    benchmark uses), while *calling* the view — ``machine.stats()`` —
+    returns the metrics registry's full namespaced snapshot, counters
+    from every subsystem flattened to ``{"ns.key": value}``.
+    """
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine):
+        object.__setattr__(self, "_machine", machine)
+
+    def __call__(self):
+        return self._machine.metrics.snapshot()
+
+    def __getattr__(self, name):
+        return getattr(self._machine.kernel.stats, name)
+
+    def __setattr__(self, name, value):
+        setattr(self._machine.kernel.stats, name, value)
+
+    def __repr__(self):
+        return f"StatsView({self._machine.kernel.stats!r})"
 
 
 class Machine:
@@ -88,6 +118,23 @@ class Machine:
                 self.kcsan = KcsanState(self.smp)
                 self.kernel.san = self.kcsan
         self._init_process = None
+        self._stats_view = StatsView(self)
+        # The metrics registry (repro.trace.metrics): each subsystem
+        # registers the one source that owns its counters; snapshot()
+        # flattens them all into the namespaced ``machine.stats()`` view.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("vm", self._vm_metrics)
+        self.metrics.register("mem", self.memory_report)
+        self.metrics.register("lock", self._lock_metrics)
+        self.metrics.register("tlb", self._tlb_metrics)
+        self.metrics.register("san", self._san_metrics)
+        self.metrics.register("trace", self._trace_metrics)
+        # A machine built while a tracer is attached binds to it, so
+        # multi-machine benchmarks stamp events against the machine
+        # currently under construction/measurement.
+        tracer = points.current()
+        if tracer is not None:
+            tracer.bind(self)
 
     def _reserve_frame_zero(self):
         """Keep pfn 0 out of circulation so a zero pfn is always a bug."""
@@ -121,8 +168,9 @@ class Machine:
 
     @property
     def stats(self):
-        """Kernel-wide event counters (/proc/vmstat)."""
-        return self.kernel.stats
+        """Kernel counters — attributes proxy ``VMStats``; calling it
+        (``machine.stats()``) returns the unified namespaced snapshot."""
+        return self._stats_view
 
     def stopwatch(self):
         """A started stopwatch over the virtual clock."""
@@ -144,7 +192,17 @@ class Machine:
         return self.kernel.wake_kswapd()
 
     def vmstat(self):
-        """Kernel counters plus reclaim/swap gauges (/proc/vmstat-style)."""
+        """Kernel counters plus reclaim/swap gauges (/proc/vmstat-style).
+
+        The same dict as the metrics registry's ``vm`` namespace — this
+        is now a thin alias so no counter has two owners.
+        """
+        return self.metrics.collect("vm")
+
+    # ---- metrics-registry sources (one owner per namespace) ----------------
+
+    def _vm_metrics(self):
+        """The ``vm`` namespace: VMStats plus reclaim/swap gauges."""
         stats = dict(vars(self.kernel.stats))
         stats["nr_free_pages"] = self.allocator.free_frames
         reclaim = self.kernel.reclaim
@@ -158,6 +216,61 @@ class Machine:
             stats["swap_used_slots"] = self.kernel.swap.used_slots
             stats["swap_cache_pages"] = len(self.kernel.swap_cache)
         return stats
+
+    def _lock_metrics(self):
+        """The ``lock`` namespace: aggregated SMP lock/scheduler stats."""
+        smp = self.smp
+        if smp is None:
+            return {}
+        mmap_locks = list(smp._mmap_locks.values())
+        pt_locks = list(smp._pt_locks.values())
+        return {
+            "waits": smp.lock_waits,
+            "wait_ns": smp.lock_wait_ns,
+            "mmap_contended": sum(l.contended_acquires for l in mmap_locks),
+            "mmap_wait_ns": sum(l.wait_ns_total for l in mmap_locks),
+            "pt_contended": sum(l.contended_acquires for l in pt_locks),
+            "pt_wait_ns": sum(l.wait_ns_total for l in pt_locks),
+            "sched_steps": smp.steps,
+            "ctx_switches": sum(v.ctx_switches for v in smp.vcpus),
+            "ipis_received": sum(v.ipis_received for v in smp.vcpus),
+        }
+
+    def _tlb_metrics(self):
+        """The ``tlb`` namespace: hit/miss/flush totals over live views."""
+        tlbs = [task.mm.tlb for task in self.kernel.tasks.values()]
+        if self.smp is not None:
+            tlbs.extend(v.tlb for v in self.smp.vcpus)
+        out = {"hits": 0, "misses": 0, "flushes_full": 0,
+               "flushes_range": 0, "evictions": 0}
+        for tlb in tlbs:
+            s = tlb.stats
+            out["hits"] += s.hits
+            out["misses"] += s.misses
+            out["flushes_full"] += s.flushes_full
+            out["flushes_range"] += s.flushes_range
+            out["evictions"] += s.evictions
+        out["shootdowns"] = self.kernel.stats.tlb_shootdowns
+        out["ipis_sent"] = self.kernel.stats.ipis_sent
+        return out
+
+    def _san_metrics(self):
+        """The ``san`` namespace: dynamic sanitizer tallies."""
+        out = {}
+        if self.kasan is not None:
+            out["kasan_reports"] = len(self.kasan.reports)
+            out["kasan_quarantined"] = len(self.kasan.quarantine)
+        if self.kcsan is not None:
+            out["kcsan_reports"] = len(self.kcsan.reports)
+            out["kcsan_accesses"] = self.kcsan.accesses
+        return out
+
+    def _trace_metrics(self):
+        """The ``trace`` namespace: the attached tracer's own counters."""
+        tracer = points.current()
+        if tracer is None or self not in tracer.machines:
+            return {}
+        return tracer.counters()
 
     # ---- accounting / invariants -------------------------------------------------
 

@@ -48,6 +48,7 @@ from ..paging.table import LEVEL_PTE, level_base, table_index
 from .rmap import rmap_add, rmap_remove
 from .tableops import copy_shared_pte_table, free_anon_frames, unshare_sole_owner
 from ..sancheck.annotations import acquires, must_hold
+from ..trace import points
 
 
 @must_hold("mmap_lock", "ptl")
@@ -68,6 +69,7 @@ def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
     slot = int(swap_entry_slot(leaf.entries[pte_index]))
     kernel.cost.charge_swap_cache_lookup()
     pfn = kernel.swap_cache.pfn_of(slot)
+    cache_hit = pfn is not None
     if pfn is None:
         kernel.failpoints.hit("fault.swap_in")
         pfn = kernel.alloc_data_frame(mm)
@@ -82,6 +84,9 @@ def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
     else:
         kernel.stats.swap_cache_hits += 1
         kernel.cost.charge_fault_spurious()
+    if points.enabled:
+        points.tracepoint("fault.swap_in", slot=slot, pfn=pfn,
+                          cache_hit=cache_hit)
     kernel.pages.ref_inc(pfn)  # the table's ownership reference
     rmap_add(kernel, pfn, leaf.pfn)
     # The PTE's slot reference is consumed; when it was the last one the
@@ -113,6 +118,7 @@ class FaultHandler:
         kernel = self.kernel
         mm = task.mm
         kernel.stats.page_faults += 1
+        start_ns = kernel.cost.clock.now_ns
         kernel.cost.charge_fault_base()
 
         vma = mm.vmas.find(vaddr)
@@ -131,6 +137,11 @@ class FaultHandler:
         # faulting page is purged from every CPU caching this mm (remote
         # vCPUs get an IPI; ptep_clear_flush_notify does the same).
         kernel.tlbs.shootdown_page(mm, vaddr)
+        if points.enabled:
+            points.tracepoint(
+                "fault.handle",
+                dur_ns=kernel.cost.clock.now_ns - start_ns,
+                vaddr=vaddr, write=is_write, huge_vma=vma.is_hugetlb)
 
     # ---- 4 KiB path ---------------------------------------------------- #
 
@@ -183,6 +194,8 @@ class FaultHandler:
         else:
             kernel.stats.spurious_faults += 1
             kernel.cost.charge_fault_spurious()
+            if points.enabled:
+                points.tracepoint("fault.spurious", vaddr=vaddr)
 
     @must_hold("mmap_lock", "ptl")
     def _demand_zero(self, mm, vma, leaf, pte_index, is_write):
@@ -200,6 +213,8 @@ class FaultHandler:
         rmap_add(kernel, pfn, leaf.pfn)
         mm.add_rss(1, file_backed=False)
         kernel.stats.demand_zero_faults += 1
+        if points.enabled:
+            points.tracepoint("fault.demand_zero", pfn=pfn)
 
     @must_hold("mmap_lock", "ptl")
     def _file_fault(self, mm, vma, leaf, pte_index, vaddr, is_write):
@@ -226,6 +241,9 @@ class FaultHandler:
             ))
             rmap_add(kernel, new_pfn, leaf.pfn)
             mm.add_rss(1, file_backed=False)
+            if points.enabled:
+                points.tracepoint("fault.file", vaddr=vaddr, pfn=new_pfn,
+                                  private_cow=True)
             return
 
         # Map the cache page itself; the table takes its ownership ref.
@@ -238,6 +256,9 @@ class FaultHandler:
         if is_write and writable:
             kernel.page_cache.mark_dirty(cache_pfn)
         mm.add_rss(1, file_backed=True)
+        if points.enabled:
+            points.tracepoint("fault.file", vaddr=vaddr, pfn=cache_pfn,
+                              private_cow=False)
 
     @must_hold("mmap_lock", "ptl")
     def _write_protect_fault(self, mm, vma, leaf, pte_index, vaddr):
@@ -260,6 +281,9 @@ class FaultHandler:
             leaf.entries[pte_index] = pte | BIT_RW | BIT_DIRTY
             kernel.stats.cow_reuse += 1
             kernel.cost.charge_fault_spurious()
+            if points.enabled:
+                points.tracepoint("fault.cow", vaddr=vaddr, pfn=pfn,
+                                  reuse=True)
             return
 
         if kernel.rmap is not None:
@@ -294,6 +318,9 @@ class FaultHandler:
             mm.sub_rss(1, file_backed=True)
             mm.add_rss(1, file_backed=False)
         kernel.stats.cow_faults += 1
+        if points.enabled:
+            points.tracepoint("fault.cow", vaddr=vaddr, pfn=new_pfn,
+                              reuse=False)
 
     @must_hold("mmap_lock", "ptl")
     def _huge_entry_fault(self, mm, vma, pmd_table, pmd_index, vaddr,
@@ -307,6 +334,9 @@ class FaultHandler:
                 pmd_table.entries[pmd_index] = entry | BIT_RW | BIT_DIRTY
                 kernel.stats.cow_reuse += 1
                 kernel.cost.charge_fault_spurious()
+                if points.enabled:
+                    points.tracepoint("fault.huge", vaddr=vaddr, cow=True,
+                                      reuse=True)
                 return
             kernel.failpoints.hit("fault.huge_cow")
             new_head = kernel.alloc_huge_frame(mm)
@@ -331,9 +361,14 @@ class FaultHandler:
                                      slot_start + HUGE_PAGE_SIZE,
                                      charge=False)
             kernel.stats.huge_cow_faults += 1
+            if points.enabled:
+                points.tracepoint("fault.huge", vaddr=vaddr, cow=True,
+                                  reuse=False)
             return
         kernel.stats.spurious_faults += 1
         kernel.cost.charge_fault_spurious()
+        if points.enabled:
+            points.tracepoint("fault.spurious", vaddr=vaddr)
 
     # ---- 2 MiB (hugetlb) path ------------------------------------------- #
 
@@ -355,6 +390,9 @@ class FaultHandler:
             ))
             mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
             kernel.stats.huge_faults += 1
+            if points.enabled:
+                points.tracepoint("fault.huge", vaddr=vaddr, cow=False,
+                                  reuse=False)
             return
 
         if not is_huge(entry):
@@ -366,6 +404,9 @@ class FaultHandler:
                 pmd_table.entries[pmd_index] = entry | BIT_RW | BIT_DIRTY
                 kernel.stats.cow_reuse += 1
                 kernel.cost.charge_fault_spurious()
+                if points.enabled:
+                    points.tracepoint("fault.huge", vaddr=vaddr, cow=True,
+                                      reuse=True)
                 return
             kernel.failpoints.hit("fault.huge_cow")
             new_head = kernel.alloc_huge_frame(mm)
@@ -386,10 +427,15 @@ class FaultHandler:
                                      slot_start + HUGE_PAGE_SIZE,
                                      charge=False)
             kernel.stats.huge_cow_faults += 1
+            if points.enabled:
+                points.tracepoint("fault.huge", vaddr=vaddr, cow=True,
+                                  reuse=False)
             return
 
         kernel.stats.spurious_faults += 1
         kernel.cost.charge_fault_spurious()
+        if points.enabled:
+            points.tracepoint("fault.spurious", vaddr=vaddr)
 
 
 def _round_up(value, granule):

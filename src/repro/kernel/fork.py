@@ -26,6 +26,7 @@ from ..paging.table import (
 )
 from .tableops import count_file_pages, private_cow_mask, table_present_pfns
 from ..sancheck.annotations import acquires, must_hold, tlb_deferred
+from ..trace import points
 
 
 def iter_parent_pmd_tables(mm):
@@ -154,6 +155,9 @@ def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
         child_mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
         cost.charge_copy_huge_entries(1)
         state.n_huge_entries += 1
+        if points.enabled:
+            points.tracepoint("fork.copy_slot", slot_start=slot_start,
+                              huge=True, n_present=1)
         return
 
     parent_leaf = parent_mm.resolve(int(entry_pfn(entry)))
@@ -190,6 +194,9 @@ def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
     cost.charge_copy_pte_entries(len(pfns))
     child_pmd.set(child_index, make_entry(child_leaf.pfn, writable=True, user=True))
     state.n_leaf_tables += 1
+    if points.enabled:
+        points.tracepoint("fork.copy_slot", slot_start=slot_start,
+                          huge=False, n_present=len(pfns))
 
 
 @must_hold("mmap_lock")
@@ -208,6 +215,11 @@ def finish_classic_copy(kernel, parent_mm, child_mm, state):
     # translations on every CPU running the parent's address space.
     kernel.tlbs.shootdown_mm(parent_mm)
     kernel.stats.forks += 1
+    if points.enabled:
+        points.tracepoint("fork.copy_done",
+                          leaf_tables=state.n_leaf_tables,
+                          huge_entries=state.n_huge_entries,
+                          upper_tables=state.builder.upper_tables_created)
 
 
 @must_hold("mmap_lock")

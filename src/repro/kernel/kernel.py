@@ -26,6 +26,7 @@ from ..mem.buddy import OutOfFramesError
 from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE
 from ..paging.table import page_align_up, page_offset
 from ..paging.walk import MMUFault, Walker
+from ..trace import points
 from .failpoints import FailPoints
 from .fault import FaultHandler
 from .filesystem import SimFS
@@ -212,6 +213,10 @@ class Kernel:
         if r is None or r.running:
             return 0
         self.stats.kswapd_wakeups += 1
+        if points.enabled:
+            points.tracepoint("reclaim.kswapd_wake",
+                              free_frames=self.allocator.free_frames,
+                              nr_extra=nr_extra)
         r.running = True
         try:
             with self.cost.background():
@@ -405,6 +410,9 @@ class Kernel:
             self.clock.advance((self.clock.now_ns - start_ns) * noise.syscall_jitter())
         task.last_fork_ns = self.clock.now_ns - start_ns
         task.fork_count += 1
+        if points.enabled:
+            points.tracepoint("fork.invoke", dur_ns=task.last_fork_ns,
+                              pid=task.pid, child_pid=child.pid, odf=use_odf)
         return child
 
     def _abort_fork(self, parent, child):

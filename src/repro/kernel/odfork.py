@@ -44,6 +44,7 @@ from .fork import (
 from ..paging.table import LEVEL_PMD, LEVEL_SPAN
 from .tableops import add_table_sharer, count_file_pages, table_present_pfns
 from ..sancheck.annotations import acquires, must_hold, tlb_deferred
+from ..trace import points
 
 #: Deliberate-bug switch for the differential oracle's self-test: when
 #: True, odfork skips writing the write-protected entries back into the
@@ -103,6 +104,10 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
             count = int(np.count_nonzero(leaf_positions))
             shared_tables += count
             child_mm.nr_pte_tables += count
+            if points.enabled:
+                points.tracepoint("odfork.share_table", table_base=table_base,
+                                  n_shared=count,
+                                  n_huge=int(np.count_nonzero(present & huge)))
 
         huge_positions = np.nonzero(present & huge)[0]
         for pmd_index in huge_positions.tolist():
@@ -176,6 +181,9 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
     child_pmd.entries[child_index] = protected
     child_mm.nr_pte_tables += 1
     cost.charge_share_tables(1)
+    if points.enabled:
+        points.tracepoint("odfork.share_table", table_base=slot_start,
+                          n_shared=1, n_huge=0)
     return 1
 
 
@@ -196,3 +204,6 @@ def finish_odf_copy(kernel, parent_mm, child_mm, builder, shared_tables):
     kernel.tlbs.shootdown_mm(parent_mm)
     kernel.stats.odforks += 1
     kernel.stats.tables_shared += shared_tables
+    if points.enabled:
+        points.tracepoint("odfork.share_done", shared_tables=shared_tables,
+                          upper_tables=builder.upper_tables_created)

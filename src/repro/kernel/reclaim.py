@@ -35,6 +35,7 @@ from ..errors import KernelBug
 from ..mem.page import PAGE_SIZE
 from .rmap import free_one_anon_frame, test_and_clear_referenced, try_to_unmap
 from ..sancheck.annotations import acquires, must_hold
+from ..trace import points
 
 
 class LRUList:
@@ -110,6 +111,7 @@ class ReclaimState:
         """Reclaim up to ``nr_target`` frames from the LRU; returns freed."""
         kernel = self.kernel
         stats = kernel.stats
+        start_ns = kernel.cost.clock.now_ns
         freed = 0
         scanned = 0
         max_scan = 2 * (len(self.active) + len(self.inactive)) + 8
@@ -135,6 +137,12 @@ class ReclaimState:
             else:
                 # Pinned, or swap is full: rotate it out of the way.
                 self.active.add(pfn)
+        if points.enabled:
+            points.tracepoint(
+                "reclaim.shrink",
+                dur_ns=kernel.cost.clock.now_ns - start_ns,
+                target=nr_target, freed=freed, scanned=scanned,
+                kswapd=from_kswapd)
         return freed
 
     def balance(self, nr_extra=0):
@@ -247,4 +255,7 @@ class ReclaimState:
             free_one_anon_frame(kernel, pfn)
         elif remaining != 0:
             raise KernelBug("swapped-out page still referenced after unmap")
+        if points.enabled:
+            points.tracepoint("reclaim.evict", pfn=pfn, slot=slot,
+                              io=cached_slot is None)
         return True

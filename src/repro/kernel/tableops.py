@@ -37,6 +37,7 @@ from ..paging.entries import (
 )
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
 from ..sancheck.annotations import must_hold
+from ..trace import points
 
 
 def add_table_sharer(kernel, leaf_pfn, mm):
@@ -207,6 +208,9 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     if remaining == 0:
         raise KernelBug("shared table refcount hit zero during COW copy")
     kernel.stats.table_cow_copies += 1
+    if points.enabled:
+        points.tracepoint("table.cow_copy", slot_start=slot_start,
+                          n_present=len(pfns), remaining_sharers=remaining)
     # Local flush is sufficient: the copy maps the same pfns, and any
     # other CPU's cached entries for this range are read-only (the PMD
     # write-protect shootdown at share time already purged writable ones).
@@ -228,3 +232,5 @@ def unshare_sole_owner(kernel, mm, pmd_table, pmd_index):
     pmd_table.entries[pmd_index] = entry | BIT_RW
     kernel.cost.charge_pt_unshare_flip()
     kernel.stats.table_unshares += 1
+    if points.enabled:
+        points.tracepoint("table.unshare", table_pfn=int(entry_pfn(entry)))

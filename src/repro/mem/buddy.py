@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidArgumentError, KernelBug, OutOfMemoryError
+from ..trace import points
 
 MAX_ORDER = 10  # 4 MiB max block, matching Linux's default
 
@@ -116,6 +117,8 @@ class BuddyAllocator:
                 o -= 1
                 self._insert_free(pfn + (1 << o), o)
             self._alloc_order[pfn] = order
+            if points.enabled:
+                points.tracepoint("buddy.alloc", pfn=pfn, order=order)
             return pfn
         raise OutOfFramesError(
             f"no free block of order {order} ({self.free_frames} frames free)"
@@ -137,6 +140,11 @@ class BuddyAllocator:
             raise KernelBug(f"freeing pfn {pfn} with order {order}, allocated {recorded}")
         order = recorded
         self._alloc_order[pfn] = -1
+        if points.enabled:
+            # Bulk paths are deliberately silent: a single event per
+            # million-frame free_bulk would still be noise, per-frame
+            # events would be the perturbation tracing must not cause.
+            points.tracepoint("buddy.free", pfn=pfn, order=order)
         # Coalesce with free buddies as far as possible.
         while order < MAX_ORDER:
             buddy = pfn ^ (1 << order)

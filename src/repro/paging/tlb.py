@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..mem.page import PAGE_SHIFT
+from ..trace import points
 
 
 @dataclass
@@ -169,6 +170,13 @@ class ShootdownEngine:
             for vcpu in targets:
                 _flush(vcpu.tlb, start, end)
         self.kernel.stats.tlb_shootdowns += 1
+        if points.enabled:
+            if start is None or end is None:
+                pages = 0          # full (or single-page) invalidation
+            else:
+                pages = max(1, (end - start) >> PAGE_SHIFT)
+            points.tracepoint("tlb.shootdown", targets=len(targets),
+                              pages=pages)
         return len(targets)
 
     def _local_tlbs(self, mm):
@@ -212,6 +220,8 @@ class ShootdownEngine:
             else:
                 n_pages = max(1, (end - start) >> PAGE_SHIFT)
             self.kernel.cost.charge_tlb_flush(n_pages)
+            if points.enabled:
+                points.tracepoint("tlb.flush", pages=n_pages)
         self._remote_invalidate([mm], start, end)
 
     def shootdown_sharers(self, leaf_pfn, mms=None):

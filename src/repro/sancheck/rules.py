@@ -25,7 +25,8 @@ from .dataflow import (
     RETURN,
 )
 
-RULES = ("lock-context", "failpoint", "refcount", "tlb", "ignore")
+RULES = ("lock-context", "failpoint", "refcount", "tlb", "trace-registry",
+         "ignore")
 
 
 @dataclass
@@ -227,6 +228,56 @@ def check_failpoints(files):
 
 
 # ------------------------------------------------------------------ #
+# Rule: trace-registry
+
+
+def check_trace_registry(files):
+    """Every ``tracepoint()`` name must be declared in the trace registry.
+
+    The runtime raises :class:`~repro.trace.points.UnknownTracepoint` for
+    an undeclared name, but only if the site actually executes while a
+    tracer is attached; this rule catches the typo at analysis time, on
+    cold paths included.  Names must be string literals — the registry
+    is the whole point, so a computed name defeats the check and is
+    itself a violation.
+    """
+    import ast
+
+    from ..trace.registry import EVENTS
+
+    violations = []
+    for sf in files:
+        for func in sf.functions:
+            for call in func.calls:
+                if call.name != "tracepoint":
+                    continue
+                node = call.node
+                if not node.args:
+                    violations.append(Violation(
+                        "trace-registry", sf.module, func.qualname,
+                        call.lineno,
+                        "tracepoint() called with no event name"))
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)):
+                    violations.append(Violation(
+                        "trace-registry", sf.module, func.qualname,
+                        call.lineno,
+                        "tracepoint name must be a string literal so the "
+                        "registry check can verify it"))
+                    continue
+                if first.value not in EVENTS:
+                    violations.append(Violation(
+                        "trace-registry", sf.module, func.qualname,
+                        call.lineno,
+                        f"tracepoint {first.value!r} is not declared in "
+                        f"repro.trace.registry.EVENTS — declare it (name, "
+                        f"kind, fields) before emitting"))
+    return violations
+
+
+# ------------------------------------------------------------------ #
 # Rules 3+4: refcount pairing and TLB discipline (shared path walk)
 
 
@@ -272,5 +323,6 @@ def run_all_rules(files):
     violations = []
     violations += check_lock_context(files)
     violations += check_failpoints(files)
+    violations += check_trace_registry(files)
     violations += check_dataflow(files, classifier)
     return violations

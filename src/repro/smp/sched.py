@@ -38,6 +38,7 @@ from __future__ import annotations
 import random
 
 from ..errors import KernelBug
+from ..trace import points
 from .locks import (
     DeadlockError,
     LockOrderError,
@@ -356,12 +357,18 @@ class Scheduler:
                 self.machine.cost.charge_mmap_lock()
             else:
                 self.machine.cost.charge_pt_lock()
-            if lock.try_acquire(task, event.mode):
-                task.held.append(lock)
-            else:
+            contended = not lock.try_acquire(task, event.mode)
+            if contended:
                 task.state = STATE_BLOCKED
                 task.blocked_on = lock
                 task.blocked_at_ns = task.vcpu.clock.now_ns
+            else:
+                task.held.append(lock)
+            if points.enabled:
+                points.tracepoint(
+                    "lock.acquire",
+                    kind="mmap" if lock.rank == 0 else "pt",
+                    contended=contended, cpu=task.vcpu.id)
         elif isinstance(event, Release):
             lock = event.lock
             granted = lock.release(task)
@@ -390,6 +397,10 @@ class Scheduler:
         waiter.held.append(lock)
         waiter.state = STATE_READY
         waiter.blocked_on = None
+        if points.enabled:
+            points.tracepoint("lock.wait", dur_ns=waited,
+                              kind="mmap" if lock.rank == 0 else "pt",
+                              cpu=waiter.vcpu.id)
 
     def _charge_on(self, vcpu, method):
         cost = self.machine.cost

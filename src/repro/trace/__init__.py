@@ -1,0 +1,40 @@
+"""ktrace: an ftrace/perf-style tracing & metrics subsystem.
+
+Three layers, smallest cost first:
+
+* :mod:`repro.trace.points` — the ``tracepoint(name, **fields)`` emit
+  API.  Sites guard on ``points.enabled`` so a disabled tracepoint costs
+  one attribute load and a falsy test: no dict, no event, no allocation.
+* :mod:`repro.trace.tracer` — per-CPU overwrite-oldest ring buffers
+  draining into virtual-clock-stamped :class:`TraceEvent` records, with
+  :mod:`repro.trace.hist` log2 latency histograms and
+  :mod:`repro.trace.export` Chrome-trace/Perfetto JSON on top.
+* :mod:`repro.trace.metrics` — the registry behind ``Machine.stats()``:
+  every subsystem's counters in one namespaced snapshot.
+
+Quickstart::
+
+    from repro.trace import recording
+    with recording(machine) as tracer:
+        child = proc.odfork(); proc.touch(buf, write=True)
+    events = tracer.drain()
+
+or from the shell::
+
+    python -m repro.trace record --workload forkbench --export trace.json
+"""
+
+from . import points
+from .hist import Histogram, build_histograms, report
+from .metrics import MetricsRegistry
+from .registry import EVENTS, event_classes, spec_for
+from .ring import RingBuffer
+from .tracer import TraceEvent, Tracer, recording
+from .export import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "points", "EVENTS", "spec_for", "event_classes",
+    "RingBuffer", "TraceEvent", "Tracer", "recording",
+    "Histogram", "build_histograms", "report",
+    "MetricsRegistry", "to_chrome_trace", "write_chrome_trace",
+]

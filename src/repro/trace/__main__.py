@@ -1,0 +1,152 @@
+"""``python -m repro.trace`` — record a workload, report, export.
+
+Subcommands:
+
+* ``record`` — run one of the built-in workloads under a tracer, print
+  top-N log2 latency histograms and the tracer/drop counters, and
+  optionally export a Chrome-trace JSON (loads in chrome://tracing and
+  ui.perfetto.dev).
+* ``list`` — print the declared tracepoint registry.
+
+Example::
+
+    python -m repro.trace record --workload forkbench --export trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.machine import GIB, MIB, Machine
+from . import hist
+from .export import write_chrome_trace
+from .registry import EVENTS
+from .tracer import recording
+
+PAGE = 4096
+
+
+def _workload_forkbench(machine, args):
+    """Figure-1 loop: map, fill, fork repeatedly (classic and odfork)."""
+    from ..workloads.forkbench import fork_latency_for_size
+    size = int(args.size_gb * GIB)
+    for variant in (("fork", "odfork") if args.variant == "both"
+                    else (args.variant,)):
+        fork_latency_for_size(machine, size, variant, repeats=args.repeats)
+
+
+def _workload_faultbench(machine, args):
+    """Fault-path mix: demand-zero touch, odfork, then COW writes."""
+    size = int(args.size_gb * GIB)
+    parent = machine.spawn_process("faultbench")
+    buf = parent.mmap(size)
+    parent.touch_range(buf, size, write=True)          # demand-zero faults
+    for _ in range(args.repeats):
+        child = parent.odfork()
+        # Stride writes trigger table-COW then per-page COW under the
+        # shared tables (§3.4) — the paper's post-fork fault tax.
+        step = max(PAGE, size // 256)
+        for off in range(0, size, step):
+            child.touch(buf + off, write=True)
+        child.exit()
+        parent.wait()
+    parent.exit()
+    machine.init_process.wait()
+
+
+def _workload_reclaim(machine, args):
+    """Memory pressure: overcommit the heap so kswapd and swap engage."""
+    parent = machine.spawn_process("reclaim-bench")
+    target = int(machine.allocator.n_frames * PAGE * 1.2)
+    chunk = 64 * MIB
+    bufs = []
+    for base in range(0, target, chunk):
+        size = min(chunk, target - base)
+        buf = parent.mmap(size)
+        parent.touch_range(buf, size, write=True)
+        bufs.append((buf, size))
+        machine.run_kswapd()
+    for buf, size in bufs[: len(bufs) // 2]:
+        parent.touch_range(buf, min(size, 4 * MIB), write=True)
+    parent.exit()
+    machine.init_process.wait()
+
+
+WORKLOADS = {
+    "forkbench": (_workload_forkbench,
+                  "fig-1 fork loop (classic + on-demand-fork)"),
+    "faultbench": (_workload_faultbench,
+                   "odfork then strided COW/table-COW faults"),
+    "reclaim": (_workload_reclaim,
+                "heap overcommit driving kswapd + swap"),
+}
+
+
+def cmd_record(args):
+    swap_mb = 512 if args.workload == "reclaim" else 0
+    phys_mb = (1024 if args.workload == "reclaim"
+               else int((args.size_gb + 3.0) * 1024))
+    machine = Machine(phys_mb=phys_mb, swap_mb=swap_mb, smp=args.smp)
+    fn, _ = WORKLOADS[args.workload]
+    with recording(machine, ring_capacity=args.ring_capacity) as tracer:
+        fn(machine, args)
+        events = tracer.drain()
+        emitted, dropped = tracer.emitted, tracer.dropped
+        by_name = dict(tracer.by_name)
+
+    print(f"workload={args.workload} events={emitted} "
+          f"drained={len(events)} dropped={dropped}")
+    print()
+    print(hist.report(events, top=args.top, by=args.by))
+    print()
+    width = max(len(n) for n in by_name) if by_name else 0
+    for name in sorted(by_name, key=lambda n: -by_name[n])[: args.top * 4]:
+        print(f"  {name:<{width}}  {by_name[name]:>8}")
+    if args.export:
+        n = write_chrome_trace(events, args.export, label=args.workload)
+        print(f"\nwrote {n} trace entries to {args.export} "
+              f"(open in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_list(args):
+    width = max(len(n) for n in EVENTS)
+    for name in sorted(EVENTS):
+        spec = EVENTS[name]
+        print(f"{name:<{width}}  {spec.kind:<7}  {spec.doc}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Record and inspect kernel tracepoint timelines.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="trace a workload")
+    rec.add_argument("--workload", choices=sorted(WORKLOADS),
+                     default="forkbench")
+    rec.add_argument("--variant", choices=("fork", "odfork", "both"),
+                     default="both", help="forkbench fork flavour")
+    rec.add_argument("--size-gb", type=float, default=1.0)
+    rec.add_argument("--repeats", type=int, default=3)
+    rec.add_argument("--smp", type=int, default=None,
+                     help="attach N virtual CPUs (per-CPU rings)")
+    rec.add_argument("--ring-capacity", type=int, default=65536)
+    rec.add_argument("--top", type=int, default=5,
+                     help="histograms to print")
+    rec.add_argument("--by", choices=("class", "name"), default="class")
+    rec.add_argument("--export", metavar="PATH",
+                     help="write Chrome-trace JSON here")
+    rec.set_defaults(fn=cmd_record)
+
+    lst = sub.add_parser("list", help="print the tracepoint registry")
+    lst.set_defaults(fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Chrome-trace / Perfetto JSON export.
+
+Produces the Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: a ``{"traceEvents": [...]}`` object where span
+events become complete ("ph": "X") slices and instants become "i" marks.
+Timestamps are microseconds (float) per the format; our virtual clock is
+integer nanoseconds, so ts/dur divide by 1000.  A span is stamped at its
+*end* (the emit site fires after measuring), so the slice start is
+``ts - dur``.  pid is the bound-machine index — each Machine renders as
+its own Perfetto process track — and tid is the emitting CPU.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import EVENTS, KIND_SPAN
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(events, label="repro"):
+    """Trace Event Format dict for a drained event list."""
+    out = []
+    pids = set()
+    for event in events:
+        pids.add(event.pid)
+        spec = EVENTS[event.name]
+        entry = {
+            "name": event.name,
+            "cat": spec.cls,
+            "pid": event.pid,
+            "tid": event.cpu,
+            "args": {k: v for k, v in event.fields.items()
+                     if k != "dur_ns"},
+        }
+        dur = event.fields.get("dur_ns")
+        if spec.kind == KIND_SPAN and dur is not None:
+            entry["ph"] = "X"
+            entry["ts"] = (event.ts_ns - dur) / 1000.0
+            entry["dur"] = dur / 1000.0
+        else:
+            entry["ph"] = "i"
+            entry["ts"] = event.ts_ns / 1000.0
+            entry["s"] = "t"        # thread-scoped instant
+        out.append(entry)
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": f"{label}:machine{pid}"}}
+            for pid in sorted(pids)]
+    return {"traceEvents": meta + out, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(events, path, label="repro"):
+    """Serialise to ``path``; returns the event count written."""
+    doc = to_chrome_trace(events, label=label)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -1,0 +1,100 @@
+"""Log2 latency histograms over span events, ftrace ``hist:`` style.
+
+Durations bucket by floor(log2(ns)): bucket k holds [2^k, 2^(k+1)) ns,
+with a dedicated bucket 0 for zero-duration spans.  Power-of-two buckets
+span the simulator's full dynamic range — a 100 ns PTE copy and a 20 ms
+fork land 18 buckets apart but in the *same* histogram — and match how
+kernel latency tooling (funclatency, ftrace hist triggers) renders.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Histogram", "build_histograms", "report"]
+
+
+def _bucket(ns):
+    """Bucket index for a duration: 0 for 0 ns, else floor(log2)+1."""
+    if ns <= 0:
+        return 0
+    return ns.bit_length()          # floor(log2(ns)) + 1 for ns >= 1
+
+
+def _bucket_bounds(index):
+    """(lo, hi) nanosecond bounds of bucket ``index`` (hi exclusive)."""
+    if index == 0:
+        return (0, 1)
+    return (1 << (index - 1), 1 << index)
+
+
+class Histogram:
+    """A log2 histogram of nanosecond durations for one key."""
+
+    __slots__ = ("key", "counts", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self, key):
+        self.key = key
+        self.counts = {}        # bucket index -> count
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns = None
+        self.max_ns = None
+
+    def add(self, ns):
+        ns = int(ns)
+        if ns < 0:
+            raise ValueError(f"negative duration {ns} ns")
+        b = _bucket(ns)
+        self.counts[b] = self.counts.get(b, 0) + 1
+        self.count += 1
+        self.total_ns += ns
+        self.min_ns = ns if self.min_ns is None else min(self.min_ns, ns)
+        self.max_ns = ns if self.max_ns is None else max(self.max_ns, ns)
+
+    @property
+    def mean_ns(self):
+        return self.total_ns / self.count if self.count else 0.0
+
+    def rows(self):
+        """[(lo_ns, hi_ns, count)] for every occupied bucket, ascending."""
+        return [(*_bucket_bounds(b), self.counts[b])
+                for b in sorted(self.counts)]
+
+    def render(self, width=40):
+        """ASCII block chart, one line per occupied bucket."""
+        lines = [f"{self.key}: n={self.count} "
+                 f"mean={self.mean_ns / 1000:.2f}us "
+                 f"min={(self.min_ns or 0) / 1000:.2f}us "
+                 f"max={(self.max_ns or 0) / 1000:.2f}us"]
+        peak = max(self.counts.values(), default=1)
+        for lo, hi, n in self.rows():
+            bar = "#" * max(1, round(n * width / peak))
+            lines.append(f"  [{lo:>12} ns, {hi:>12} ns) {n:>8} |{bar}")
+        return "\n".join(lines)
+
+
+def build_histograms(events, by="class"):
+    """Histograms of ``dur_ns`` over span events.
+
+    ``by="class"`` keys on the event class ("fault", "fork", ...);
+    ``by="name"`` keys on the full event name.
+    """
+    hists = {}
+    for event in events:
+        dur = event.fields.get("dur_ns")
+        if dur is None:
+            continue
+        key = event.cls if by == "class" else event.name
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = Histogram(key)
+        hist.add(dur)
+    return hists
+
+
+def report(events, top=5, by="class"):
+    """Top-``top`` histograms (by event count) as one printable string."""
+    hists = build_histograms(events, by=by)
+    ranked = sorted(hists.values(), key=lambda h: -h.count)[:top]
+    if not ranked:
+        return "(no span events recorded)"
+    return "\n\n".join(h.render() for h in ranked)

@@ -1,0 +1,50 @@
+"""The metrics registry: one namespaced snapshot of every counter.
+
+Before this module, each subsystem owned its counters in its own shape —
+``Machine.vmstat()`` flattened ``VMStats`` plus reclaim gauges, lock
+stats lived on individual lock objects, shootdown tallies inside
+``VMStats`` again, sanitizer reports on the KASAN/KCSAN states.  The
+registry inverts that: subsystems register a *source callable* under a
+namespace at machine construction, and ``snapshot()`` pulls them all on
+demand into one flat ``{"ns.key": value}`` dict.  Sources stay the
+single owners of their counters (no double bookkeeping, no copies that
+can drift); the registry only reads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Namespace -> zero-arg source callable returning a flat dict."""
+
+    def __init__(self):
+        self._sources = {}
+
+    def register(self, namespace, source):
+        """Register ``source`` under ``namespace`` (replaces existing)."""
+        if "." in namespace:
+            raise ValueError(f"namespace {namespace!r} cannot contain '.'")
+        if not callable(source):
+            raise TypeError(f"source for {namespace!r} must be callable")
+        self._sources[namespace] = source
+
+    def unregister(self, namespace):
+        self._sources.pop(namespace, None)
+
+    @property
+    def namespaces(self):
+        return sorted(self._sources)
+
+    def collect(self, namespace):
+        """The raw dict from one namespace's source."""
+        return dict(self._sources[namespace]())
+
+    def snapshot(self):
+        """Every namespace flattened into one ``{"ns.key": value}`` dict."""
+        out = {}
+        for namespace in sorted(self._sources):
+            for key, value in self._sources[namespace]().items():
+                out[f"{namespace}.{key}"] = value
+        return out

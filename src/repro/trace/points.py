@@ -1,0 +1,67 @@
+"""The tracepoint emit API — the only surface kernel code touches.
+
+Idiom at every emit site::
+
+    from ..trace import points
+    ...
+    if points.enabled:
+        points.tracepoint("fault.cow", vaddr=va, pfn=pfn, reuse=False)
+
+The ``if points.enabled`` guard is the whole disabled-cost story: when
+tracing is off the site is one module-attribute load and a falsy test —
+no kwargs dict is built, no event object exists, nothing allocates.
+(Linux gets the same effect with static-key branch patching; a guarded
+attribute test is the Python equivalent.)  ``tracepoint()`` itself also
+checks, so an unguarded call is still correct, merely not free.
+
+Exactly one :class:`~repro.trace.tracer.Tracer` may be attached at a
+time; ``attach``/``detach`` flip the module flag.  Emitting a name not
+declared in :mod:`repro.trace.registry` raises ``UnknownTracepoint`` —
+and the ``trace-registry`` sancheck rule catches the typo statically
+before it can even run.
+"""
+
+from __future__ import annotations
+
+from .registry import EVENTS
+
+__all__ = ["enabled", "tracepoint", "attach", "detach", "current",
+           "UnknownTracepoint"]
+
+#: True iff a tracer is attached.  Emit sites guard on this.
+enabled = False
+
+_tracer = None
+
+
+class UnknownTracepoint(KeyError):
+    """An emit site used a name not declared in the trace registry."""
+
+
+def attach(tracer):
+    """Attach ``tracer`` as the active sink (replacing any previous)."""
+    global _tracer, enabled
+    _tracer = tracer
+    enabled = True
+
+
+def detach():
+    """Detach the active tracer; emit sites go back to near-zero cost."""
+    global _tracer, enabled
+    _tracer = None
+    enabled = False
+
+
+def current():
+    """The attached tracer, or None."""
+    return _tracer
+
+
+def tracepoint(name, **fields):
+    """Emit one event to the attached tracer (no-op when detached)."""
+    if _tracer is None:
+        return
+    if name not in EVENTS:
+        raise UnknownTracepoint(
+            f"tracepoint {name!r} is not declared in repro.trace.registry")
+    _tracer.emit(name, fields)

@@ -1,0 +1,131 @@
+"""The tracepoint registry: every event the kernel may emit, declared once.
+
+Mirrors ftrace's ``TRACE_EVENT`` discipline: an event must be *declared*
+before any site may emit it.  The declaration carries the event class
+(the prefix before the dot, which groups histograms and Perfetto tracks),
+whether the event is a **span** (carries a ``dur_ns`` field and lands in
+the latency histograms) or an **instant** marker, and the documented
+fields.  Emitting an undeclared name raises at runtime, and the
+``trace-registry`` sancheck rule rejects it statically — a typo'd event
+name can never silently vanish from a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIND_SPAN = "span"        # carries dur_ns; aggregated into log2 histograms
+KIND_INSTANT = "instant"  # a point marker with fields
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One declared tracepoint."""
+
+    name: str          # "fault.cow" — class is the prefix before the dot
+    kind: str          # KIND_SPAN or KIND_INSTANT
+    doc: str
+    fields: tuple = ()
+
+    @property
+    def cls(self):
+        """The event class ("fault", "fork", ...)."""
+        return self.name.split(".", 1)[0]
+
+
+def _spec(name, kind, doc, fields=()):
+    return EventSpec(name, kind, doc, tuple(fields))
+
+
+#: Every declared event, keyed by name.  Sites emit with
+#: ``points.tracepoint("<name>", field=value, ...)``.
+EVENTS = {spec.name: spec for spec in (
+    # ---- fork (classic copy_page_range) --------------------------------
+    _spec("fork.invoke", KIND_SPAN,
+          "One fork/odfork syscall, end to end",
+          ("dur_ns", "pid", "child_pid", "odf")),
+    _spec("fork.copy_slot", KIND_INSTANT,
+          "Classic fork copied one present 2 MiB PMD slot",
+          ("slot_start", "huge", "n_present")),
+    _spec("fork.copy_done", KIND_INSTANT,
+          "Classic copy epilogue: totals for the whole address space",
+          ("leaf_tables", "huge_entries", "upper_tables")),
+    # ---- odfork (the paper's share path) -------------------------------
+    _spec("odfork.share_table", KIND_INSTANT,
+          "odfork shared the leaf tables under one PMD table (1 GiB)",
+          ("table_base", "n_shared", "n_huge")),
+    _spec("odfork.share_done", KIND_INSTANT,
+          "odfork epilogue: share totals and the write-protect shootdown",
+          ("shared_tables", "upper_tables")),
+    # ---- page faults (§3.4 decision tree) ------------------------------
+    _spec("fault.handle", KIND_SPAN,
+          "One page fault, entry to fixed-up exit",
+          ("dur_ns", "vaddr", "write", "huge_vma")),
+    _spec("fault.demand_zero", KIND_INSTANT,
+          "Anonymous first touch: zeroed exclusive page handed out",
+          ("pfn",)),
+    _spec("fault.cow", KIND_INSTANT,
+          "Data-page COW resolution (reuse=True is the refcount-1 fast "
+          "path that copies nothing)",
+          ("vaddr", "pfn", "reuse")),
+    _spec("fault.file", KIND_INSTANT,
+          "Page-cache fill (private_cow=True broke to an anon copy)",
+          ("vaddr", "pfn", "private_cow")),
+    _spec("fault.swap_in", KIND_INSTANT,
+          "Swap-entry PTE faulted back in (cache_hit=True cost no I/O)",
+          ("slot", "pfn", "cache_hit")),
+    _spec("fault.huge", KIND_INSTANT,
+          "2 MiB fault: demand allocation or whole-page COW",
+          ("vaddr", "cow", "reuse")),
+    _spec("fault.spurious", KIND_INSTANT,
+          "Fault found nothing to do (stale TLB, lost race)",
+          ("vaddr",)),
+    # ---- shared-table lifecycle (§3.4–3.6, the COW-vs-table-copy split)
+    _spec("table.cow_copy", KIND_INSTANT,
+          "First write under a shared PTE table: dedicated copy taken",
+          ("slot_start", "n_present", "remaining_sharers")),
+    _spec("table.unshare", KIND_INSTANT,
+          "Sole surviving owner flipped its PMD write bit back on",
+          ("table_pfn",)),
+    # ---- reclaim / swap ------------------------------------------------
+    _spec("reclaim.kswapd_wake", KIND_INSTANT,
+          "Background reclaim woken below the low watermark",
+          ("free_frames", "nr_extra")),
+    _spec("reclaim.shrink", KIND_SPAN,
+          "One shrink pass over the LRU lists",
+          ("dur_ns", "target", "freed", "scanned", "kswapd")),
+    _spec("reclaim.evict", KIND_INSTANT,
+          "One frame evicted to swap (io=False reused a clean cache slot)",
+          ("pfn", "slot", "io")),
+    # ---- TLB coherence -------------------------------------------------
+    _spec("tlb.shootdown", KIND_INSTANT,
+          "Remote invalidation round: IPIs to every CPU caching the mm",
+          ("targets", "pages")),
+    _spec("tlb.flush", KIND_INSTANT,
+          "Local flush of the issuing CPU's view",
+          ("pages",)),
+    # ---- kernel locks (SMP scheduler) ----------------------------------
+    _spec("lock.acquire", KIND_INSTANT,
+          "Lock acquisition attempt (contended=True parked on the queue)",
+          ("kind", "contended", "cpu")),
+    _spec("lock.wait", KIND_SPAN,
+          "Queueing delay between park and handoff grant",
+          ("dur_ns", "kind", "cpu")),
+    # ---- buddy allocator -----------------------------------------------
+    _spec("buddy.alloc", KIND_INSTANT,
+          "One block allocated (order 9 = a 2 MiB compound page)",
+          ("pfn", "order")),
+    _spec("buddy.free", KIND_INSTANT,
+          "One block freed back (after coalescing)",
+          ("pfn", "order")),
+)}
+
+
+def spec_for(name):
+    """The :class:`EventSpec` for ``name`` (KeyError on undeclared)."""
+    return EVENTS[name]
+
+
+def event_classes():
+    """Sorted distinct event classes."""
+    return sorted({spec.cls for spec in EVENTS.values()})

@@ -1,0 +1,61 @@
+"""Bounded per-CPU ring buffer, ftrace style: overwrite-oldest.
+
+The kernel never blocks on its own tracer.  When a ring fills, the
+oldest event is overwritten and a drop counter ticks — the consumer
+learns *that* it lost history and *how much*, but the producer paid a
+constant cost.  A plain list would grow without bound under a hot fault
+loop and perturb the very latencies being measured.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity ring; push overwrites the oldest entry when full.
+
+    ``dropped`` counts overwritten (lost) entries since the last
+    ``clear()``.  Iteration / ``drain()`` yields surviving entries
+    oldest-first.
+    """
+
+    __slots__ = ("capacity", "_buf", "_head", "_len", "dropped")
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._buf = [None] * capacity
+        self._head = 0        # index of the oldest entry
+        self._len = 0
+        self.dropped = 0
+
+    def __len__(self):
+        return self._len
+
+    def push(self, item):
+        if self._len < self.capacity:
+            self._buf[(self._head + self._len) % self.capacity] = item
+            self._len += 1
+        else:
+            # Full: overwrite the oldest slot and advance the head.
+            self._buf[self._head] = item
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def __iter__(self):
+        for i in range(self._len):
+            yield self._buf[(self._head + i) % self.capacity]
+
+    def drain(self):
+        """Pop every surviving entry, oldest-first; keeps ``dropped``."""
+        out = list(self)
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._len = 0
+        return out
+
+    def clear(self):
+        self.drain()
+        self.dropped = 0

@@ -1,0 +1,168 @@
+"""The tracer: per-CPU rings of virtual-clock-stamped typed events.
+
+One :class:`Tracer` is attached globally (``points.attach``) and machines
+*bind* to it — at construction when a tracer is already attached, or
+explicitly via :meth:`Tracer.bind`.  Events are stamped from the bound
+machine's **cost clock** (``machine.cost.clock``), not ``machine.clock``:
+under the SMP scheduler the cost model is swapped onto the running
+vCPU's clock, so the stamp is always the time the emitting context
+actually sees.  The CPU id comes from the scheduler's current task when
+one is running, else 0 — matching how the simulator charges time.
+
+Reading the clock never advances it: tracing is side-effect-free by
+construction (the verify harness audits this with a traced-vs-plain
+differential leg).
+
+Events land in a bounded per-CPU :class:`~repro.trace.ring.RingBuffer`
+(overwrite-oldest, drop counter).  ``drain()`` merges the rings into one
+timeline ordered by (timestamp, emit sequence).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .ring import RingBuffer
+from .registry import EVENTS, KIND_SPAN
+
+__all__ = ["TraceEvent", "Tracer", "recording"]
+
+DEFAULT_RING_CAPACITY = 65536
+
+
+class TraceEvent:
+    """One drained event: virtual timestamp, cpu, name, payload fields."""
+
+    __slots__ = ("ts_ns", "cpu", "pid", "name", "fields", "seq")
+
+    def __init__(self, ts_ns, cpu, pid, name, fields, seq):
+        self.ts_ns = ts_ns
+        self.cpu = cpu
+        self.pid = pid          # index of the bound machine (Perfetto pid)
+        self.name = name
+        self.fields = fields
+        self.seq = seq          # global emit order, ties equal timestamps
+
+    @property
+    def cls(self):
+        return self.name.split(".", 1)[0]
+
+    @property
+    def dur_ns(self):
+        """Span duration, or None for instant events."""
+        return self.fields.get("dur_ns")
+
+    def __repr__(self):
+        return (f"TraceEvent({self.name} @ {self.ts_ns} ns "
+                f"cpu{self.cpu} {self.fields})")
+
+
+class Tracer:
+    """Collects tracepoint emissions into per-CPU ring buffers."""
+
+    def __init__(self, ring_capacity=DEFAULT_RING_CAPACITY):
+        self.ring_capacity = ring_capacity
+        self._rings = {}        # cpu id -> RingBuffer
+        self._machines = []     # bind order; index is the Perfetto pid
+        self._machine = None    # most recently bound (provides the clock)
+        self._seq = 0
+        self.emitted = 0        # total events emitted (incl. overwritten)
+        self.by_name = {}       # name -> emit count (survives ring wrap)
+
+    # ---- machine binding -------------------------------------------------
+
+    def bind(self, machine):
+        """Bind ``machine`` as the stamping source; returns its pid."""
+        if machine not in self._machines:
+            self._machines.append(machine)
+        self._machine = machine
+        return self._machines.index(machine)
+
+    @property
+    def machines(self):
+        return tuple(self._machines)
+
+    # ---- producer side ---------------------------------------------------
+
+    def emit(self, name, fields):
+        machine = self._machine
+        if machine is None:
+            return             # attached but nothing bound yet: discard
+        ts = machine.cost.clock.now_ns
+        # An explicit "cpu" field wins: the scheduler emits lock events
+        # after clearing its current-task pointer, so it names the vCPU
+        # itself.  Otherwise attribute to the running task's vCPU.
+        cpu = fields.get("cpu")
+        if cpu is None:
+            smp = machine.smp
+            cpu = 0
+            if smp is not None and smp.running and smp.current is not None:
+                cpu = smp.current.vcpu.id
+        ring = self._rings.get(cpu)
+        if ring is None:
+            ring = self._rings[cpu] = RingBuffer(self.ring_capacity)
+        pid = self._machines.index(machine)
+        ring.push(TraceEvent(ts, cpu, pid, name, fields, self._seq))
+        self._seq += 1
+        self.emitted += 1
+        self.by_name[name] = self.by_name.get(name, 0) + 1
+
+    # ---- consumer side ---------------------------------------------------
+
+    @property
+    def dropped(self):
+        """Events lost to ring overwrite, across all CPUs."""
+        return sum(r.dropped for r in self._rings.values())
+
+    def pending(self):
+        """Events currently buffered (not yet drained)."""
+        return sum(len(r) for r in self._rings.values())
+
+    def ring_for(self, cpu):
+        """The ring buffer for ``cpu`` (None if that CPU never emitted)."""
+        return self._rings.get(cpu)
+
+    def drain(self):
+        """Merge and empty every per-CPU ring into one ordered timeline."""
+        events = []
+        for ring in self._rings.values():
+            events.extend(ring.drain())
+        events.sort(key=lambda e: (e.ts_ns, e.seq))
+        return events
+
+    def spans(self, events=None):
+        """Only span-kind events (the ones carrying ``dur_ns``)."""
+        events = self.drain() if events is None else events
+        return [e for e in events if EVENTS[e.name].kind == KIND_SPAN]
+
+    def counters(self):
+        """Flat tracer-side tallies, shaped for the metrics registry."""
+        out = {"emitted": self.emitted, "dropped": self.dropped,
+               "pending": self.pending()}
+        for name in sorted(self.by_name):
+            out[f"count.{name}"] = self.by_name[name]
+        return out
+
+
+@contextmanager
+def recording(machine, ring_capacity=DEFAULT_RING_CAPACITY):
+    """Trace everything ``machine`` does inside the block.
+
+    >>> with recording(machine) as tracer:
+    ...     proc.fork()
+    >>> events = tracer.drain()
+
+    Detaches (restoring near-zero emit cost) on exit, even on error.
+    """
+    from . import points
+    tracer = Tracer(ring_capacity=ring_capacity)
+    tracer.bind(machine)
+    prev = points.current()
+    points.attach(tracer)
+    try:
+        yield tracer
+    finally:
+        if prev is not None:
+            points.attach(prev)
+        else:
+            points.detach()

@@ -14,7 +14,7 @@ import sys
 import time
 from pathlib import Path
 
-from .oracle import (check_trace, check_trace_sanitized,
+from .oracle import (check_trace, check_trace_sanitized, check_trace_traced,
                      enumerate_failpoints, is_hard)
 from .shrink import shrink_trace
 from .trace import generate_trace, load_trace, save_trace
@@ -73,6 +73,11 @@ def main(argv=None):
                         help="re-run each trace under KASAN (frame "
                              "poisoning/quarantine) and KCSAN (SMP data "
                              "races)")
+    parser.add_argument("--trace-audit", action="store_true",
+                        help="re-run each trace with a ktrace tracer "
+                             "attached and fail on any observable "
+                             "divergence (tracing must be side-effect "
+                             "free)")
     parser.add_argument("--max-failpoint-hits", type=int, default=4,
                         help="armed runs per site; sampled beyond this "
                              "(default 4)")
@@ -115,6 +120,13 @@ def main(argv=None):
             if san_findings:
                 hard_findings += len(san_findings)
                 for finding in san_findings[:4]:
+                    print(f"FAIL {name}: {finding}")
+
+        if args.trace_audit:
+            trace_findings = check_trace_traced(trace)
+            if trace_findings:
+                hard_findings += len(trace_findings)
+                for finding in trace_findings[:4]:
                     print(f"FAIL {name}: {finding}")
 
         if args.failpoints:

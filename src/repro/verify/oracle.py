@@ -192,6 +192,53 @@ def check_trace_sanitized(trace, smp=2):
     return findings
 
 
+def check_trace_traced(trace, flavors=("classic", "odfork")):
+    """Tracing must be invisible: paired plain vs traced runs per flavor.
+
+    The ktrace tracepoints (:mod:`repro.trace`) sit on the kernel's
+    hottest paths; this audit runs the same trace with and without an
+    attached tracer and diffs everything the oracle can see — outcomes,
+    memory digests, audits, and the final vmstat counters.  Any
+    divergence means instrumentation perturbed the kernel (the exact bug
+    class the ``if points.enabled`` guard discipline exists to prevent).
+    A traced run that emits zero events is also a finding: a dead tracer
+    would make this audit vacuous.
+    """
+    from ..trace import points
+    from ..trace.tracer import Tracer
+
+    findings = []
+    for flavor in flavors:
+        pair = f"traced-vs-plain:{flavor}"
+        exec_plain, plain = run_differential(trace, flavor)
+        tracer = Tracer()
+        prev = points.current()
+        points.attach(tracer)
+        try:
+            exec_traced, traced = run_differential(trace, flavor)
+        finally:
+            points.detach()
+            if prev is not None:
+                points.attach(prev)
+        findings += compare_runs(trace, traced, plain, pair,
+                                 name_a="traced", name_b="plain")
+        if findings:
+            return findings
+        vm_plain = exec_plain.machine.vmstat()
+        vm_traced = exec_traced.machine.vmstat()
+        if vm_plain != vm_traced:
+            moved = sorted(k for k in set(vm_plain) | set(vm_traced)
+                           if vm_plain.get(k) != vm_traced.get(k))
+            findings.append(Finding(
+                "state", len(trace["ops"]),
+                f"vmstat diverges with tracing enabled: {moved}", pair))
+        if tracer.emitted == 0 and len(trace["ops"]) > 0:
+            findings.append(Finding(
+                "audit", 0, "tracer attached but no events emitted — "
+                "the side-effect audit checked nothing", pair))
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # Fail-point enumeration
 

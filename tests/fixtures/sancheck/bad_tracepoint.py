@@ -1,0 +1,21 @@
+"""BAD: tracepoint emissions the trace registry cannot vouch for.
+
+``emit_typo`` uses a name that is not declared in
+``repro.trace.registry.EVENTS`` (the runtime would only catch it if the
+site executed under an attached tracer); ``emit_dynamic`` computes the
+name, which defeats the registry check entirely.  The trace-registry
+rule must flag both.
+"""
+
+from repro.trace import points
+
+
+def emit_typo(vaddr):
+    if points.enabled:
+        points.tracepoint("fault.demand_zreo", vaddr=vaddr)
+
+
+def emit_dynamic(kind, vaddr):
+    name = "fault." + kind
+    if points.enabled:
+        points.tracepoint(name, vaddr=vaddr)

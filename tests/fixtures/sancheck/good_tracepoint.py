@@ -1,0 +1,9 @@
+"""GOOD: every emitted tracepoint name is declared in the registry."""
+
+from repro.trace import points
+
+
+def emit_declared(vaddr, pfn):
+    if points.enabled:
+        points.tracepoint("fault.demand_zero", pfn=pfn)
+        points.tracepoint("fault.spurious", vaddr=vaddr)

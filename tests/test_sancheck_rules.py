@@ -23,10 +23,11 @@ BAD = {
     "bad_refcount.py": "refcount",
     "bad_tlb.py": "tlb",
     "bad_ignore.py": "ignore",
+    "bad_tracepoint.py": "trace-registry",
 }
 
 GOOD = ["good_lock.py", "good_failpoint.py", "good_refcount.py",
-        "good_tlb.py", "good_ignore.py"]
+        "good_tlb.py", "good_ignore.py", "good_tracepoint.py"]
 
 
 def run_fixture(name):
@@ -66,6 +67,13 @@ class TestViolationShape:
     def test_tlb_violation_mentions_flush(self):
         (violation,) = run_fixture("bad_tlb.py")
         assert "flush" in violation.message.lower()
+
+    def test_trace_registry_names_both_failure_modes(self):
+        typo, dynamic = sorted(run_fixture("bad_tracepoint.py"),
+                               key=lambda v: v.lineno)
+        assert "not declared" in typo.message
+        assert "demand_zreo" in typo.message
+        assert "string literal" in dynamic.message
 
     def test_unjustified_ignore_demands_reason(self):
         (violation,) = run_fixture("bad_ignore.py")
