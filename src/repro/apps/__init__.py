@@ -15,12 +15,16 @@ from .sqlite_workload import (
     run_sql_in_child,
 )
 from .support import CowDict, CowSet, SlotArena
-from .traffic import MemtierClient, WrkClient
+from .traffic import (ArrivalProcess, MemtierClient, OpenLoopClient,
+                      OpenLoopResult, WrkClient)
 from .vmclone import VM_FUZZ_SEEDS, GuestPanic, VirtualMachine, clone_throughput_demo
 
 __all__ = [
     "KVStore",
     "MemtierClient",
+    "ArrivalProcess",
+    "OpenLoopClient",
+    "OpenLoopResult",
     "WrkClient",
     "MiniDB",
     "MiniDBError",

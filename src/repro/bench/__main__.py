@@ -17,6 +17,7 @@ import time
 
 from . import (
     ablations,
+    fleet_bench,
     parallel,
     reclaim_bench,
     snapshot_bench,
@@ -75,6 +76,7 @@ EXPERIMENTS = {
     "ext-thp": _fixed(thp_bench.run),
     "ext-snapshot": _fixed(snapshot_bench.run, duration_s=3.0),
     "ext-reclaim": _fixed(reclaim_bench.run),
+    "fleet": _quickable(fleet_bench.run),
 }
 
 #: Fast subset exercised by CI: one figure, one table, and the reclaim
@@ -84,6 +86,7 @@ SMOKE_EXPERIMENTS = {
     "table1": _fixed(table1.run),
     "ext-reclaim": _fixed(reclaim_bench.run, rounds=4,
                           overcommits=(0.5, 2.0)),
+    "fleet": _quickable(fleet_bench.run),
 }
 
 

@@ -8,7 +8,8 @@ against ``benchmarks/baseline.json``:
 * fig7 fork / odfork invocation latency and the speedup ratio at 1 GB
   (the Figure 2/7 headline),
 * Table 1 worst-case fault cost for all three variants,
-* the ext-reclaim fork-server p99 under 2x overcommit.
+* the ext-reclaim fork-server p99 under 2x overcommit,
+* the fleet-wide p99 under staggered odfork snapshot waves.
 
 A metric *regresses* when it moves in its bad direction (latencies up,
 speedups down) by more than ``--threshold`` (default 25%).  The virtual
@@ -62,6 +63,8 @@ TRACKED = (
            "measured_ms", LOWER_IS_BETTER),
     Metric("ext-reclaim.p99_us@2x", "ext-reclaim", ("heap/RAM", "2.0x"),
            "p99 (us)", LOWER_IS_BETTER),
+    Metric("fleet.p99_ms@staggered-odfork", "fleet",
+           ("config", "staggered/odfork"), "p99_ms", LOWER_IS_BETTER),
 )
 
 

@@ -1,0 +1,72 @@
+"""Fleet scenario: cluster-wide SLO percentiles per strategy x flavour.
+
+The fleet analogue of Table 4: N replica Machines behind the gateway,
+open-loop Poisson traffic, and rolling snapshot waves.  Rows cover the
+(wave strategy x fork flavour) grid; the headline — tracked by the CI
+perf gate — is fleet-wide p99 under staggered odfork waves, and the
+sanity anchor is that staggered odfork beats simultaneous classic fork
+on p999 (the whole point of rolling snapshots with a microsecond fork).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster.fleet import FLEET_PERCENTILES, FleetConfig, run_fleet
+from .runner import ExperimentResult
+
+#: Smoke grid: the two strategies the headline compares, both flavours.
+SMOKE_STRATEGIES = ("simultaneous", "staggered")
+FULL_STRATEGIES = ("simultaneous", "staggered", "drain")
+
+
+def run(quick=True):
+    """Regenerate the fleet SLO grid (quick: 4 replicas, short campaign)."""
+    if quick:
+        strategies = SMOKE_STRATEGIES
+        base = FleetConfig(replicas=4, data_mb=48, n_requests=16_000,
+                           rate_rps=1e6, wave_interval_ms=5.0, n_waves=2,
+                           seed=1234)
+    else:
+        strategies = FULL_STRATEGIES
+        base = FleetConfig(replicas=8, data_mb=256, n_requests=200_000,
+                           rate_rps=1e6, wave_interval_ms=60.0, n_waves=3,
+                           seed=1234)
+    rows = []
+    extras = {}
+    for strategy in strategies:
+        for flavor in ("fork", "odfork"):
+            config = dataclasses.replace(
+                base, strategy=strategy, use_odfork=(flavor == "odfork"))
+            result = run_fleet(config)
+            assert result.conserved(), (
+                f"fleet accounting broken for {strategy}/{flavor}")
+            pct = result.percentiles_ms(FLEET_PERCENTILES)
+            rows.append([
+                f"{strategy}/{flavor}", strategy, flavor,
+                round(pct[50], 4), round(pct[99], 4), round(pct[99.9], 4),
+                round(result.coordinator_stats["max_block_ns"] / 1e6, 4),
+                result.coordinator_stats["waves_completed"],
+                result.dropped,
+            ])
+            extras[f"{strategy}/{flavor}"] = {
+                "gateway": result.gateway_stats,
+                "dlm": result.dlm_stats,
+                "coordinator": result.coordinator_stats,
+            }
+    by_config = {row[0]: row for row in rows}
+    p999_idx = 5
+    headline = by_config["staggered/odfork"][p999_idx]
+    baseline = by_config["simultaneous/fork"][p999_idx]
+    return ExperimentResult(
+        exp_id="fleet",
+        title=f"Fleet-wide SLO percentiles, {base.replicas} replicas @ "
+              f"{base.rate_rps:.0f} req/s (ms)",
+        headers=["config", "strategy", "flavor", "p50_ms", "p99_ms",
+                 "p999_ms", "max_block_ms", "waves", "drops"],
+        rows=rows,
+        notes=f"staggered-odfork p999 {headline:.4f} ms vs "
+              f"simultaneous-classic-fork {baseline:.4f} ms "
+              f"({'OK' if headline < baseline else 'INVERTED'})",
+        extras=extras,
+    )

@@ -1,0 +1,24 @@
+"""Distributed fleet layer: replicas behind a gateway, rolling snapshots.
+
+``python -m repro.cluster`` runs open-loop campaigns over a grid of
+(snapshot-wave strategy x fork flavour) and reports fleet-wide
+p50/p99/p999 SLO latencies — the paper's Redis tail-latency story
+(Tables 4/5) reproduced at cluster scale, where scheduling strategy
+becomes an axis no single-machine benchmark can expose.
+"""
+
+from .coordinator import STRATEGIES, SnapshotCoordinator
+from .dlm import Dlm
+from .fleet import (FLEET_PERCENTILES, Fleet, FleetAggregator, FleetConfig,
+                    FleetResult, run_fleet)
+from .gateway import Gateway
+from .net import Link, Nic, RX, TX
+from .replica import Replica
+from .striper import ConsistentHashStriper, RoundRobinStriper, make_striper
+
+__all__ = [
+    "STRATEGIES", "SnapshotCoordinator", "Dlm", "FLEET_PERCENTILES",
+    "Fleet", "FleetAggregator", "FleetConfig", "FleetResult", "run_fleet",
+    "Gateway", "Link", "Nic", "RX", "TX", "Replica",
+    "ConsistentHashStriper", "RoundRobinStriper", "make_striper",
+]

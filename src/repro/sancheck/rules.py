@@ -92,11 +92,20 @@ def _raises_oom(func):
 
 
 def compute_fallible(files):
-    """Names of functions that can raise OOM, to a call-graph fixpoint."""
+    """Names of functions that can raise OOM, to a call-graph fixpoint.
+
+    Only kernel-scope functions seed and propagate the set: the rules
+    that consume it report on kernel scope alone, and the call graph is
+    matched by bare name — an application- or fleet-layer method that
+    happens to share a name with a kernel callee (``acquire``,
+    ``transfer``) must not make every kernel call site look fallible.
+    """
     by_name = {}
     fallible = set()
     for sf in files:
         for func in sf.functions:
+            if not _kernel_scope(func):
+                continue
             by_name.setdefault(func.name, []).append(func)
             if (_raw_alloc_calls(func) or _has_failpoint(func)
                     or _raises_oom(func)):
@@ -106,7 +115,7 @@ def compute_fallible(files):
         changed = False
         for sf in files:
             for func in sf.functions:
-                if func.name in fallible:
+                if not _kernel_scope(func) or func.name in fallible:
                     continue
                 if any(c.name in fallible for c in func.calls):
                     fallible.add(func.name)

@@ -19,8 +19,14 @@ from .registry import EVENTS, KIND_SPAN
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 
-def to_chrome_trace(events, label="repro"):
-    """Trace Event Format dict for a drained event list."""
+def to_chrome_trace(events, label="repro", process_names=None):
+    """Trace Event Format dict for a drained event list.
+
+    ``process_names`` optionally maps a bound-machine pid to a display
+    name; the fleet layer uses it so the gateway and every replica
+    Machine appear as their own labelled process tracks.  Unlisted pids
+    keep the default ``{label}:machine{pid}`` name.
+    """
     out = []
     pids = set()
     for event in events:
@@ -44,15 +50,17 @@ def to_chrome_trace(events, label="repro"):
             entry["ts"] = event.ts_ns / 1000.0
             entry["s"] = "t"        # thread-scoped instant
         out.append(entry)
+    names = process_names or {}
     meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-             "args": {"name": f"{label}:machine{pid}"}}
+             "args": {"name": f"{label}:{names[pid]}" if pid in names
+                      else f"{label}:machine{pid}"}}
             for pid in sorted(pids)]
     return {"traceEvents": meta + out, "displayTimeUnit": "ns"}
 
 
-def write_chrome_trace(events, path, label="repro"):
+def write_chrome_trace(events, path, label="repro", process_names=None):
     """Serialise to ``path``; returns the event count written."""
-    doc = to_chrome_trace(events, label=label)
+    doc = to_chrome_trace(events, label=label, process_names=process_names)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")

@@ -118,6 +118,32 @@ EVENTS = {spec.name: spec for spec in (
     _spec("buddy.free", KIND_INSTANT,
           "One block freed back (after coalescing)",
           ("pfn", "order")),
+    # ---- fleet layer (repro.cluster): gateway / NIC / DLM / snapshots --
+    _spec("gateway.enqueue", KIND_INSTANT,
+          "Request admitted at the gateway and striped to a replica",
+          ("replica", "qlen", "rerouted")),
+    _spec("gateway.dispatch", KIND_SPAN,
+          "Client arrival to service start: network + replica queueing",
+          ("dur_ns", "replica")),
+    _spec("nic.tx", KIND_INSTANT,
+          "One transmit booked on a NIC (queue_ns is the delay behind "
+          "earlier transfers)",
+          ("nic", "nbytes", "queue_ns")),
+    _spec("nic.rx", KIND_INSTANT,
+          "One receive booked on a NIC",
+          ("nic", "nbytes", "queue_ns")),
+    _spec("dlm.acquire", KIND_SPAN,
+          "DLM lock request to grant (queued=True waited behind a holder)",
+          ("dur_ns", "lock", "owner", "queued")),
+    _spec("dlm.release", KIND_INSTANT,
+          "DLM lock released; the next FIFO waiter may be granted",
+          ("lock", "owner")),
+    _spec("snap.wave_start", KIND_INSTANT,
+          "A snapshot (sub-)wave was granted the epoch lock",
+          ("wave", "sub", "n_replicas", "strategy")),
+    _spec("snap.wave_end", KIND_SPAN,
+          "Epoch grant to the slowest replica's fork return (longest path)",
+          ("dur_ns", "wave", "sub", "max_block_ns")),
 )}
 
 

@@ -83,6 +83,11 @@ def main(argv=None):
                              "(default 4)")
     parser.add_argument("--exhaustive-failpoints", action="store_true",
                         help="arm every recorded hit of every site")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the cluster fault-injection leg: arm "
+                             "each fleet fail-point site over a small "
+                             "fleet campaign and assert conserved "
+                             "accounting, clean audits, clean teardown")
     parser.add_argument("--replay", metavar="PATH",
                         help="replay a trace file or directory of *.json "
                              "instead of generating")
@@ -146,6 +151,18 @@ def main(argv=None):
             elapsed = time.perf_counter() - started
             print(f"  [{done}/{len(traces)}] traces checked, "
                   f"{elapsed:.1f}s elapsed")
+
+    if args.fleet:
+        from .fleet import check_fleet
+        fleet_findings, fleet_meta = check_fleet(
+            seed=args.seed, max_hits_per_site=args.max_failpoint_hits)
+        hard_findings += len(fleet_findings)
+        for finding in fleet_findings[:8]:
+            print(f"FAIL fleet: {finding}")
+        print(f"  fleet leg: {fleet_meta['runs']} campaigns, "
+              f"{fleet_meta['sampled_out']} recorded hits sampled out, "
+              f"{len(fleet_findings)} findings "
+              f"(sites: {fleet_meta['sites']})")
 
     elapsed = time.perf_counter() - started
     print(f"checked {len(traces)} traces in {elapsed:.1f}s: "

@@ -60,5 +60,5 @@ class TestCLI:
 
     def test_registry_complete(self):
         # 13 paper experiments + fig2-concurrent + 3 ablations +
-        # 6 extensions.
-        assert len(EXPERIMENTS) == 23
+        # 6 extensions + the fleet sweep.
+        assert len(EXPERIMENTS) == 24

@@ -1,0 +1,187 @@
+"""Cluster building blocks: striper, DLM, NIC model, fleet aggregator."""
+
+import pytest
+
+from repro.cluster import (ConsistentHashStriper, Dlm, FleetAggregator, Nic,
+                           RoundRobinStriper, make_striper)
+from repro.cluster.net import RX, TX
+from repro.errors import InvalidArgumentError
+from repro.kernel.failpoints import FailPoints
+from repro.smp.locks import LockOrderError
+
+
+class TestStripers:
+    def test_hash_same_seed_same_assignment(self):
+        a = ConsistentHashStriper(8, seed=42)
+        b = ConsistentHashStriper(8, seed=42)
+        keys = range(5000)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_hash_different_seed_differs(self):
+        a = ConsistentHashStriper(8, seed=42)
+        b = ConsistentHashStriper(8, seed=43)
+        keys = range(5000)
+        assert [a.route(k) for k in keys] != [b.route(k) for k in keys]
+
+    def test_hash_covers_all_replicas(self):
+        striper = ConsistentHashStriper(8, seed=1)
+        hit = {striper.route(k) for k in range(20_000)}
+        assert hit == set(range(8))
+
+    def test_hash_bounded_remap_on_removal(self):
+        # Consistent hashing's defining property: removing one replica
+        # remaps only the arc it owned, not the whole keyspace.  Vnode
+        # positions depend on (seed, replica, vnode) alone, so the
+        # 7-replica ring is the 8-replica ring minus replica 7's arc.
+        full = ConsistentHashStriper(8, seed=7)
+        fewer = ConsistentHashStriper(7, seed=7)
+        keys = range(20_000)
+        before = [full.route(k) for k in keys]
+        after = [fewer.route(k) for k in keys]
+        changed = sum(1 for x, y in zip(before, after) if x != y)
+        owned = sum(1 for owner in before if owner == 7)
+        assert changed == owned            # only the lost replica's keys
+        assert 0 < owned < len(before) / 4  # ~1/8 of the keyspace
+
+    def test_hash_successor_skips_unavailable(self):
+        striper = ConsistentHashStriper(4, seed=0)
+        target = striper.successor(1, skip=(striper.successor(1),))
+        assert target not in (1, striper.successor(1))
+        # Everyone down: nowhere to fail over.
+        assert striper.successor(1, skip=(0, 1, 2, 3)) == 1
+
+    def test_rr_rotates_and_resets(self):
+        striper = RoundRobinStriper(3)
+        assert [striper.route(k) for k in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+        striper.reset()
+        assert striper.route(99) == 0
+
+    def test_rr_successor(self):
+        striper = RoundRobinStriper(4)
+        assert striper.successor(1) == 2
+        assert striper.successor(1, skip=(2, 3)) == 0
+
+    def test_factory(self):
+        assert make_striper("rr", 2).policy == "rr"
+        assert make_striper("hash", 2).policy == "hash"
+        with pytest.raises(InvalidArgumentError):
+            make_striper("random", 2)
+
+
+class TestDlm:
+    def test_uncontended_grant_costs_one_rtt(self):
+        dlm = Dlm(acquire_rtt_us=20.0)
+        assert dlm.acquire("epoch", "a", 1000) == 1000 + 20_000
+
+    def test_fifo_chaining(self):
+        dlm = Dlm(acquire_rtt_us=10.0)
+        g1 = dlm.acquire("epoch", "a", 0)
+        dlm.release("epoch", "a", g1 + 500)
+        g2 = dlm.acquire("epoch", "b", 100)      # requested while a held it
+        assert g2 == g1 + 500 + 10_000
+        dlm.release("epoch", "b", g2)
+        assert dlm.grant_order("epoch") == ["a", "b"]
+        assert dlm.stats()["queued_grants"] == 1
+
+    def test_recursive_acquire_raises(self):
+        dlm = Dlm()
+        dlm.acquire("epoch", "a", 0)
+        with pytest.raises(LockOrderError):
+            dlm.acquire("epoch", "a", 100)
+
+    def test_ordering_discipline(self):
+        dlm = Dlm()
+        dlm.acquire("b-lock", "a", 0)
+        with pytest.raises(LockOrderError):
+            dlm.acquire("a-lock", "a", 100)      # descending order
+        dlm.acquire("c-lock", "a", 100)          # ascending is fine
+
+    def test_release_requires_holder(self):
+        dlm = Dlm()
+        with pytest.raises(LockOrderError):
+            dlm.release("epoch", "nobody", 0)
+
+    def test_timeout_failpoint_leaves_lock_untouched(self):
+        fp = FailPoints()
+        dlm = Dlm(failpoints=fp)
+        fp.arm("dlm.acquire_timeout", 1)
+        assert dlm.acquire("epoch", "a", 0) is None
+        assert dlm.timeouts == 1
+        assert dlm.holder("epoch") is None
+        # The next acquire (failpoint spent) succeeds normally.
+        assert dlm.acquire("epoch", "b", 0) is not None
+
+
+class TestNic:
+    def test_occupancy_scales_with_bytes_and_gbps(self):
+        nic = Nic("n", gbps=10.0)
+        assert nic.occupancy_ns(1250) == 1000     # 10 kb at 10 Gb/s = 1 us
+        assert Nic("f", gbps=40.0).occupancy_ns(1250) == 250
+
+    def test_queue_delay_behind_earlier_transfer(self):
+        nic = Nic("n", gbps=10.0)
+        first = nic.transfer(TX, 12_500, 0)       # occupies until 10 us
+        assert first == 10_000
+        second = nic.transfer(TX, 1250, 5_000)    # arrives mid-occupancy
+        assert second == 5_000 + 1_000            # 5 us queue + 1 us wire
+        assert nic.stats(TX)["queue_delay_ns"] == 5_000
+
+    def test_full_duplex_directions_independent(self):
+        nic = Nic("n", gbps=10.0)
+        nic.transfer(TX, 12_500, 0)
+        assert nic.transfer(RX, 1250, 0) == 1000  # rx sees no tx queue
+
+    def test_load_warning_above_threshold(self):
+        nic = Nic("n", gbps=1.0, warn_queue_us=10.0)
+        nic.transfer(TX, 12_500, 0)               # occupies 100 us
+        nic.transfer(TX, 125, 0)                  # queues 100 us > 10 us
+        assert nic.stats(TX)["load_warnings"] == 1
+
+    def test_tx_drop_failpoint_charges_retransmit(self):
+        fp = FailPoints()
+        nic = Nic("n", gbps=10.0, failpoints=fp, retransmit_us=50.0)
+        fp.arm("nic.tx_drop", 1)
+        assert nic.transfer(TX, 1250, 0) == 1000 + 50_000
+        assert nic.stats(TX)["retransmits"] == 1
+        assert nic.stats(TX)["messages"] == 1     # delivered, not dropped
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(InvalidArgumentError):
+            Nic("n", gbps=0)
+        with pytest.raises(InvalidArgumentError):
+            Nic("n").transfer(TX, 0, 0)
+
+
+class TestFleetAggregator:
+    def test_merged_percentiles_across_replicas(self):
+        agg = FleetAggregator(2)
+        for v in range(1, 51):
+            agg.add(0, v)
+        for v in range(51, 101):
+            agg.add(1, v)
+        pct = agg.percentiles((50, 99, 99.9))
+        assert pct[50] == 50
+        assert pct[99] == 99
+        assert pct[99.9] == 100
+
+    def test_p999_small_sample_is_max(self):
+        # Nearest-rank on 10 samples: the 99.9th percentile is the max —
+        # pinned so tiny smoke runs stay well-defined.
+        agg = FleetAggregator(1)
+        for v in (5, 1, 9, 3, 7, 2, 8, 4, 6, 1000):
+            agg.add(0, v)
+        assert agg.percentiles((99.9,))[99.9] == 1000
+
+    def test_per_replica_split_sums(self):
+        agg = FleetAggregator(3)
+        agg.add(0, 10)
+        agg.add(0, 20)
+        agg.add(2, 30)
+        agg.drop()
+        assert agg.completed == 3
+        assert agg.completed_by_replica() == [2, 0, 1]
+        assert agg.dropped == 1
+        assert agg.replica_percentiles(1) == {}
+
+    def test_empty_percentiles(self):
+        assert FleetAggregator(2).percentiles() == {}

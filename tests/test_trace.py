@@ -420,7 +420,8 @@ class TestMachineStats:
 
 
 def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
-             huge_ms=0.2, odf_fault_ms=0.012, p99=960.0):
+             huge_ms=0.2, odf_fault_ms=0.012, p99=960.0,
+             fleet_p99=0.12):
     return [
         {"exp_id": "fig7", "title": "fig7",
          "headers": ["size_gb", "fork_ms", "fork_huge_ms", "odfork_ms",
@@ -437,6 +438,14 @@ def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
         {"exp_id": "ext-reclaim", "title": "reclaim",
          "headers": ["heap/RAM", "p50 (us)", "p99 (us)"],
          "rows": [["0.5x", 400.0, 410.0], ["2.0x", 800.0, p99]],
+         "notes": ""},
+        {"exp_id": "fleet", "title": "fleet",
+         "headers": ["config", "strategy", "flavor", "p50_ms", "p99_ms",
+                     "p999_ms"],
+         "rows": [["simultaneous/fork", "simultaneous", "fork",
+                   0.02, 1.7, 1.8],
+                  ["staggered/odfork", "staggered", "odfork",
+                   0.02, fleet_p99, 0.14]],
          "notes": ""},
     ]
 
@@ -491,7 +500,7 @@ class TestCompareGate:
         assert compare.main([str(current), str(baseline),
                              "--write-baseline"]) == 0
         assert compare.main([str(current), str(baseline)]) == 0
-        assert "all 7 tracked metrics" in capsys.readouterr().out
+        assert "all 8 tracked metrics" in capsys.readouterr().out
         current.write_text(json.dumps(_payload(odfork_ms=0.3)))
         assert compare.main([str(current), str(baseline)]) == 1
         assert "REGRESSED" in capsys.readouterr().out

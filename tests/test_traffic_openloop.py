@@ -1,0 +1,102 @@
+"""Open-loop arrival generator and single-store open-loop client."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.apps import ArrivalProcess, KVStore, OpenLoopClient
+from repro.errors import InvalidArgumentError
+
+
+def small_store(machine, **kwargs):
+    kwargs.setdefault("data_mb", 8)
+    kwargs.setdefault("snapshot_threshold", 10**9)   # never self-triggers
+    return KVStore(machine, **kwargs)
+
+
+class TestArrivalProcess:
+    def test_deterministic_spacing(self):
+        stamps = ArrivalProcess(1e6, distribution="deterministic").arrivals(5)
+        gaps = np.diff(stamps)
+        assert all(gap == 1000 for gap in gaps)      # 1 us at 1M req/s
+
+    def test_poisson_mean_gap_converges(self):
+        stamps = ArrivalProcess(1e6, seed=3).arrivals(20_000)
+        mean_gap = float(np.mean(np.diff(stamps)))
+        assert 900 < mean_gap < 1100                 # within 10% of 1 us
+
+    def test_same_seed_same_schedule(self):
+        a = ArrivalProcess(5e5, seed=11).arrivals(100)
+        b = ArrivalProcess(5e5, seed=11).arrivals(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = ArrivalProcess(5e5, seed=11).arrivals(100)
+        b = ArrivalProcess(5e5, seed=12).arrivals(100)
+        assert not np.array_equal(a, b)
+
+    def test_monotone_nondecreasing(self):
+        stamps = ArrivalProcess(1e7, seed=5).arrivals(1000)
+        assert np.all(np.diff(stamps) >= 0)
+
+    def test_start_offset(self):
+        stamps = ArrivalProcess(1e6, distribution="deterministic",
+                                start_ns=5000).arrivals(3)
+        assert stamps[0] == 6000
+
+    def test_rejects_bad_rate_and_distribution(self):
+        with pytest.raises(InvalidArgumentError):
+            ArrivalProcess(0)
+        with pytest.raises(InvalidArgumentError):
+            ArrivalProcess(1e6, distribution="uniform")
+
+
+class TestOpenLoopClient:
+    def test_conservation_unbounded(self):
+        store = small_store(Machine(phys_mb=128))
+        result = OpenLoopClient(store, rate_rps=1e6, seed=7).run(2000)
+        assert result.conserved()
+        assert result.generated == 2000
+        assert result.completed == 2000
+        assert result.dropped == 0
+
+    def test_latency_includes_queueing(self):
+        # At an offered rate far above service capacity the queue grows
+        # without bound and later latencies dominate earlier ones.
+        store = small_store(Machine(phys_mb=128))
+        result = OpenLoopClient(store, rate_rps=1e10, seed=7,
+                                distribution="deterministic").run(3000)
+        lat = result.latencies
+        assert float(np.mean(lat[-100:])) > 10 * float(np.mean(lat[:100]))
+        assert result.max_queue_len > 100
+
+    def test_queue_limit_drops_and_conserves(self):
+        store = small_store(Machine(phys_mb=128))
+        result = OpenLoopClient(store, rate_rps=1e10, seed=7,
+                                distribution="deterministic",
+                                queue_limit=32).run(3000)
+        assert result.dropped > 0
+        assert result.conserved()
+        assert result.max_queue_len <= 32
+
+    def test_no_overload_keeps_queue_short(self):
+        store = small_store(Machine(phys_mb=128))
+        result = OpenLoopClient(store, rate_rps=1e5, seed=7).run(2000)
+        # ~0.5 us service vs 10 us inter-arrival: essentially no queueing.
+        assert result.mean_queue_len < 1.0
+        assert result.dropped == 0
+
+    def test_deterministic_replay(self):
+        r1 = OpenLoopClient(small_store(Machine(phys_mb=128)),
+                            rate_rps=1e6, seed=9).run(1500)
+        r2 = OpenLoopClient(small_store(Machine(phys_mb=128)),
+                            rate_rps=1e6, seed=9).run(1500)
+        assert np.array_equal(r1.latencies, r2.latencies)
+        assert r1.max_queue_len == r2.max_queue_len
+
+    def test_rejects_bad_args(self):
+        store = small_store(Machine(phys_mb=128))
+        with pytest.raises(InvalidArgumentError):
+            OpenLoopClient(store, rate_rps=1e6, write_ratio=1.5)
+        with pytest.raises(InvalidArgumentError):
+            OpenLoopClient(store, rate_rps=1e6, queue_limit=0)
