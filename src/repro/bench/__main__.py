@@ -25,6 +25,7 @@ from . import (
     fig3,
     fig4,
     fig7,
+    fig7_numa,
     fig8,
     fig9,
     fig10,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "fig3": _fixed(fig3.run),
     "fig4": _quickable(fig4.run),
     "fig7": _quickable(fig7.run),
+    "fig7-numa": _quickable(fig7_numa.run),
     "fig8": _quickable(fig8.run),
     "fig9": _fixed(fig9.run, duration_s=5.0),
     "fig10": _fixed(fig10.run, duration_s=8.0),
@@ -83,6 +85,7 @@ EXPERIMENTS = {
 #: extension, all at quick settings — finishes in well under a minute.
 SMOKE_EXPERIMENTS = {
     "fig7": _quickable(fig7.run),
+    "fig7-numa": _quickable(fig7_numa.run),
     "table1": _fixed(table1.run),
     "ext-reclaim": _fixed(reclaim_bench.run, rounds=4,
                           overcommits=(0.5, 2.0)),

@@ -65,6 +65,9 @@ TRACKED = (
            "p99 (us)", LOWER_IS_BETTER),
     Metric("fleet.p99_ms@staggered-odfork", "fleet",
            ("config", "staggered/odfork"), "p99_ms", LOWER_IS_BETTER),
+    Metric("numa.odfork_speedup@replicated", "fig7-numa",
+           ("mode", "numa-replicated"), "odfork_speedup_x",
+           HIGHER_IS_BETTER),
 )
 
 

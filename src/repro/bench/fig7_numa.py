@@ -1,0 +1,135 @@
+"""Figure 7 extension: fork/odfork latency and access locality under NUMA.
+
+Three table modes on the same two-node box probe the Mitosis ×
+on-demand-fork experiment neither paper ran:
+
+* ``flat``            — no NUMA model (the paper's original machine);
+* ``numa-shared``     — per-node zones + distance costs, one shared page
+  table per process (plain Linux on a NUMA box);
+* ``numa-replicated`` — Mitosis-style per-node table replicas.
+
+Per mode the benchmark measures (a) fork and odfork invocation latency —
+replication makes every table allocation dearer, so odfork's shared
+tables are worth *more* on NUMA — and (b) the per-page cost of a
+TLB-cold access mix from the local and the remote node while an odfork
+child shares the tables.  In replicated mode the owning process's remote
+walks hit node-local replicas, so its remote penalty must fall by at
+least the table-walk share of the distance cost relative to the shared
+mode.  The ``extras`` carry the *child's* remote view under each
+``odfork_replica_policy`` (share-one / share-all / collapse) — the
+policy knob's visible effect.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import mean
+from ..core.machine import MIB, Machine
+from ..mem.page import PAGE_SIZE
+from ..numa.topology import REPLICA_POLICIES, NumaTopology
+from ..workloads.forkbench import VARIANT_FORK, VARIANT_ODFORK, measure_fork_once
+from .runner import ExperimentResult
+
+MODES = ("flat", "numa-shared", "numa-replicated")
+
+
+def _machine(mode, phys_mb, policy="share-one", seed=71):
+    if mode == "flat":
+        numa = None
+    else:
+        numa = NumaTopology(nodes=2,
+                            replicate=(mode == "numa-replicated"),
+                            odfork_replica_policy=policy)
+    return Machine(phys_mb=phys_mb, numa=numa, seed=seed)
+
+
+def _access_ns_per_page(machine, process, buf, start_page, n_pages, node):
+    """Per-page ns for TLB-cold reads of ``n_pages`` pages from ``node``."""
+    kernel = machine.kernel
+    kernel.active_tlb(process.mm).flush_all()
+    with kernel.pin_to_node(node):
+        start = machine.clock.now_ns
+        for i in range(start_page, start_page + n_pages):
+            process.touch(buf + i * PAGE_SIZE, PAGE_SIZE, write=False)
+        return (machine.clock.now_ns - start) / n_pages
+
+
+def _setup(machine, size_bytes, name):
+    parent = machine.spawn_process(name)
+    buf = parent.mmap(size_bytes)
+    parent.touch_range(buf, size_bytes, write=True)
+    return parent, buf
+
+
+def run(quick=True, repeats=3):
+    """Regenerate the NUMA fork/odfork × table-mode × locality matrix."""
+    size_mb = 64 if quick else 512
+    phys_mb = 256 if quick else 2048
+    n_access = 1024 if quick else 4096
+    size_bytes = size_mb * MIB
+
+    rows = []
+    remote_by_mode = {}
+    for mode in MODES:
+        machine = _machine(mode, phys_mb)
+        parent, buf = _setup(machine, size_bytes, f"numa-fork-{mode}")
+        fork_ns = [measure_fork_once(parent, VARIANT_FORK)
+                   for _ in range(repeats)]
+        odf_ns = [measure_fork_once(parent, VARIANT_ODFORK)
+                  for _ in range(repeats)]
+        # Locality is measured while an odfork child shares the leaf
+        # tables — the configuration the replica policies argue about.
+        child = parent.odfork()
+        remote_node = 0 if mode == "flat" else 1
+        local = _access_ns_per_page(machine, parent, buf, 0, n_access, 0)
+        remote = _access_ns_per_page(machine, parent, buf, n_access,
+                                     n_access, remote_node)
+        remote_by_mode[mode] = remote
+        rows.append([
+            mode,
+            mean(fork_ns) / 1e6,
+            mean(odf_ns) / 1e6,
+            round(mean(fork_ns) / mean(odf_ns), 2),
+            round(local, 1),
+            round(remote, 1),
+            round(remote / local, 3),
+        ])
+        child.exit()
+        parent.wait()
+        parent.exit()
+        machine.init_process.wait()
+
+    # The policy knob, seen from the child: under share-one only the
+    # owner (the parent) walks the replicas; share-all entitles the
+    # child too; collapse frees the shared leaves' replicas outright.
+    policy_rows = []
+    for policy in REPLICA_POLICIES:
+        machine = _machine("numa-replicated", phys_mb, policy=policy)
+        parent, buf = _setup(machine, size_bytes, f"numa-policy-{policy}")
+        child = parent.odfork()
+        parent_remote = _access_ns_per_page(machine, parent, buf, 0,
+                                            n_access, 1)
+        child_remote = _access_ns_per_page(machine, child, buf, n_access,
+                                           n_access, 1)
+        policy_rows.append([policy, round(parent_remote, 1),
+                            round(child_remote, 1)])
+        child.exit()
+        parent.wait()
+        parent.exit()
+        machine.init_process.wait()
+
+    saved = remote_by_mode["numa-shared"] - remote_by_mode["numa-replicated"]
+    return ExperimentResult(
+        exp_id="fig7-numa",
+        title="NUMA: fork/odfork latency and remote-access cost by table mode",
+        headers=["mode", "fork_ms", "odfork_ms", "odfork_speedup_x",
+                 "local_ns_pp", "remote_ns_pp", "remote_penalty_x"],
+        rows=rows,
+        notes=(f"replication removes {saved:.0f} ns/page of the remote "
+               f"walk penalty for the table owner; odfork's shared tables "
+               f"dodge the replica-allocation cost classic fork pays"),
+        extras={"policy_remote_ns_pp": {
+            "headers": ["policy", "parent_remote_ns_pp",
+                        "child_remote_ns_pp"],
+            "rows": policy_rows,
+        }},
+    )

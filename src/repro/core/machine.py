@@ -59,7 +59,8 @@ class Machine:
     """A simulated host: hardware model + kernel + process table."""
 
     def __init__(self, phys_mb=4096, cost_params=None, noise_sigma=0.0,
-                 seed=0, n_cores=16, swap_mb=0, smp=None, sanitize=None):
+                 seed=0, n_cores=16, swap_mb=0, smp=None, sanitize=None,
+                 numa=None):
         if phys_mb <= 0:
             raise ConfigurationError("machine needs physical memory")
         self.n_cores = int(n_cores)
@@ -73,7 +74,15 @@ class Machine:
             profiler=self.profiler,
             noise=noise,
         )
-        self.allocator = BuddyAllocator(n_frames)
+        # Opt-in NUMA topology: per-node buddy zones behind a facade with
+        # the same surface as the flat allocator; distance costs, policies
+        # and (optionally) Mitosis table replication hang off the kernel.
+        self.numa = numa
+        if numa is not None:
+            from ..numa.zones import NumaAllocator
+            self.allocator = NumaAllocator(n_frames, numa)
+        else:
+            self.allocator = BuddyAllocator(n_frames)
         self.pages = PageStructArray(n_frames)
         self.phys = PhysicalMemory(n_frames)
         self._reserve_frame_zero()
@@ -84,7 +93,7 @@ class Machine:
             from ..mem.swap import SwapDevice
             swap = SwapDevice(int(swap_mb) * MIB // PAGE_SIZE)
         self.kernel = Kernel(self.clock, self.cost, self.allocator,
-                             self.pages, self.phys, swap=swap)
+                             self.pages, self.phys, swap=swap, numa=numa)
         # Opt-in SMP subsystem: ``smp=N`` attaches N virtual CPUs and the
         # deterministic cooperative scheduler; contention then emerges
         # from lock waits and IPIs instead of the fitted alpha fallback.
@@ -129,6 +138,7 @@ class Machine:
         self.metrics.register("tlb", self._tlb_metrics)
         self.metrics.register("san", self._san_metrics)
         self.metrics.register("trace", self._trace_metrics)
+        self.metrics.register("numa", self._numa_metrics)
         # A machine built while a tracer is attached binds to it, so
         # multi-machine benchmarks stamp events against the machine
         # currently under construction/measurement.
@@ -271,6 +281,33 @@ class Machine:
         if tracer is None or self not in tracer.machines:
             return {}
         return tracer.counters()
+
+    def _numa_metrics(self):
+        """The ``numa`` namespace: zonelist + replication statistics."""
+        if self.numa is None:
+            return {}
+        allocator = self.allocator
+        stats = self.kernel.stats
+        out = {
+            "nodes": self.numa.nodes,
+            "hit": allocator.numa_hit,
+            "fallback": allocator.numa_fallback,
+            "remote_accesses": stats.numa_remote_accesses,
+            "pages_migrated": stats.pages_migrated,
+        }
+        for node, (free, used) in enumerate(
+                zip(allocator.node_free_frames(),
+                    allocator.node_used_frames())):
+            out[f"node{node}_free"] = free
+            out[f"node{node}_used"] = used
+        mitosis = self.kernel.mitosis
+        if mitosis is not None:
+            out["replica_frames"] = mitosis.replica_frame_count()
+            out["replica_allocs"] = stats.replica_allocs
+            out["replica_syncs"] = stats.replica_syncs
+            out["replica_collapses"] = stats.replica_collapses
+            out["replica_fallbacks"] = stats.replica_fallbacks
+        return out
 
     # ---- accounting / invariants -------------------------------------------------
 

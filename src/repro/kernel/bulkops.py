@@ -140,6 +140,7 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
         cost.charge_pte_table_alloc()
         pmd_table.entries[pmd_index] = _entries_for(
             np.uint64(leaf.pfn), writable=True, dirty=False)
+        kernel.note_table_write(pmd_table)
     else:
         leaf = mm.resolve(int(entry_pfn(entry)))
 
@@ -195,6 +196,7 @@ def _access_leaf_piece(kernel, mm, vma, pmd_table, pmd_index, slot_start,
             # Write-notify: restore permission in place, dirty the pages.
             sub[ro] |= BIT_RW | BIT_DIRTY
             cost.charge_fault_spurious()
+            kernel.note_table_write(leaf, int(np.count_nonzero(ro)))
             events["write_notify"] += int(np.count_nonzero(ro))
     sub[present & writable_mask(sub)] |= BIT_DIRTY | BIT_ACCESSED
 
@@ -221,6 +223,7 @@ def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
             kernel.pages.ref_inc(pfn)
             sub[pos] = _entries_for(np.uint64(pfn), writable_now,
                                     dirty=is_write and writable_now)
+            kernel.note_table_write(leaf)
             mm.add_rss(1, file_backed=True)
             kernel.stats.file_faults += 1
             cost.charge_page_cache_lookup()
@@ -230,6 +233,7 @@ def _fill_absent(kernel, mm, vma, leaf, slot_start, lo_index, hi_index,
     pfns = kernel.alloc_data_frames_bulk(mm, n)
     kernel.pages.on_alloc_bulk(pfns, PG_ANON | (PG_DIRTY if is_write else 0))
     sub[absent] = _entries_for(pfns, vma.writable, dirty=is_write)
+    kernel.note_table_write(leaf, n)
     rmap_add_bulk(kernel, pfns, leaf.pfn)
     mm.add_rss(n, file_backed=False)
     cost.charge(
@@ -254,6 +258,7 @@ def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
     if reusable.any():
         reuse_positions = positions[reusable]
         sub[reuse_positions] |= BIT_RW | BIT_DIRTY
+        kernel.note_table_write(leaf, int(np.count_nonzero(reusable)))
         kernel.stats.cow_reuse += int(np.count_nonzero(reusable))
         cost.charge("bulk_cow_reuse",
                     int(np.count_nonzero(reusable)) * params.fault_spurious)
@@ -284,6 +289,7 @@ def _bulk_cow(kernel, mm, leaf, lo_index, sub, ro_mask, events):
     zeroed = kernel.pages.ref_dec_bulk(src)
     free_anon_frames(kernel, zeroed)
     sub[copy_positions] = _entries_for(dst, writable=True, dirty=True)
+    kernel.note_table_write(leaf, n)
     rmap_add_bulk(kernel, dst, leaf.pfn)
     if n_file:
         mm.sub_rss(n_file, file_backed=True)
@@ -308,6 +314,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
         kernel.pages.on_alloc_compound(head, HUGE_PAGE_ORDER, PG_ANON)
         pmd_table.entries[pmd_index] = _entries_for(
             np.uint64(head), vma.writable, dirty=is_write) | BIT_PS
+        kernel.note_table_write(pmd_table)
         mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
         cost.charge_fault_base()
         cost.charge_bulk_copy(HUGE_PAGE_SIZE)
@@ -317,6 +324,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
         head = int(entry_pfn(entry))
         if kernel.pages.get_ref(head) == 1:
             pmd_table.entries[pmd_index] = entry | BIT_RW | BIT_DIRTY
+            kernel.note_table_write(pmd_table)
             kernel.stats.cow_reuse += 1
             cost.charge_fault_spurious()
             return
@@ -330,6 +338,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
             kernel.free_huge_frame(head)
         pmd_table.entries[pmd_index] = _entries_for(
             np.uint64(new_head), writable=True, dirty=True) | BIT_PS
+        kernel.note_table_write(pmd_table)
         cost.charge_fault_base()
         cost.charge_bulk_copy(HUGE_PAGE_SIZE)
         events["huge_cow"] += 1

@@ -99,6 +99,7 @@ def swap_in_entry(kernel, mm, vma, leaf, pte_index, is_write):
         pfn, writable=writable, user=True,
         dirty=is_write and writable, accessed=True,
     ))
+    kernel.note_table_write(leaf)
     mm.add_rss(1, file_backed=False)
     return pfn
 
@@ -178,6 +179,7 @@ class FaultHandler:
             leaf = mm.alloc_table(LEVEL_PTE)
             kernel.cost.charge_pte_table_alloc()
             pmd_table.set(pmd_index, make_entry(leaf.pfn, writable=True, user=True))
+            kernel.note_table_write(pmd_table)
 
         pte_index = table_index(vaddr, LEVEL_PTE)
         pte = leaf.entries[pte_index]
@@ -210,6 +212,7 @@ class FaultHandler:
         leaf.set(pte_index, make_entry(
             pfn, writable=vma.writable, user=True, dirty=is_write, accessed=True,
         ))
+        kernel.note_table_write(leaf)
         rmap_add(kernel, pfn, leaf.pfn)
         mm.add_rss(1, file_backed=False)
         kernel.stats.demand_zero_faults += 1
@@ -236,9 +239,11 @@ class FaultHandler:
             kernel.phys.copy_frame(cache_pfn, new_pfn)
             kernel.cost.charge_page_alloc()
             kernel.cost.charge_page_copy_4k()
+            kernel.charge_numa_copy(cache_pfn)
             leaf.set(pte_index, make_entry(
                 new_pfn, writable=True, user=True, dirty=True, accessed=True,
             ))
+            kernel.note_table_write(leaf)
             rmap_add(kernel, new_pfn, leaf.pfn)
             mm.add_rss(1, file_backed=False)
             if points.enabled:
@@ -253,6 +258,7 @@ class FaultHandler:
             cache_pfn, writable=writable, user=True,
             dirty=is_write and writable, accessed=True,
         ))
+        kernel.note_table_write(leaf)
         if is_write and writable:
             kernel.page_cache.mark_dirty(cache_pfn)
         mm.add_rss(1, file_backed=True)
@@ -270,6 +276,7 @@ class FaultHandler:
         if vma.is_shared:
             # Shared mapping write-notify: permission restored in place.
             leaf.entries[pte_index] = pte | BIT_RW | BIT_DIRTY
+            kernel.note_table_write(leaf)
             if kernel.pages.has_flags(pfn, PG_FILE):
                 kernel.page_cache.mark_dirty(pfn)
             kernel.cost.charge_fault_spurious()
@@ -279,6 +286,7 @@ class FaultHandler:
         if not is_file_page and kernel.pages.get_ref(pfn) == 1:
             # Exclusive anonymous page: reuse without copying.
             leaf.entries[pte_index] = pte | BIT_RW | BIT_DIRTY
+            kernel.note_table_write(leaf)
             kernel.stats.cow_reuse += 1
             kernel.cost.charge_fault_spurious()
             if points.enabled:
@@ -302,6 +310,7 @@ class FaultHandler:
         kernel.phys.copy_frame(pfn, new_pfn)
         kernel.cost.charge_page_alloc()
         kernel.cost.charge_page_copy_4k(warm=mm.odf_lineage)
+        kernel.charge_numa_copy(pfn)
         if kernel.rmap is not None:
             kernel.pages.ref_dec(pfn)  # drop the pin
             rmap_remove(kernel, pfn, leaf.pfn)  # this mapping is replaced
@@ -313,6 +322,7 @@ class FaultHandler:
         leaf.set(pte_index, make_entry(
             new_pfn, writable=True, user=True, dirty=True, accessed=True,
         ))
+        kernel.note_table_write(leaf)
         rmap_add(kernel, new_pfn, leaf.pfn)
         if is_file_page:
             mm.sub_rss(1, file_backed=True)
@@ -347,12 +357,14 @@ class FaultHandler:
                     kernel.phys.copy_frame(head + sub, new_head + sub)
             kernel.cost.charge_page_alloc()
             kernel.cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+            kernel.charge_numa_copy(head, 1 << HUGE_PAGE_ORDER)
             if kernel.pages.ref_dec(head) == 0:
                 kernel.free_huge_frame(head)
             pmd_table.set(pmd_index, make_entry(
                 new_head, writable=True, user=True, huge=True,
                 dirty=True, accessed=True,
             ))
+            kernel.note_table_write(pmd_table)
             # The whole 2 MiB region changed frames: every cached
             # translation under this PMD entry is stale, not just the
             # faulting page.
@@ -388,6 +400,7 @@ class FaultHandler:
                 head, writable=vma.writable, user=True, huge=True,
                 dirty=is_write, accessed=True,
             ))
+            kernel.note_table_write(pmd_table)
             mm.add_rss(1 << HUGE_PAGE_ORDER, file_backed=False)
             kernel.stats.huge_faults += 1
             if points.enabled:
@@ -416,12 +429,14 @@ class FaultHandler:
                     kernel.phys.copy_frame(head + sub, new_head + sub)
             kernel.cost.charge_page_alloc()
             kernel.cost.charge_bulk_copy(HUGE_PAGE_SIZE)
+            kernel.charge_numa_copy(head, 1 << HUGE_PAGE_ORDER)
             if kernel.pages.ref_dec(head) == 0:
                 kernel.free_huge_frame(head)
             pmd_table.set(pmd_index, make_entry(
                 new_head, writable=True, user=True, huge=True,
                 dirty=True, accessed=True,
             ))
+            kernel.note_table_write(pmd_table)
             slot_start = level_base(vaddr, 2)
             kernel.tlbs.shootdown_mm(mm, slot_start,
                                      slot_start + HUGE_PAGE_SIZE,

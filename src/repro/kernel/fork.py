@@ -174,6 +174,12 @@ def classic_copy_slot(kernel, parent_mm, child_mm, state, pmd, pmd_index,
             # its PMD entry already has RW=0, which protects every
             # sharer, and the table-COW protocol owns its entry bits.
             parent_leaf.entries[cow_mask] &= drop_rw
+            kernel.note_table_write(parent_leaf,
+                                    int(np.count_nonzero(cow_mask)))
+    # Populating the fresh (auto-replicated) child table is a coherence
+    # event under Mitosis; the copy itself reads the parent's frame.
+    kernel.note_table_write(child_leaf, PTRS_PER_TABLE)
+    kernel.charge_numa_copy(parent_leaf.pfn)
 
     _, pfns = table_present_pfns(child_leaf)
     if len(pfns):

@@ -14,6 +14,7 @@ reroutes plain ``fork`` for unmodified applications.
 from __future__ import annotations
 from ..sancheck.annotations import acquires, must_hold, tlb_deferred
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..errors import (
@@ -90,6 +91,13 @@ class VMStats:
     # -- SMP / TLB coherence (zero unless remote CPU views existed) -------
     tlb_shootdowns: int = 0
     ipis_sent: int = 0
+    # -- NUMA / Mitosis (zero unless Machine(numa=...)) -------------------
+    numa_remote_accesses: int = 0
+    pages_migrated: int = 0
+    replica_allocs: int = 0
+    replica_syncs: int = 0
+    replica_collapses: int = 0
+    replica_fallbacks: int = 0
 
     def snapshot(self):
         """A plain-dict copy of all counters."""
@@ -99,7 +107,8 @@ class VMStats:
 class Kernel:
     """Owns every machine-wide subsystem and exposes the syscall surface."""
 
-    def __init__(self, clock, cost, allocator, pages, phys, swap=None):
+    def __init__(self, clock, cost, allocator, pages, phys, swap=None,
+                 numa=None):
         self.clock = clock
         self.cost = cost
         self.allocator = allocator
@@ -151,6 +160,17 @@ class Kernel:
         # The KCSAN race sampler (Machine(sanitize="kcsan")) plugs in
         # here; san_access() is the instrumentation entry point.
         self.san = None
+        # NUMA topology (Machine(numa=NumaTopology(...))): the per-node
+        # zones live in the allocator; the kernel keeps the topology, the
+        # "executing node" notion allocation policies key off, and — when
+        # the topology asks for it — the Mitosis replica registry.
+        self.numa = numa
+        self._pinned_node = None
+        if numa is not None and numa.replicate:
+            from ..numa.replication import MitosisState
+            self.mitosis = MitosisState(self, numa)
+        else:
+            self.mitosis = None
         from ..paging.tlb import ShootdownEngine
         self.tlbs = ShootdownEngine(self)
 
@@ -190,6 +210,110 @@ class Kernel:
     def live_tables(self):
         """Number of registered table frames machine-wide."""
         return len(self._tables)
+
+    # ---- NUMA placement --------------------------------------------------
+
+    def current_node(self):
+        """The node the executing CPU lives on (the first-touch home).
+
+        A :meth:`pin_to_node` context wins; otherwise the scheduled
+        vCPU's home node; node 0 outside an SMP run or without NUMA.
+        """
+        if self.numa is None:
+            return 0
+        if self._pinned_node is not None:
+            return self._pinned_node
+        smp = self.smp
+        if smp is not None and smp.running and smp.current is not None:
+            return smp.current.vcpu.node
+        return 0
+
+    @contextmanager
+    def pin_to_node(self, node):
+        """Run the body as if executing on ``node`` (bench harnesses)."""
+        if self.numa is not None and not 0 <= node < self.numa.nodes:
+            raise InvalidArgumentError(f"no such NUMA node {node}")
+        prev = self._pinned_node
+        self._pinned_node = int(node)
+        try:
+            yield
+        finally:
+            self._pinned_node = prev
+
+    def _alloc_one(self, order, node, strict=False):
+        """One allocator call, flat or NUMA-aware as configured."""
+        if self.numa is None:
+            return self.allocator.alloc(order)
+        return self.allocator.alloc(order, node=node, strict=strict)
+
+    def _alloc_node(self, mm):
+        """``(node, strict)`` for a single data-frame allocation by ``mm``.
+
+        Applies the mm's mempolicy (first-touch when unset) and exercises
+        the ``numa.node_alloc`` failpoint, the injection site for per-node
+        allocation failure.  ``(None, False)`` without a NUMA topology.
+        """
+        if self.numa is None:
+            return None, False
+        self.failpoints.hit("numa.node_alloc")
+        policy = mm.mempolicy
+        if policy is None:
+            return self.current_node(), False
+        node, strict, _ = policy.pick(mm, self.current_node())
+        return node, strict
+
+    @must_hold("mmap_lock")
+    def note_table_write(self, table, n_entries=1):
+        """Mitosis coherence hook: ``table``'s entries were mutated."""
+        if self.mitosis is not None:
+            self.mitosis.fanout_write(table, n_entries)
+
+    def _charge_remote_access(self, factor, target_node, n_pages=1):
+        """Book a cross-node data access (cost + counter + tracepoint)."""
+        self.cost.charge_numa_access(factor, n_pages)
+        self.stats.numa_remote_accesses += n_pages
+        if points.enabled:
+            points.tracepoint("numa.remote_access", node=self.current_node(),
+                              target_node=target_node, factor=factor)
+
+    def charge_numa_copy(self, src_pfn, n_pages=1):
+        """Cross-node penalty of copying data *from* ``src_pfn``.
+
+        COW and migration copy sites call this so reading a remote source
+        frame costs what the distance matrix says it should.
+        """
+        numa = self.numa
+        if numa is None:
+            return
+        target = self.allocator.node_of(src_pfn)
+        factor = numa.factor(self.current_node(), target)
+        if factor > 0.0:
+            self._charge_remote_access(factor, target, n_pages)
+
+    def _charge_numa_walk(self, mm, data_pfn):
+        """Distance-weight the walk just performed plus the data access.
+
+        Each visited table frame on a remote node adds its distance
+        factor — unless the mm is *entitled* to that table's Mitosis
+        replicas, in which case the walk level is node-local by
+        construction and costs nothing extra.  The data page itself is
+        never replicated, so its remote penalty always applies.
+        """
+        numa = self.numa
+        node = self.current_node()
+        node_of = self.allocator.node_of
+        mitosis = self.mitosis
+        walk_factor = 0.0
+        for table_pfn in self.walker.path:
+            if mitosis is not None and mitosis.entitled(mm, table_pfn):
+                continue
+            walk_factor += numa.factor(node, node_of(table_pfn))
+        if walk_factor > 0.0:
+            self.cost.charge_numa_walk(walk_factor)
+        target = node_of(data_pfn)
+        factor = numa.factor(node, target)
+        if factor > 0.0:
+            self._charge_remote_access(factor, target)
 
     # ---- frame allocation with reclaim ------------------------------------
 
@@ -248,12 +372,13 @@ class Kernel:
     def alloc_data_frame(self, mm):
         """One frame for user data, reclaiming under pressure."""
         self._maybe_wake_kswapd()
+        node, strict = self._alloc_node(mm)
         try:
-            return int(self.allocator.alloc(0))
+            return int(self._alloc_one(0, node, strict))
         except OutOfFramesError:
             if self._emergency_reclaim(64):
                 try:
-                    return int(self.allocator.alloc(0))
+                    return int(self._alloc_one(0, node, strict))
                 except OutOfFramesError:
                     pass
             raise OutOfMemoryError(
@@ -263,41 +388,62 @@ class Kernel:
     def alloc_data_frames_bulk(self, mm, n):
         """Bulk frame allocation with reclaim-on-pressure."""
         self._maybe_wake_kswapd(n)
+        if self.numa is None:
+            node, interleave = None, False
+        else:
+            self.failpoints.hit("numa.node_alloc")
+            policy = mm.mempolicy
+            if policy is None:
+                node, interleave = self.current_node(), False
+            else:
+                node, _, interleave = policy.pick_bulk(mm, self.current_node())
         try:
-            return self.allocator.alloc_bulk(n)
+            return self._alloc_bulk(n, node, interleave)
         except OutOfFramesError:
             if self._emergency_reclaim(n):
                 # The retry can still fail after a *partial* reclaim; it
                 # must surface as the OOM message path below, not as a raw
                 # allocator error.
                 try:
-                    return self.allocator.alloc_bulk(n)
+                    return self._alloc_bulk(n, node, interleave)
                 except OutOfFramesError:
                     pass
             raise OutOfMemoryError(f"out of memory allocating {n} frames") from None
 
+    def _alloc_bulk(self, n, node, interleave):
+        if self.numa is None:
+            return self.allocator.alloc_bulk(n)
+        return self.allocator.alloc_bulk(n, node=node, interleave=interleave)
+
     def alloc_huge_frame(self, mm):
         """One 2 MiB compound block with reclaim-on-pressure."""
         self._maybe_wake_kswapd(1 << HUGE_PAGE_ORDER)
+        node, strict = self._alloc_node(mm)
         try:
-            return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+            return int(self._alloc_one(HUGE_PAGE_ORDER, node, strict))
         except OutOfFramesError:
             if self._emergency_reclaim(1 << HUGE_PAGE_ORDER):
                 try:
-                    return int(self.allocator.alloc(HUGE_PAGE_ORDER))
+                    return int(self._alloc_one(HUGE_PAGE_ORDER, node, strict))
                 except OutOfFramesError:
                     pass
             raise OutOfMemoryError("out of memory allocating a huge page") from None
 
     def alloc_table_frame(self):
-        """One frame for a page-table node, reclaiming under pressure."""
+        """One frame for a page-table node, reclaiming under pressure.
+
+        Tables are placed first-touch on the executing node — the Mitosis
+        premise: a process that faults its tree in from one node leaves
+        every other node walking remote table frames.
+        """
         self._maybe_wake_kswapd()
+        node = self.current_node() if self.numa is not None else None
         try:
-            return int(self.allocator.alloc(0))
+            return int(self._alloc_one(0, node))
         except OutOfFramesError:
             if self._emergency_reclaim(64):
                 try:
-                    return int(self.allocator.alloc(0))
+                    return int(self._alloc_one(0, node))
                 except OutOfFramesError:
                     pass
             raise OutOfMemoryError("out of memory allocating a page table") from None
@@ -396,6 +542,9 @@ class Kernel:
         start_ns = self.clock.now_ns
         child = self._new_task(parent=task, name=name or f"{task.name}-child")
         child.odfork_default = task.odfork_default
+        if task.mm.mempolicy is not None:
+            # mempolicy is inherited across fork, as on Linux.
+            child.mm.mempolicy = task.mm.mempolicy.clone()
         try:
             if use_odf:
                 copy_mm_odf(self, task.mm, child.mm)
@@ -578,11 +727,13 @@ class Kernel:
                     entry = pmd_table.entries[pmd_index]
                 else:
                     pmd_table.entries[pmd_index] = entry & drop
+                    self.note_table_write(pmd_table)
                     continue
             leaf = mm.resolve(int(entry_pfn(entry)))
             lo_index = (lo - slot_start) // PAGE_SIZE
             hi_index = (hi - slot_start) // PAGE_SIZE
             leaf.entries[lo_index:hi_index] &= drop
+            self.note_table_write(leaf, hi_index - lo_index)
             self.cost.charge_zap_entries(hi_index - lo_index)
 
     @acquires("mmap_lock")
@@ -751,6 +902,102 @@ class Kernel:
         """The paper's procfs switch: reroute plain fork() for this task."""
         task.odfork_default = bool(enabled)
 
+    # ---- NUMA syscalls ----------------------------------------------------
+
+    def sys_set_mempolicy(self, task, mode, node=None):
+        """set_mempolicy(2): the task's allocation policy from here on.
+
+        ``mode`` is one of ``first-touch`` / ``interleave`` / ``bind``
+        (``bind`` needs ``node``).  Existing pages stay where they are —
+        use :meth:`sys_migrate_pages` to move them.
+        """
+        task.require_alive()
+        if self.numa is None:
+            raise InvalidArgumentError("machine has no NUMA topology")
+        self.cost.charge_syscall()
+        from ..numa.policy import MemPolicy
+        policy = MemPolicy(mode, node)
+        if policy.node is not None and not 0 <= policy.node < self.numa.nodes:
+            raise InvalidArgumentError(f"no such NUMA node {policy.node}")
+        task.mm.mempolicy = policy
+        return policy
+
+    @acquires("mmap_lock")
+    def sys_migrate_pages(self, task, target_node):
+        """migrate_pages(2): move the task's movable pages to one node.
+
+        Moves exclusively-owned, present, 4 KiB anonymous and private-COW
+        pages whose frame lives off ``target_node``.  Pages under a
+        *shared* PTE table, huge pages, swap entries, and shared frames
+        (page cache, fork-COW, snapshots) are skipped — exactly the pages
+        a real ``migrate_pages`` fails with -EBUSY or would break COW
+        semantics for.  Returns the number of pages moved.
+        """
+        task.require_alive()
+        numa = self.numa
+        if numa is None:
+            raise InvalidArgumentError("machine has no NUMA topology")
+        if not 0 <= target_node < numa.nodes:
+            raise InvalidArgumentError(f"no such NUMA node {target_node}")
+        self.cost.charge_syscall()
+        import numpy as np
+        from ..mem.page import PG_FILE
+        from ..paging.entries import (
+            BIT_DIRTY,
+            entry_pfn,
+            is_writable as _is_writable,
+            make_entry,
+        )
+        from .rmap import rmap_add, rmap_remove
+        mm = task.mm
+        node_of = self.allocator.node_of
+        moved = 0
+        for _pmd, _index, leaf in mm.leaf_tables():
+            if self.pages.pt_ref(leaf.pfn) > 1:
+                continue     # fork-shared table: moving would edit sharers
+            for pte_index in leaf.present_indices().tolist():
+                entry = leaf.entries[pte_index]
+                pfn = int(entry_pfn(entry))
+                if node_of(pfn) == target_node:
+                    continue
+                if self.pages.get_ref(pfn) != 1:
+                    continue # shared frame (cache / COW / snapshot): busy
+                if self.pages.has_flags(pfn, PG_FILE):
+                    continue # keep file pages with the page cache
+                try:
+                    self.failpoints.hit("numa.node_alloc")
+                    new_pfn = int(self.allocator.alloc(0, node=target_node,
+                                                       strict=True))
+                except OutOfMemoryError:
+                    break    # target node full: stop, keep what moved
+                self.pages.on_alloc(new_pfn, int(self.pages.flags[pfn]))
+                self.phys.copy_frame(pfn, new_pfn)
+                self.charge_numa_copy(pfn, 1)
+                if self.rmap is not None:
+                    rmap_remove(self, pfn, leaf.pfn)
+                self.pages.on_free(pfn)
+                self.phys.zero(pfn)
+                self.allocator.free(pfn, 0)
+                leaf.set(pte_index, make_entry(
+                    new_pfn, writable=bool(_is_writable(entry)), user=True,
+                    dirty=bool(entry & np.uint64(BIT_DIRTY)), accessed=True,
+                ))
+                rmap_add(self, new_pfn, leaf.pfn)
+                self.note_table_write(leaf)
+                moved += 1
+        if moved:
+            self.cost.charge_migrate_pages(
+                moved, numa.factor(self.current_node(), target_node))
+            self.stats.pages_migrated += moved
+            # Every moved page changed frames: the whole mm's cached
+            # translations are suspect, as migrate_pages' unmap step is.
+            self.tlbs.shootdown_mm(mm)
+        if points.enabled:
+            points.tracepoint("numa.migrate", pid=task.pid,
+                              target_node=target_node, moved=moved,
+                              node=target_node)
+        return moved
+
     def proc_status(self, task):
         """The /proc/<pid>/status analogue."""
         mm = task.mm
@@ -788,6 +1035,8 @@ class Kernel:
             try:
                 tr = self.walker.translate(mm.pgd, addr, is_write)
                 tlb.insert(addr, tr.pfn, tr.writable, tr.huge)
+                if self.numa is not None:
+                    self._charge_numa_walk(mm, tr.pfn)
                 return tr.pfn
             except MMUFault:
                 self.fault_handler.handle(task, addr, is_write)

@@ -16,6 +16,7 @@ module provides the structural plumbing they share:
 from __future__ import annotations
 
 from ..errors import InvalidArgumentError, KernelBug
+from ..sancheck.annotations import must_hold
 from ..mem.page import HUGE_PAGE_SIZE, PAGE_SIZE, PG_PAGETABLE
 from ..paging.entries import entry_pfn, is_huge, is_present, make_entry
 from ..paging.table import (
@@ -58,6 +59,15 @@ class MMStruct:
         # discount: shared tables and untouched struct pages leave more of
         # the cache hierarchy to user data.
         self.odf_lineage = False
+        # NUMA allocation policy (set_mempolicy); None means first-touch
+        # on the machine's topology default.  The interleave cursor round-
+        # robins single-page allocations across nodes.
+        self.mempolicy = (None if kernel.numa is None
+                          else kernel.numa.default_mempolicy())
+        self._interleave_next = 0
+        # True once any of this mm's tables gained Mitosis replicas:
+        # shootdowns then fan out to every replica-hosting node.
+        self.replicated = False
         # Last fallible step: an injected (or real) OOM here leaves no
         # half-built descriptor behind — nothing above allocates.
         kernel.failpoints.hit("mm.pgd_alloc")
@@ -84,11 +94,20 @@ class MMStruct:
                 kernel.pt_sharers[pfn] = [self]
         elif level != LEVEL_PGD:
             self.nr_upper_tables += 1
+        if kernel.mitosis is not None:
+            # Mitosis: every fresh table grows per-node replicas (best
+            # effort — on OOM the table simply runs unreplicated).
+            kernel.mitosis.replicate_table(self, table)
         return table
 
+    @must_hold("mmap_lock")
     def free_table_frame(self, table):
         """Release a table node's frame (callers handle entry accounting)."""
         kernel = self.kernel
+        if kernel.mitosis is not None:
+            # Replicas die with their primary — before the registry entry
+            # goes, while node_of/accounting still see a live table.
+            kernel.mitosis.collapse_table(table.pfn, reason="free")
         if table.level == LEVEL_PTE and kernel.pt_sharers is not None:
             kernel.pt_sharers.pop(table.pfn, None)
         kernel.unregister_table(table)

@@ -55,6 +55,30 @@ from ..trace import points
 FAULT_INJECT_SKIP_PARENT_WP = False
 
 
+@must_hold("mmap_lock")
+def _apply_replica_share_policy(kernel, child_mm, leaf_pfns):
+    """odfork x Mitosis: decide what sharing does to a table's replicas.
+
+    The knob is ``NumaTopology.odfork_replica_policy``:
+
+    * ``collapse`` frees the replicas on the spot (reason="share") —
+      the table reverts to one primary until table-COW re-replicates;
+    * ``share-all`` leaves them in place and entitles *every* sharer,
+      so the child's shootdowns fan out to replica nodes too;
+    * ``share-one`` (default) leaves them owned by the parent — nothing
+      to do here; adoption happens at unshare/table-COW time.
+    """
+    mitosis = kernel.mitosis
+    policy = mitosis.topology.odfork_replica_policy
+    for leaf_pfn in leaf_pfns:
+        if leaf_pfn not in mitosis.replicas:
+            continue
+        if policy == "collapse":
+            mitosis.collapse_table(leaf_pfn, reason="share")
+        elif policy == "share-all":
+            child_mm.replicated = True
+
+
 def _account_shared_table_rss(kernel, mm, child_mm, leaf_pfn):
     """Sharing a leaf table makes its present pages resident in the child.
 
@@ -97,11 +121,17 @@ def copy_mm_odf(kernel, parent_mm, child_mm, share_huge=False):
             for leaf_pfn in pfns.tolist():
                 kernel.pt_sharers[leaf_pfn].append(child_mm)
                 _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
+            if kernel.mitosis is not None:
+                _apply_replica_share_policy(kernel, child_mm, pfns.tolist())
             protected = entries[leaf_positions] & drop_rw
             if not FAULT_INJECT_SKIP_PARENT_WP:
                 entries[leaf_positions] = protected
             child_pmd.entries[leaf_positions] = protected
             count = int(np.count_nonzero(leaf_positions))
+            # The PMD write-protect edits the parent's (replicated) PMD
+            # table, and populates the child's fresh one.
+            kernel.note_table_write(parent_pmd, count)
+            kernel.note_table_write(child_pmd, count)
             shared_tables += count
             child_mm.nr_pte_tables += count
             if points.enabled:
@@ -175,10 +205,14 @@ def share_one_slot(kernel, parent_mm, child_mm, builder, pmd, pmd_index,
     kernel.pages.pt_refcount[leaf_pfn] += 1
     add_table_sharer(kernel, leaf_pfn, child_mm)
     _account_shared_table_rss(kernel, parent_mm, child_mm, leaf_pfn)
+    if kernel.mitosis is not None:
+        _apply_replica_share_policy(kernel, child_mm, [leaf_pfn])
     protected = entry & drop_rw
     if not FAULT_INJECT_SKIP_PARENT_WP:
         pmd.entries[pmd_index] = protected
     child_pmd.entries[child_index] = protected
+    kernel.note_table_write(pmd)
+    kernel.note_table_write(child_pmd)
     child_mm.nr_pte_tables += 1
     cost.charge_share_tables(1)
     if points.enabled:

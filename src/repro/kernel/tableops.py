@@ -175,6 +175,9 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     kernel.failpoints.hit("tableops.table_cow")
     new_table = mm.alloc_table(LEVEL_PTE)
     new_table.copy_entries_from(old_table)
+    # Mitosis: populating the fresh (auto-replicated) copy and editing
+    # the original are both full-table coherence events.
+    kernel.note_table_write(new_table, PTRS_PER_TABLE)
 
     cow_mask = private_cow_mask(mm, slot_start)
     if cow_mask.any():
@@ -184,6 +187,7 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
         # silently regain write access to still-shared pages.
         new_table.entries[cow_mask] &= drop
         old_table.entries[cow_mask] &= drop
+        kernel.note_table_write(old_table, int(np.count_nonzero(cow_mask)))
 
     indices, pfns = table_present_pfns(new_table)
     if len(pfns):
@@ -198,6 +202,7 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
 
     kernel.cost.charge_table_cow_copy(len(pfns))
     pmd_table.set(pmd_index, make_entry(new_table.pfn, writable=True, user=True))
+    kernel.note_table_write(pmd_table)
 
     # One fewer sharer of the old table.  RSS does not change: this mm
     # still maps the same pages, now through its own copy — and its PMD
@@ -207,6 +212,12 @@ def copy_shared_pte_table(kernel, mm, pmd_table, pmd_index, slot_start):
     remaining = kernel.pages.pt_ref_dec(old_table.pfn)
     if remaining == 0:
         raise KernelBug("shared table refcount hit zero during COW copy")
+    if remaining == 1 and kernel.mitosis is not None:
+        # Under share-one the last sharer left holding the table becomes
+        # entitled to its replicas (the paper-crossing adoption rule).
+        survivors = kernel.pt_sharers.get(old_table.pfn)
+        if survivors:
+            kernel.mitosis.adopt_owner(old_table.pfn, survivors[0])
     kernel.stats.table_cow_copies += 1
     if points.enabled:
         points.tracepoint("table.cow_copy", slot_start=slot_start,
@@ -230,6 +241,9 @@ def unshare_sole_owner(kernel, mm, pmd_table, pmd_index):
     """
     entry = pmd_table.entries[pmd_index]
     pmd_table.entries[pmd_index] = entry | BIT_RW
+    kernel.note_table_write(pmd_table)
+    if kernel.mitosis is not None:
+        kernel.mitosis.adopt_owner(int(entry_pfn(entry)), mm)
     kernel.cost.charge_pt_unshare_flip()
     kernel.stats.table_unshares += 1
     if points.enabled:

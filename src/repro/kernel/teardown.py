@@ -129,6 +129,7 @@ def _zap_dedicated_entries(kernel, mm, leaf, slot_start, lo, hi, account_rss=Tru
         kernel.cost.charge_zap_entries(len(pfns))
     kernel.swap_put_entries(leaf.entries[lo_index:hi_index])
     leaf.entries[lo_index:hi_index] = ENTRY_NONE
+    kernel.note_table_write(leaf, hi_index - lo_index)
 
 
 @must_hold("mmap_lock", "ptl")

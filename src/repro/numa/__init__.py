@@ -1,0 +1,38 @@
+"""NUMA memory topology: per-node zones, distance costs, mempolicies,
+and Mitosis-style page-table replication.
+
+Opt in with ``Machine(numa=NumaTopology(nodes=2))``; add
+``replicate=True`` for transparent per-node page-table replicas and
+``odfork_replica_policy`` to pick how on-demand fork's shared tables
+interact with them.  See MECHANISM.md §15.
+"""
+
+from .policy import MemPolicy
+from .replication import MitosisState
+from .topology import (
+    LOCAL_DISTANCE,
+    POLICIES,
+    POLICY_BIND,
+    POLICY_FIRST_TOUCH,
+    POLICY_INTERLEAVE,
+    REMOTE_DISTANCE,
+    REPLICA_POLICIES,
+    NumaTopology,
+    default_distance,
+)
+from .zones import NumaAllocator
+
+__all__ = [
+    "LOCAL_DISTANCE",
+    "MemPolicy",
+    "MitosisState",
+    "NumaAllocator",
+    "NumaTopology",
+    "POLICIES",
+    "POLICY_BIND",
+    "POLICY_FIRST_TOUCH",
+    "POLICY_INTERLEAVE",
+    "REMOTE_DISTANCE",
+    "REPLICA_POLICIES",
+    "default_distance",
+]

@@ -1,0 +1,58 @@
+"""Per-mm NUMA allocation policies (``set_mempolicy`` in miniature).
+
+A :class:`MemPolicy` hangs off each ``MMStruct`` and decides which node
+a *data* allocation prefers (table frames always go first-touch — that
+local placement is exactly the premise Mitosis replication builds on):
+
+``first-touch``
+    Allocate on the faulting CPU's home node, falling back by distance.
+``interleave``
+    Round-robin single allocations across nodes (bulk allocations
+    stripe evenly); classic bandwidth-spreading.
+``bind``
+    Allocate on one node, strictly: exhaustion OOMs rather than spills.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .topology import POLICIES, POLICY_BIND, POLICY_INTERLEAVE
+
+
+class MemPolicy:
+    """One process's allocation policy (mode plus optional bind node)."""
+
+    __slots__ = ("mode", "node")
+
+    def __init__(self, mode, node=None):
+        if mode not in POLICIES:
+            raise ConfigurationError(
+                f"unknown mempolicy {mode!r}; known: {POLICIES}")
+        if mode == POLICY_BIND and node is None:
+            raise ConfigurationError("bind policy needs a target node")
+        self.mode = mode
+        self.node = node
+
+    def clone(self):
+        """Policies are inherited across fork, like the kernel's."""
+        return MemPolicy(self.mode, self.node)
+
+    def pick(self, mm, current_node):
+        """``(node, strict, interleave)`` for one data allocation."""
+        if self.mode == POLICY_BIND:
+            return self.node, True, False
+        if self.mode == POLICY_INTERLEAVE:
+            node = mm._interleave_next % mm.kernel.numa.nodes
+            mm._interleave_next += 1
+            return node, False, False
+        return current_node, False, False
+
+    def pick_bulk(self, mm, current_node):
+        """``(node, strict, interleave)`` for a bulk data allocation."""
+        if self.mode == POLICY_INTERLEAVE:
+            return 0, False, True
+        return self.pick(mm, current_node)
+
+    def __repr__(self):
+        target = f", node={self.node}" if self.node is not None else ""
+        return f"MemPolicy({self.mode!r}{target})"

@@ -1,0 +1,132 @@
+"""NUMA topology description: nodes, distances, and policy knobs.
+
+A :class:`NumaTopology` is pure configuration — pass it to
+``Machine(numa=...)`` to opt a machine into the NUMA memory model.  It
+follows the ACPI SLIT convention: the distance matrix is normalised so a
+node's distance to itself is ``local_distance`` (10 by default), and the
+cost model charges *extra* latency proportional to how much a hop
+exceeds local distance (``factor = distance/local - 1``, so local
+accesses cost nothing extra and a distance-20 hop costs one full
+``numa_remote_access`` penalty).
+
+``replicate=True`` additionally enables Mitosis-style transparent
+page-table replication (see :mod:`repro.numa.replication`);
+``odfork_replica_policy`` picks how on-demand fork's *shared* PTE tables
+interact with per-node replicas:
+
+``"share-one"``
+    The shared table keeps its replicas, but only the owning process
+    (the parent, until a sole-owner unshare adopts a new owner) walks
+    them; other sharers walk the primary and pay the distance penalty.
+``"share-all"``
+    Every sharer walks the replicas — maximum walk locality, but every
+    sharer's faults fan IPIs out to every replica-hosting node.
+``"collapse"``
+    Sharing a table collapses its replicas back to the single primary;
+    replication resumes when table-COW gives a process a private copy.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: SLIT-style distances: a node is 10 from itself, 20 from anyone else.
+LOCAL_DISTANCE = 10
+REMOTE_DISTANCE = 20
+
+#: Allocation policies (``repro.numa.policy`` implements them).
+POLICY_FIRST_TOUCH = "first-touch"
+POLICY_INTERLEAVE = "interleave"
+POLICY_BIND = "bind"
+POLICIES = (POLICY_FIRST_TOUCH, POLICY_INTERLEAVE, POLICY_BIND)
+
+#: How odfork's shared tables interact with Mitosis replicas.
+REPLICA_POLICIES = ("share-one", "share-all", "collapse")
+
+
+def default_distance(nodes, local=LOCAL_DISTANCE, remote=REMOTE_DISTANCE):
+    """The flat SLIT every small multi-socket box reports."""
+    return [[local if a == b else remote for b in range(nodes)]
+            for a in range(nodes)]
+
+
+class NumaTopology:
+    """Validated NUMA configuration for a :class:`~repro.core.machine.Machine`."""
+
+    def __init__(self, nodes=2, distance=None, replicate=False,
+                 odfork_replica_policy="share-one",
+                 default_policy=POLICY_FIRST_TOUCH):
+        self.nodes = int(nodes)
+        if self.nodes < 1:
+            raise ConfigurationError("a NUMA topology needs at least one node")
+        if distance is None:
+            distance = default_distance(self.nodes)
+        self.distance = [[int(d) for d in row] for row in distance]
+        self._validate_distance()
+        self.local_distance = self.distance[0][0]
+        self.replicate = bool(replicate)
+        if odfork_replica_policy not in REPLICA_POLICIES:
+            raise ConfigurationError(
+                f"unknown odfork_replica_policy {odfork_replica_policy!r}; "
+                f"known: {REPLICA_POLICIES}")
+        self.odfork_replica_policy = odfork_replica_policy
+        if default_policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown default policy {default_policy!r}; known: {POLICIES}")
+        if default_policy == POLICY_BIND:
+            raise ConfigurationError(
+                "bind cannot be a topology-wide default; use set_mempolicy")
+        self.default_policy = default_policy
+        # Per-node fallback order: nearest first, node id breaks ties —
+        # this is the zonelist order the buddy facade allocates through.
+        self.fallback = [
+            sorted(range(self.nodes),
+                   key=lambda other: (self.distance[node][other], other))
+            for node in range(self.nodes)
+        ]
+
+    def _validate_distance(self):
+        d = self.distance
+        if len(d) != self.nodes or any(len(row) != self.nodes for row in d):
+            raise ConfigurationError(
+                f"distance matrix must be {self.nodes}x{self.nodes}")
+        local = d[0][0]
+        for a in range(self.nodes):
+            if d[a][a] != local:
+                raise ConfigurationError("local distances must be uniform")
+            for b in range(self.nodes):
+                if d[a][b] <= 0:
+                    raise ConfigurationError("distances must be positive")
+                if d[a][b] != d[b][a]:
+                    raise ConfigurationError("distance matrix must be symmetric")
+                if a != b and d[a][b] < local:
+                    raise ConfigurationError(
+                        "remote distance below local distance")
+
+    def factor(self, from_node, to_node):
+        """Extra-cost multiplier for a ``from_node`` access to ``to_node``.
+
+        0.0 for local accesses; 1.0 for a hop at twice local distance —
+        the scale every ``numa_*`` cost constant is calibrated against.
+        """
+        return (self.distance[from_node][to_node]
+                / self.local_distance) - 1.0
+
+    def default_mempolicy(self):
+        """A fresh :class:`~repro.numa.policy.MemPolicy` for a new mm.
+
+        ``None`` for first-touch (the kernel's no-policy fast path).
+        """
+        if self.default_policy == POLICY_FIRST_TOUCH:
+            return None
+        from .policy import MemPolicy
+        return MemPolicy(self.default_policy)
+
+    def node_of_cpu(self, cpu_id, n_cpus):
+        """Home node for a vCPU: contiguous blocks, like dmidecode boxes."""
+        return min(self.nodes - 1, cpu_id * self.nodes // max(1, n_cpus))
+
+    def __repr__(self):
+        return (f"NumaTopology(nodes={self.nodes}, "
+                f"replicate={self.replicate}, "
+                f"odfork_replica_policy={self.odfork_replica_policy!r})")

@@ -170,6 +170,7 @@ class ShootdownEngine:
             for vcpu in targets:
                 _flush(vcpu.tlb, start, end)
         self.kernel.stats.tlb_shootdowns += 1
+        self._charge_node_fanout(mms, sender, targets)
         if points.enabled:
             if start is None or end is None:
                 pages = 0          # full (or single-page) invalidation
@@ -178,6 +179,34 @@ class ShootdownEngine:
             points.tracepoint("tlb.shootdown", targets=len(targets),
                               pages=pages)
         return len(targets)
+
+    def _charge_node_fanout(self, mms, sender, targets):
+        """NUMA: book the interconnect cost of a cross-node IPI round.
+
+        The target set's home nodes beyond the sender's each add the
+        ``ipi_cross_node_extra`` penalty.  When any affected mm carries
+        Mitosis replicas, the fan-out additionally reaches *every* node —
+        the per-node page-table copies must be updated wherever a
+        replica-hosting node could walk them — which is the replication
+        tax the fig7-numa experiment measures against its walk savings.
+        """
+        kernel = self.kernel
+        numa = kernel.numa
+        if numa is None:
+            return
+        sender_node = sender.node if sender is not None else kernel.current_node()
+        nodes = {v.node for v in targets}
+        replicated = kernel.mitosis is not None and any(
+            getattr(mm, "replicated", False) for mm in mms)
+        if replicated:
+            nodes.update(range(numa.nodes))
+        remote_nodes = len(nodes - {sender_node})
+        if remote_nodes:
+            kernel.cost.charge_ipi_cross_node(remote_nodes)
+        if points.enabled:
+            points.tracepoint("tlb.node_fanout", node=sender_node,
+                              remote_nodes=remote_nodes,
+                              targets=len(targets), replicated=replicated)
 
     def _local_tlbs(self, mm):
         yield mm.tlb

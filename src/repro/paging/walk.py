@@ -69,6 +69,10 @@ class Walker:
 
     def __init__(self, resolver):
         self._resolve = resolver
+        #: Table pfns visited by the most recent successful translate, in
+        #: walk order (PGD first).  The NUMA cost model reads this to
+        #: distance-weight each level of the walk.
+        self.path = ()
 
     def translate(self, pgd, vaddr, is_write, set_accessed=True):
         """Translate ``vaddr`` or raise :class:`MMUFault`.
@@ -81,6 +85,7 @@ class Walker:
         table = pgd
         writable = True
         level = LEVEL_PGD
+        path = [pgd.pfn]
         while True:
             index = table_index(vaddr, level)
             entry = table.entries[index]
@@ -96,6 +101,7 @@ class Walker:
                     )
                 head = int(entry_pfn(entry))
                 sub = (vaddr >> 12) & ((1 << HUGE_PAGE_ORDER) - 1)
+                self.path = path
                 return Translation(head + sub, writable, True, LEVEL_PMD)
             if level == LEVEL_PTE:
                 if is_write and not writable:
@@ -104,10 +110,12 @@ class Walker:
                     table.entries[index] = entry | BIT_ACCESSED | (
                         BIT_DIRTY if is_write else 0
                     )
+                self.path = path
                 return Translation(int(entry_pfn(entry)), writable, False, LEVEL_PTE)
             if set_accessed:
                 table.entries[index] = entry | BIT_ACCESSED
             table = self._resolve(int(entry_pfn(entry)))
+            path.append(table.pfn)
             level -= 1
 
     def probe(self, pgd, vaddr):

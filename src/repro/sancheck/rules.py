@@ -64,6 +64,9 @@ def _kernel_scope(func):
 ALLOC_WRAPPERS = frozenset({
     "alloc_data_frame", "alloc_data_frames_bulk", "alloc_huge_frame",
     "alloc_table_frame", "alloc_table",
+    # The NUMA-aware inner halves of the wrappers above: their callers
+    # carry the ``numa.node_alloc`` (or upstream) failpoint sites.
+    "_alloc_one", "_alloc_bulk",
 })
 
 

@@ -174,7 +174,11 @@ class Scheduler:
             raise KernelBug("Scheduler needs at least one vCPU")
         self.machine = machine
         self.n_cpus = n_cpus
-        self.vcpus = [VCPU(i) for i in range(n_cpus)]
+        numa = getattr(machine, "numa", None)
+        self.vcpus = [
+            VCPU(i, node=numa.node_of_cpu(i, n_cpus) if numa else 0)
+            for i in range(n_cpus)
+        ]
         self.seed = seed
         self.tasks = []
         self.current = None

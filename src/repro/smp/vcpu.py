@@ -21,8 +21,12 @@ from ..timing.clock import SimClock
 class VCPU:
     """One virtual CPU of a :class:`~repro.smp.sched.Scheduler`."""
 
-    def __init__(self, cpu_id):
+    def __init__(self, cpu_id, node=0):
         self.id = cpu_id
+        #: Home NUMA node (0 on non-NUMA machines): first-touch
+        #: allocations by a task running here land on this node, and
+        #: cross-node IPIs to/from this CPU carry the interconnect extra.
+        self.node = node
         self.clock = SimClock()
         self.tlb = TLB()
         #: The mm whose translations :attr:`tlb` currently caches (CR3).

@@ -79,6 +79,12 @@ FN_PT_LOCK = "ptl_lock"
 FN_LOCK_WAKEUP = "lock_handoff"
 FN_IPI = "flush_tlb_others"
 FN_CTX_SWITCH = "context_switch"
+FN_NUMA_ACCESS = "numa_remote_access"
+FN_NUMA_WALK = "numa_remote_walk"
+FN_REPLICA_SYNC = "mitosis_pgtable_update"
+FN_REPLICA_ALLOC = "mitosis_replica_alloc"
+FN_REPLICA_COLLAPSE = "mitosis_replica_collapse"
+FN_MIGRATE = "migrate_pages"
 
 
 @dataclass(frozen=True)
@@ -157,6 +163,19 @@ class CostParams:
     ipi_send_per_cpu: float = 250.0       # per-target vector cost
     ipi_handle: float = 800.0             # remote flush handler + ack
     ctx_switch: float = 1_200.0           # vCPU runqueue task switch
+
+    # --- NUMA topology (distance factor = distance/local - 1; every
+    # numa_* constant is the extra cost at factor 1.0, i.e. a SLIT-20
+    # hop on a local distance of 10 — typical two-socket DRAM numbers) --
+    numa_remote_access: float = 120.0     # extra per remote data access
+    numa_remote_walk_per_level: float = 90.0  # extra per remote table touch
+    numa_migrate_per_page: float = 1_500.0  # migrate_pages copy + remap
+    ipi_cross_node_extra: float = 400.0   # interconnect hop per remote node
+    # Mitosis replication: per-replica entry update writes, per-frame
+    # replica allocation, and the collapse that frees one replica frame.
+    mitosis_replica_write: float = 25.0
+    mitosis_replica_alloc: float = 450.0
+    mitosis_collapse_per_replica: float = 300.0
 
     # --- cross-cutting factors --------------------------------------------
     contention_alpha: float = 2.10        # struct-page cacheline scaling
@@ -439,6 +458,55 @@ class CostModel:
     def charge_ctx_switch(self):
         """Switching the running task on a vCPU runqueue."""
         self.charge(FN_CTX_SWITCH, self.params.ctx_switch)
+
+    # ---- NUMA topology / Mitosis replication --------------------------------
+
+    def charge_numa_access(self, factor, n_pages=1):
+        """Distance penalty for touching ``n_pages`` of remote data."""
+        if factor > 0 and n_pages > 0:
+            self.charge(FN_NUMA_ACCESS,
+                        self.params.numa_remote_access * factor * n_pages)
+
+    def charge_numa_walk(self, total_factor):
+        """Distance penalty for one page walk's remote table touches.
+
+        ``total_factor`` is the sum of per-level distance factors along
+        the walk (0 for an all-local — or replicated — walk).
+        """
+        if total_factor > 0:
+            self.charge(FN_NUMA_WALK,
+                        self.params.numa_remote_walk_per_level * total_factor)
+
+    def charge_replica_sync(self, n_replicas, n_entries=1):
+        """Mitosis write fan-out: update every replica's copy of entries."""
+        if n_replicas > 0 and n_entries > 0:
+            self.charge(FN_REPLICA_SYNC,
+                        self.params.mitosis_replica_write
+                        * n_replicas * n_entries)
+
+    def charge_replica_alloc(self, n_frames=1):
+        """Allocation of ``n_frames`` node-local replica table frames."""
+        self.charge(FN_REPLICA_ALLOC,
+                    self.params.mitosis_replica_alloc * n_frames)
+
+    def charge_replica_collapse(self, n_replicas):
+        """Freeing ``n_replicas`` replica frames (collapse-to-shared)."""
+        if n_replicas > 0:
+            self.charge(FN_REPLICA_COLLAPSE,
+                        self.params.mitosis_collapse_per_replica * n_replicas)
+
+    def charge_migrate_pages(self, n_pages, factor=1.0):
+        """migrate_pages: cross-node copy + remap of ``n_pages``."""
+        if n_pages > 0:
+            self.charge(FN_MIGRATE,
+                        self.params.numa_migrate_per_page
+                        * n_pages * max(factor, 0.5))
+
+    def charge_ipi_cross_node(self, n_remote_nodes):
+        """Interconnect-hop surcharge for a shootdown spanning nodes."""
+        if n_remote_nodes > 0:
+            self.charge(FN_IPI,
+                        self.params.ipi_cross_node_extra * n_remote_nodes)
 
 
 class _SuspendCharges:

@@ -8,6 +8,11 @@ integer nanoseconds, so ts/dur divide by 1000.  A span is stamped at its
 *end* (the emit site fires after measuring), so the slice start is
 ``ts - dur``.  pid is the bound-machine index — each Machine renders as
 its own Perfetto process track — and tid is the emitting CPU.
+
+NUMA events — any event carrying a ``node`` field (``numa.*``,
+``mitosis.*``, ``tlb.node_fanout``) — are lifted out of the per-CPU
+threads onto one synthetic ``node<N>`` track per node, so each NUMA
+node renders as its own track group under the machine's process.
 """
 
 from __future__ import annotations
@@ -29,14 +34,21 @@ def to_chrome_trace(events, label="repro", process_names=None):
     """
     out = []
     pids = set()
+    node_tracks = set()     # (pid, node) pairs that need a named track
     for event in events:
         pids.add(event.pid)
         spec = EVENTS[event.name]
+        node = event.fields.get("node")
+        if node is not None:
+            tid = _NODE_TRACK_BASE + int(node)
+            node_tracks.add((event.pid, int(node)))
+        else:
+            tid = event.cpu
         entry = {
             "name": event.name,
             "cat": spec.cls,
             "pid": event.pid,
-            "tid": event.cpu,
+            "tid": tid,
             "args": {k: v for k, v in event.fields.items()
                      if k != "dur_ns"},
         }
@@ -55,7 +67,15 @@ def to_chrome_trace(events, label="repro", process_names=None):
              "args": {"name": f"{label}:{names[pid]}" if pid in names
                       else f"{label}:machine{pid}"}}
             for pid in sorted(pids)]
+    meta += [{"name": "thread_name", "ph": "M", "pid": pid,
+              "tid": _NODE_TRACK_BASE + node,
+              "args": {"name": f"node{node}"}}
+             for pid, node in sorted(node_tracks)]
     return {"traceEvents": meta + out, "displayTimeUnit": "ns"}
+
+
+#: NUMA-node tracks sit far above any real vCPU tid.
+_NODE_TRACK_BASE = 10_000
 
 
 def write_chrome_trace(events, path, label="repro", process_names=None):

@@ -104,6 +104,9 @@ EVENTS = {spec.name: spec for spec in (
     _spec("tlb.flush", KIND_INSTANT,
           "Local flush of the issuing CPU's view",
           ("pages",)),
+    _spec("tlb.node_fanout", KIND_INSTANT,
+          "Shootdown's per-NUMA-node fan-out (replicas widen remote_nodes)",
+          ("node", "remote_nodes", "targets", "replicated")),
     # ---- kernel locks (SMP scheduler) ----------------------------------
     _spec("lock.acquire", KIND_INSTANT,
           "Lock acquisition attempt (contended=True parked on the queue)",
@@ -118,6 +121,29 @@ EVENTS = {spec.name: spec for spec in (
     _spec("buddy.free", KIND_INSTANT,
           "One block freed back (after coalescing)",
           ("pfn", "order")),
+    # ---- NUMA topology (per-node zones, distance penalties) ------------
+    _spec("numa.alloc_fallback", KIND_INSTANT,
+          "Preferred node's zone was exhausted; fell back by distance",
+          ("preferred", "got", "order", "node")),
+    _spec("numa.remote_access", KIND_INSTANT,
+          "A data access crossed nodes (factor = distance/local - 1)",
+          ("node", "target_node", "factor")),
+    _spec("numa.migrate", KIND_INSTANT,
+          "migrate_pages moved a process's pages to a target node",
+          ("pid", "target_node", "moved", "node")),
+    # ---- Mitosis page-table replication --------------------------------
+    _spec("mitosis.replica_alloc", KIND_INSTANT,
+          "A fresh table gained one replica frame per remote node",
+          ("table_pfn", "nodes", "node")),
+    _spec("mitosis.replica_skip", KIND_INSTANT,
+          "Replica allocation failed; table proceeds unreplicated",
+          ("table_pfn", "node")),
+    _spec("mitosis.replica_sync", KIND_INSTANT,
+          "Write fan-out: a table mutation updated every replica",
+          ("table_pfn", "nodes", "entries", "node")),
+    _spec("mitosis.replica_collapse", KIND_INSTANT,
+          "A table's replicas were freed (odfork share, or table free)",
+          ("table_pfn", "n_replicas", "reason", "node")),
     # ---- fleet layer (repro.cluster): gateway / NIC / DLM / snapshots --
     _spec("gateway.enqueue", KIND_INSTANT,
           "Request admitted at the gateway and striped to a replica",

@@ -14,8 +14,9 @@ import sys
 import time
 from pathlib import Path
 
-from .oracle import (check_trace, check_trace_sanitized, check_trace_traced,
-                     enumerate_failpoints, is_hard)
+from .oracle import (check_trace, check_trace_numa, check_trace_sanitized,
+                     check_trace_traced, enumerate_failpoints,
+                     enumerate_numa_failpoints, is_hard)
 from .shrink import shrink_trace
 from .trace import generate_trace, load_trace, save_trace
 
@@ -78,6 +79,14 @@ def main(argv=None):
                              "attached and fail on any observable "
                              "divergence (tracing must be side-effect "
                              "free)")
+    parser.add_argument("--numa", action="store_true",
+                        help="run the NUMA differential leg: flat vs "
+                             "NUMA-shared vs Mitosis-replicated machines "
+                             "(every odfork replica policy) must agree on "
+                             "all observables, tear down leak-free, and "
+                             "unwind the NUMA fail-point sites cleanly")
+    parser.add_argument("--numa-nodes", type=int, default=2,
+                        help="nodes for the NUMA leg's topology (default 2)")
     parser.add_argument("--max-failpoint-hits", type=int, default=4,
                         help="armed runs per site; sampled beyond this "
                              "(default 4)")
@@ -132,6 +141,19 @@ def main(argv=None):
             if trace_findings:
                 hard_findings += len(trace_findings)
                 for finding in trace_findings[:4]:
+                    print(f"FAIL {name}: {finding}")
+
+        if args.numa:
+            numa_findings = check_trace_numa(trace, nodes=args.numa_nodes)
+            nfp_findings, nfp_meta = enumerate_numa_failpoints(
+                trace, nodes=args.numa_nodes,
+                max_hits_per_site=args.max_failpoint_hits)
+            numa_findings += nfp_findings
+            failpoint_runs += nfp_meta["runs"]
+            failpoint_sampled_out += nfp_meta["sampled_out"]
+            if numa_findings:
+                hard_findings += len(numa_findings)
+                for finding in numa_findings[:4]:
                     print(f"FAIL {name}: {finding}")
 
         if args.failpoints:

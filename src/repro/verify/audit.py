@@ -101,6 +101,11 @@ def audit_machine(machine):
             continue  # reserved frame
         if pages.has_flags(pfn, PG_PAGETABLE):
             if pfn not in kernel._tables:
+                # Mitosis replica frames are table-flagged but live only
+                # in the replica registry; _audit_numa cross-checks them.
+                if kernel.mitosis is not None and \
+                        pfn in kernel.mitosis.replica_of:
+                    continue
                 errors.append(f"table frame {pfn} not registered")
             continue
         if pages.flags[pfn] & np.uint16(0x10):  # PG_COMPOUND_TAIL
@@ -132,6 +137,8 @@ def audit_machine(machine):
         errors += _audit_rmap_and_lru(kernel, pages, seen_leaf_tables)
     errors += _audit_pt_sharers(kernel, expected_pt_refs, live_mms)
     errors += _audit_smp(machine)
+    if kernel.numa is not None:
+        errors += _audit_numa(machine)
 
     pages.check_no_negative()
     machine.allocator.check_consistency()
@@ -270,3 +277,71 @@ def _audit_smp(machine):
     if sched is None:
         return []
     return sched.quiescence_errors()
+
+
+def _audit_numa(machine):
+    """Per-node frame conservation plus the Mitosis replica registry.
+
+    Zones must partition the frame range with per-zone free/used summing
+    to the span; every replica frame must be node-local to its registered
+    node, table-flagged, refcount 1, bijectively mapped, and cover
+    exactly the remote nodes of a registered primary (replication is
+    all-or-nothing per table).
+    """
+    errors = []
+    kernel = machine.kernel
+    allocator = machine.allocator
+    topology = kernel.numa
+    pages = machine.pages
+
+    covered = 0
+    for node in range(topology.nodes):
+        base, span = allocator.node_span(node)
+        if base != covered:
+            errors.append(f"node {node} zone starts at frame {base}, "
+                          f"expected {covered}: zones do not partition")
+        covered += span
+        zone = allocator.zones[node]
+        if zone.free_frames + zone.used_frames != zone.n_frames:
+            errors.append(
+                f"node {node}: {zone.free_frames} free + "
+                f"{zone.used_frames} used != {zone.n_frames} span frames")
+    if covered != allocator.n_frames:
+        errors.append(f"zones cover {covered} frames of "
+                      f"{allocator.n_frames}")
+
+    mitosis = kernel.mitosis
+    if mitosis is None:
+        return errors
+    all_nodes = set(range(topology.nodes))
+    for primary, got in mitosis.replicas.items():
+        if primary not in kernel._tables:
+            errors.append(f"replicas registered for unknown table {primary}")
+            continue
+        home = allocator.node_of(primary)
+        if set(got) != all_nodes - {home}:
+            errors.append(
+                f"table {primary}: replicas on nodes {sorted(got)}, "
+                f"expected every node but home {home}")
+        for node, rpfn in got.items():
+            if allocator.node_of(rpfn) != node:
+                errors.append(
+                    f"replica {rpfn} of table {primary} lives on node "
+                    f"{allocator.node_of(rpfn)}, registered for {node}")
+            if mitosis.replica_of.get(rpfn) != primary:
+                errors.append(f"replica map for frame {rpfn} not bijective")
+            if not pages.has_flags(rpfn, PG_PAGETABLE):
+                errors.append(f"replica frame {rpfn} missing PG_PAGETABLE")
+            elif pages.get_ref(rpfn) != 1:
+                errors.append(f"replica frame {rpfn}: refcount "
+                              f"{pages.get_ref(rpfn)}, expected 1")
+    for rpfn, primary in mitosis.replica_of.items():
+        node = allocator.node_of(rpfn)
+        if mitosis.replicas.get(primary, {}).get(node) != rpfn:
+            errors.append(f"replica_of[{rpfn}] -> {primary} has no "
+                          f"matching forward entry: leaked replica frame")
+    for table_pfn in mitosis.owner:
+        if table_pfn not in mitosis.replicas:
+            errors.append(f"walk-entitlement owner recorded for "
+                          f"unreplicated table {table_pfn}")
+    return errors

@@ -58,9 +58,9 @@ def is_hard(finding):
 # Differential execution
 
 
-def run_differential(trace, flavor, smp=None):
+def run_differential(trace, flavor, smp=None, **overrides):
     """Execute ``trace`` on a fresh machine; returns (executor, RunResult)."""
-    executor = TraceExecutor(make_machine(smp=smp), flavor=flavor)
+    executor = TraceExecutor(make_machine(smp=smp, **overrides), flavor=flavor)
     return executor, executor.run(trace)
 
 
@@ -239,6 +239,48 @@ def check_trace_traced(trace, flavors=("classic", "odfork")):
     return findings
 
 
+def check_trace_numa(trace, nodes=2, policies=None):
+    """The NUMA differential battery: flat vs NUMA-shared vs replicated.
+
+    NUMA placement and Mitosis page-table replication are *performance*
+    mechanisms: a trace must produce identical outcomes, logical-memory
+    digests, RSS, and audits on a flat machine, a NUMA machine with
+    shared tables, and a NUMA machine with per-node replicas under every
+    ``odfork_replica_policy`` — only virtual-time costs may differ.  Each
+    NUMA machine is then torn down and leak-checked, which exercises the
+    replica-collapse path for every table the trace created.
+    """
+    from ..numa.topology import NumaTopology, REPLICA_POLICIES
+
+    if policies is None:
+        policies = REPLICA_POLICIES
+    findings = []
+    _, flat = run_differential(trace, "odfork")
+    exec_shared, shared = run_differential(
+        trace, "odfork", numa=NumaTopology(nodes=nodes))
+    findings += compare_runs(trace, shared, flat, "numa-shared-vs-flat",
+                             name_a="numa-shared", name_b="flat")
+    if findings:
+        return findings
+    executors = [("numa-shared", exec_shared)]
+    for policy in policies:
+        tag = f"numa-replicated:{policy}"
+        exec_repl, repl = run_differential(
+            trace, "odfork",
+            numa=NumaTopology(nodes=nodes, replicate=True,
+                              odfork_replica_policy=policy))
+        findings += compare_runs(trace, repl, shared, f"{tag}-vs-shared",
+                                 name_a=f"replicated:{policy}",
+                                 name_b="numa-shared")
+        if findings:
+            return findings
+        executors.append((tag, exec_repl))
+    for tag, executor in executors:
+        findings.extend(Finding("leak", len(trace["ops"]), error, tag)
+                        for error in check_clean_shutdown(executor))
+    return findings
+
+
 # --------------------------------------------------------------------- #
 # Fail-point enumeration
 
@@ -266,6 +308,16 @@ def check_clean_shutdown(executor):
                       f"teardown (expected 1)")
     cached = len(kernel.page_cache._cache)
     expected = kernel.live_tables + cached
+    if kernel.mitosis is not None:
+        # The surviving init PGD keeps its per-node replicas; anything
+        # beyond that is a replica frame the collapse path failed to free.
+        expected += kernel.mitosis.replica_frame_count()
+        if kernel.mitosis.replica_frame_count() > (
+                kernel.numa.nodes - 1) * kernel.live_tables:
+            errors.append(
+                f"{kernel.mitosis.replica_frame_count()} replica frames "
+                f"registered after teardown for {kernel.live_tables} live "
+                f"table(s)")
     if machine.used_frames() != expected:
         errors.append(f"{machine.used_frames()} frames used after teardown, "
                       f"expected {expected} (tables + page cache)")
@@ -295,14 +347,34 @@ def _sample_hits(count, max_hits):
     return sorted(picks)[:max_hits]
 
 
-def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
+#: The fail-point sites the NUMA subsystem adds: per-node allocation
+#: (``bind``-strict and migration paths) and Mitosis replica allocation
+#: (must unwind to the unreplicated-table path without leaking frames).
+NUMA_FAILPOINT_SITES = frozenset({"numa.node_alloc", "mitosis.replica_alloc"})
+
+
+def enumerate_numa_failpoints(trace, nodes=2, max_hits_per_site=4):
+    """Sweep the NUMA fail-point sites on a Mitosis-replicated machine."""
+    from ..numa.topology import NumaTopology
+
+    return enumerate_failpoints(
+        trace, flavor="odfork", max_hits_per_site=max_hits_per_site,
+        machine_overrides={"numa": NumaTopology(nodes=nodes, replicate=True)},
+        only_sites=NUMA_FAILPOINT_SITES)
+
+
+def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4,
+                         machine_overrides=None, only_sites=None):
     """Force each fail-point hit to fail, one run per (site, Nth hit).
 
     Returns ``(findings, meta)`` where meta reports per-site hit counts,
     the number of armed runs, and how many hits sampling skipped (so a
-    bounded sweep never silently reads as exhaustive).
+    bounded sweep never silently reads as exhaustive).  ``only_sites``
+    restricts the sweep (the recording run still counts everything);
+    ``machine_overrides`` forwards Machine kwargs, e.g. ``numa=...``.
     """
-    machine = make_machine()
+    overrides = machine_overrides or {}
+    machine = make_machine(**overrides)
     failpoints = machine.kernel.failpoints
     # Record (and later arm) only after the executor has spawned the root
     # process: setup allocations hit the same sites (e.g. mm.pgd_alloc)
@@ -312,6 +384,8 @@ def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
     recording = recorder.run(trace, capture=False, audit=False)
     failpoints.disarm()
     counts = dict(failpoints.counts)
+    if only_sites is not None:
+        counts = {site: n for site, n in counts.items() if site in only_sites}
     meta = {"sites": counts, "runs": 0, "sampled_out": 0}
 
     if recording.crash is not None:
@@ -325,13 +399,13 @@ def enumerate_failpoints(trace, flavor="classic", max_hits_per_site=4):
         meta["sampled_out"] += counts[site] - len(hits)
         for nth in hits:
             meta["runs"] += 1
-            findings.extend(_armed_run(trace, flavor, site, nth))
+            findings.extend(_armed_run(trace, flavor, site, nth, overrides))
     return findings, meta
 
 
-def _armed_run(trace, flavor, site, nth):
+def _armed_run(trace, flavor, site, nth, overrides=None):
     tag = f"failpoint:{site}#{nth}"
-    machine = make_machine()
+    machine = make_machine(**(overrides or {}))
     executor = TraceExecutor(machine, flavor=flavor)
     machine.kernel.failpoints.arm(site, nth)
     result = executor.run(trace, capture=False, audit=False)

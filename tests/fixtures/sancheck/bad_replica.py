@@ -1,0 +1,20 @@
+"""Known-bad Mitosis replication fixture.
+
+``replicate_table`` pins the first node's replica frame, then attempts
+the second node's allocation — the ``mitosis.replica_alloc`` failpoint
+may raise ``OutOfMemoryError`` — with no unwind handler.  On the raise
+path the first replica's page reference (and its frame) leak; the
+refcount rule must flag the exception exit.  This is the exact bug the
+real ``MitosisState.replicate_table`` unwind loop exists to prevent.
+"""
+
+
+def replicate_table(kernel, pages, table):
+    kernel.failpoints.hit("mitosis.replica_alloc")
+    rpfn = kernel.allocator.alloc(0, node=1, strict=True)
+    pages.ref_inc(rpfn)
+    kernel.failpoints.hit("mitosis.replica_alloc")
+    other = kernel.allocator.alloc(0, node=2, strict=True)
+    pages.ref_inc(other)
+    table.set(0, rpfn)
+    table.set(1, other)

@@ -1,0 +1,23 @@
+"""Known-good Mitosis replication fixture.
+
+Same shape as ``bad_replica.py``, but the second node's fallible
+allocation sits in a ``try`` whose handler drops the first replica's
+reference before re-raising — the best-effort unwind discipline the real
+``MitosisState.replicate_table`` follows (an OOM mid-replication leaves
+the table unreplicated and leaks nothing).
+"""
+
+
+def replicate_table(kernel, pages, table):
+    kernel.failpoints.hit("mitosis.replica_alloc")
+    rpfn = kernel.allocator.alloc(0, node=1, strict=True)
+    pages.ref_inc(rpfn)
+    try:
+        kernel.failpoints.hit("mitosis.replica_alloc")
+        other = kernel.allocator.alloc(0, node=2, strict=True)
+    except Exception:
+        pages.ref_dec(rpfn)
+        raise
+    pages.ref_inc(other)
+    table.set(0, rpfn)
+    table.set(1, other)

@@ -59,6 +59,6 @@ class TestCLI:
         assert "regenerated" in out
 
     def test_registry_complete(self):
-        # 13 paper experiments + fig2-concurrent + 3 ablations +
-        # 6 extensions + the fleet sweep.
-        assert len(EXPERIMENTS) == 24
+        # 13 paper experiments + fig2-concurrent + fig7-numa +
+        # 3 ablations + 6 extensions + the fleet sweep.
+        assert len(EXPERIMENTS) == 25

@@ -1,0 +1,182 @@
+"""Property tests for the NUMA + Mitosis subsystem under random op mixes.
+
+Each generated scenario drives a replicated two-node machine through a
+random interleaving of mempolicy changes, page migrations, fork/odfork,
+COW writes, remote-pinned touches, and exits — under a random
+``odfork_replica_policy`` — and checks the subsystem's conservation
+laws at every step:
+
+* per-node frame conservation: every zone's ``free + used`` equals its
+  span, and the replica registry stays bijective (no replica frame
+  leaked or double-registered);
+* COW isolation still holds (each process reads what it wrote);
+* after the whole tree exits, every replica has been collapsed — frame
+  and replica counts return exactly to the pre-scenario baseline, so no
+  stale replica survives its primary.
+
+``audit_machine`` runs the full invariant sweep (including the per-node
+and replica audits) after the dust settles.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro import MIB, Machine
+from repro.numa import (
+    POLICY_BIND,
+    POLICY_FIRST_TOUCH,
+    POLICY_INTERLEAVE,
+    REPLICA_POLICIES,
+    NumaTopology,
+)
+from repro.verify.audit import audit_machine
+
+REGION = 1 * MIB
+PAGE = 4096
+N_PAGES = REGION // PAGE
+NODES = 2
+
+OP_WRITE, OP_TOUCH_REMOTE, OP_FORK, OP_ODFORK, OP_SET_POLICY, \
+    OP_MIGRATE, OP_EXIT = range(7)
+
+op_script = st.lists(
+    st.tuples(
+        st.integers(0, 6),            # opcode
+        st.integers(0, 5),            # process index (mod live procs)
+        st.integers(0, N_PAGES - 1),  # page / node / policy selector
+    ),
+    min_size=1, max_size=18,
+)
+
+
+def check_conservation(machine):
+    """Zone spans and the replica registry balance after every op."""
+    allocator = machine.allocator
+    for zone in allocator.zones:
+        assert zone.free_frames + zone.used_frames == zone.n_frames
+    mitosis = machine.kernel.mitosis
+    forward = sum(len(got) for got in mitosis.replicas.values())
+    assert forward == len(mitosis.replica_of)
+    for primary, got in mitosis.replicas.items():
+        for node, rpfn in got.items():
+            assert allocator.node_of(rpfn) == node
+            assert mitosis.replica_of[rpfn] == primary
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(policy=st.sampled_from(REPLICA_POLICIES), ops=op_script)
+def test_random_numa_ops_conserve_frames_and_isolation(policy, ops):
+    machine = Machine(
+        phys_mb=128,
+        numa=NumaTopology(nodes=NODES, replicate=True,
+                          odfork_replica_policy=policy))
+    machine.init_process   # materialise init before the baseline
+    base_frames = machine.used_frames()
+    base_replicas = machine.kernel.mitosis.replica_frame_count()
+    kernel = machine.kernel
+
+    root = machine.spawn_process("root")
+    region = root.mmap(REGION)
+    root.touch_range(region, REGION, write=True)
+
+    procs = [root]
+    parent_of = {root.pid: machine.init_process}
+    shadow = {root.pid: {}}
+    policies = (POLICY_FIRST_TOUCH, POLICY_INTERLEAVE, POLICY_BIND)
+
+    for counter, (opcode, proc_index, arg) in enumerate(ops):
+        proc = procs[proc_index % len(procs)]
+        if opcode == OP_WRITE:
+            payload = f"{proc.pid:02d}-{counter:03d}".encode()[:8]
+            proc.write(region + arg * PAGE, payload)
+            shadow[proc.pid][arg] = payload
+        elif opcode == OP_TOUCH_REMOTE:
+            with kernel.pin_to_node(arg % NODES):
+                proc.touch(region + arg * PAGE, PAGE)
+        elif opcode in (OP_FORK, OP_ODFORK) and len(procs) < 5:
+            child = proc.odfork() if opcode == OP_ODFORK else proc.fork()
+            procs.append(child)
+            parent_of[child.pid] = proc
+            shadow[child.pid] = dict(shadow[proc.pid])
+        elif opcode == OP_SET_POLICY:
+            mode = policies[arg % 3]
+            node = arg % NODES if mode == POLICY_BIND else None
+            kernel.sys_set_mempolicy(proc.task, mode, node)
+        elif opcode == OP_MIGRATE:
+            kernel.sys_migrate_pages(proc.task, arg % NODES)
+        elif opcode == OP_EXIT and len(procs) > 1:
+            # Only leaves exit mid-scenario, keeping the tree reapable.
+            leaves = [p for p in procs
+                      if not any(parent_of[q.pid] is p for q in procs)]
+            victim = leaves[proc_index % len(leaves)]
+            victim.exit()
+            parent_of[victim.pid].wait(victim.pid)
+            procs.remove(victim)
+            del shadow[victim.pid]
+        check_conservation(machine)
+
+    # COW isolation survives whatever the scenario did.
+    for proc in procs:
+        for page, payload in shadow[proc.pid].items():
+            assert proc.read(region + page * PAGE, len(payload)) == payload
+    audit_machine(machine)
+
+    # Tear the whole tree down, children before parents: every replica
+    # must collapse with its primary — nothing stale, nothing leaked.
+    for proc in reversed(procs):
+        proc.exit()
+        parent_of[proc.pid].wait(proc.pid)
+    assert machine.used_frames() == base_frames
+    assert kernel.mitosis.replica_frame_count() == base_replicas
+    # No stale replica: every surviving primary is a live, registered
+    # table (only init's address space remains).
+    for primary in kernel.mitosis.replicas:
+        assert primary in kernel._tables
+    audit_machine(machine)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(policy=st.sampled_from(REPLICA_POLICIES),
+       fail_nth=st.integers(1, 12), ops=op_script)
+def test_replica_oom_mid_scenario_stays_clean(policy, fail_nth, ops):
+    """An armed replica-allocation OOM anywhere in the mix leaks nothing."""
+    machine = Machine(
+        phys_mb=128,
+        numa=NumaTopology(nodes=NODES, replicate=True,
+                          odfork_replica_policy=policy))
+    machine.init_process
+    base_frames = machine.used_frames()
+    base_replicas = machine.kernel.mitosis.replica_frame_count()
+    kernel = machine.kernel
+    kernel.failpoints.arm("mitosis.replica_alloc", nth=fail_nth)
+
+    root = machine.spawn_process("root")
+    region = root.mmap(REGION)
+    root.touch_range(region, REGION, write=True)
+    procs = [root]
+    parent_of = {root.pid: machine.init_process}
+    for opcode, proc_index, arg in ops:
+        proc = procs[proc_index % len(procs)]
+        if opcode in (OP_FORK, OP_ODFORK) and len(procs) < 4:
+            child = (proc.odfork() if opcode == OP_ODFORK
+                     else proc.fork())
+            procs.append(child)
+            parent_of[child.pid] = proc
+        elif opcode == OP_WRITE:
+            proc.write(region + arg * PAGE, b"x")
+        else:
+            proc.touch(region + arg * PAGE, PAGE)
+        check_conservation(machine)
+    audit_machine(machine)
+
+    for proc in reversed(procs):
+        proc.exit()
+        parent_of[proc.pid].wait(proc.pid)
+    assert kernel.mitosis.replica_frame_count() == base_replicas
+    assert machine.used_frames() == base_frames
+    audit_machine(machine)

@@ -24,10 +24,12 @@ BAD = {
     "bad_tlb.py": "tlb",
     "bad_ignore.py": "ignore",
     "bad_tracepoint.py": "trace-registry",
+    "bad_replica.py": "refcount",
 }
 
 GOOD = ["good_lock.py", "good_failpoint.py", "good_refcount.py",
-        "good_tlb.py", "good_ignore.py", "good_tracepoint.py"]
+        "good_tlb.py", "good_ignore.py", "good_tracepoint.py",
+        "good_replica.py"]
 
 
 def run_fixture(name):
@@ -83,6 +85,28 @@ class TestViolationShape:
         # Baseline entries key on rule:module:func, not line numbers.
         (violation,) = run_fixture("bad_tlb.py")
         assert violation.ident == "tlb:bad_tlb:zap_entry"
+
+
+class TestReplicaUnwindShape:
+    """The Mitosis replica-allocation unwind, statically.
+
+    ``bad_replica.py`` drops the first replica's page reference on the
+    second node's OOM path; the refcount rule must name the pinned frame
+    and the raise exit.  ``good_replica.py`` is the same code with the
+    real ``replicate_table`` unwind handler and must pass — together
+    they prove the repo gate would catch a regression in the replication
+    unwind discipline.
+    """
+
+    def test_dropped_replica_reference_flagged(self):
+        (violation,) = run_fixture("bad_replica.py")
+        assert violation.rule == "refcount"
+        assert violation.func == "replicate_table"
+        assert "rpfn" in violation.message
+        assert "exception" in violation.message
+
+    def test_unwound_replica_reference_passes(self):
+        assert run_fixture("good_replica.py") == []
 
 
 class TestSeededDefectStaticHalf:

@@ -421,7 +421,7 @@ class TestMachineStats:
 
 def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
              huge_ms=0.2, odf_fault_ms=0.012, p99=960.0,
-             fleet_p99=0.12):
+             fleet_p99=0.12, numa_speedup=30.0):
     return [
         {"exp_id": "fig7", "title": "fig7",
          "headers": ["size_gb", "fork_ms", "fork_huge_ms", "odfork_ms",
@@ -446,6 +446,14 @@ def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
                    0.02, 1.7, 1.8],
                   ["staggered/odfork", "staggered", "odfork",
                    0.02, fleet_p99, 0.14]],
+         "notes": ""},
+        {"exp_id": "fig7-numa", "title": "fig7-numa",
+         "headers": ["mode", "fork_ms", "odfork_ms", "odfork_speedup_x",
+                     "local_ns_pp", "remote_ns_pp", "remote_penalty_x"],
+         "rows": [["flat", 1.8, 0.08, 21.0, 220.0, 220.0, 1.0],
+                  ["numa-shared", 1.9, 0.09, 22.0, 221.0, 701.0, 3.2],
+                  ["numa-replicated", 2.6, 0.09, numa_speedup,
+                   221.0, 341.0, 1.5]],
          "notes": ""},
     ]
 
@@ -500,7 +508,7 @@ class TestCompareGate:
         assert compare.main([str(current), str(baseline),
                              "--write-baseline"]) == 0
         assert compare.main([str(current), str(baseline)]) == 0
-        assert "all 8 tracked metrics" in capsys.readouterr().out
+        assert "all 9 tracked metrics" in capsys.readouterr().out
         current.write_text(json.dumps(_payload(odfork_ms=0.3)))
         assert compare.main([str(current), str(baseline)]) == 1
         assert "REGRESSED" in capsys.readouterr().out
