@@ -25,12 +25,14 @@ from ..errors import (
 )
 from ..mem.buddy import OutOfFramesError
 from ..mem.page import HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGE_SIZE
+from ..paging.store import EntryStore
 from ..paging.table import page_align_up, page_offset
 from ..paging.walk import MMUFault, Walker
 from ..trace import points
 from .failpoints import FailPoints
 from .fault import FaultHandler
 from .filesystem import SimFS
+from .fastpath import fast_copy_mm_classic
 from .fork import copy_mm_classic
 from .mm import MMStruct
 from .odfork import copy_mm_odf
@@ -123,6 +125,9 @@ class Kernel:
                                     failpoints=self.failpoints)
         self.stats = VMStats()
         self._tables = {}
+        # Packed backing storage for every page-table entry array on this
+        # machine (one row per table); see repro.paging.store.
+        self.entry_store = EntryStore()
         self.walker = Walker(self.resolve_table)
         self.fault_handler = FaultHandler(self)
         self.tasks = {}
@@ -173,6 +178,11 @@ class Kernel:
             self.mitosis = None
         from ..paging.tlb import ShootdownEngine
         self.tlbs = ShootdownEngine(self)
+        # Master switch for the analytic fast paths (repro.kernel.fastpath).
+        # fast_path_ok() combines it with the per-run observer checks;
+        # Machine(fastpath=False) or REPRO_NO_FASTPATH=1 forces the
+        # per-event walks everywhere.
+        self.fastpath = True
 
     def san_access(self, kind, key, write=True):
         """KCSAN instrumentation hook: record a kernel access to a word.
@@ -198,6 +208,7 @@ class Kernel:
         """Drop a table frame from the pfn -> table map."""
         if self._tables.pop(table.pfn, None) is None:
             raise KernelBug(f"table frame {table.pfn} not registered")
+        table.release_row()
 
     def resolve_table(self, pfn):
         """The PageTable object backing a table frame."""
@@ -451,8 +462,7 @@ class Kernel:
     def free_huge_frame(self, head):
         """Free a compound block and its contents."""
         self.pages.on_free(head)
-        for sub in range(1 << HUGE_PAGE_ORDER):
-            self.phys.zero(head + sub)
+        self.phys.zero_range(head, 1 << HUGE_PAGE_ORDER)
         self.allocator.free(head, HUGE_PAGE_ORDER)
 
     # ---- swap-slot reference counting --------------------------------------
@@ -548,7 +558,7 @@ class Kernel:
         try:
             if use_odf:
                 copy_mm_odf(self, task.mm, child.mm)
-            else:
+            elif not fast_copy_mm_classic(self, task.mm, child.mm):
                 copy_mm_classic(self, task.mm, child.mm)
         except OutOfMemoryError:
             self._abort_fork(task, child)

@@ -85,7 +85,7 @@ class MMStruct:
         kernel = self.kernel
         pfn = kernel.alloc_table_frame()
         kernel.pages.on_alloc(pfn, PG_PAGETABLE)
-        table = PageTable(level, pfn)
+        table = PageTable(level, pfn, store=kernel.entry_store)
         kernel.register_table(table)
         if level == LEVEL_PTE:
             kernel.pages.pt_refcount[pfn] = 1

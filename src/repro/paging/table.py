@@ -84,16 +84,41 @@ def page_align_up(vaddr):
 
 
 class PageTable:
-    """One 512-entry paging-structure node backed by a physical frame."""
+    """One 512-entry paging-structure node backed by a physical frame.
 
-    __slots__ = ("level", "pfn", "entries")
+    The entry array either stands alone (``store=None`` — handy for unit
+    tests) or is a row view into a machine-wide packed
+    :class:`~repro.paging.store.EntryStore`, which is what lets fork,
+    teardown, and the analytic fast path process *many* tables with one
+    vectorised operation.
+    """
 
-    def __init__(self, level, pfn):
+    __slots__ = ("level", "pfn", "entries", "store", "row")
+
+    def __init__(self, level, pfn, store=None):
         if level not in LEVEL_NAMES:
             raise InvalidArgumentError(f"bad table level {level}")
         self.level = level
         self.pfn = pfn
-        self.entries = np.zeros(PTRS_PER_TABLE, dtype=np.uint64)
+        self.store = store
+        if store is None:
+            self.row = -1
+            self.entries = np.zeros(PTRS_PER_TABLE, dtype=np.uint64)
+        else:
+            self.row = store.acquire()
+            self.entries = store.row_view(self.row)
+
+    def release_row(self):
+        """Return this table's packed row to its store (table freed).
+
+        The entries rebind to a private zero array so any stale reference
+        to the dead table can never scribble on a recycled row.
+        """
+        if self.store is not None:
+            self.store.release(self.row)
+            self.store = None
+            self.row = -1
+            self.entries = np.zeros(PTRS_PER_TABLE, dtype=np.uint64)
 
     def get(self, index):
         """Read the entry at ``index``."""

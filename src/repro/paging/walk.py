@@ -24,12 +24,30 @@ from ..mem.page import HUGE_PAGE_ORDER
 from .entries import (
     BIT_ACCESSED,
     BIT_DIRTY,
+    BIT_PRESENT,
+    BIT_PS,
+    BIT_RW,
+    PFN_MASK,
+    PFN_SHIFT,
     entry_pfn,
     is_huge,
     is_present,
     is_writable,
 )
 from .table import LEVEL_PGD, LEVEL_PMD, LEVEL_PTE, table_index
+
+# The walk is the hottest scalar loop in request-serving benchmarks, so it
+# runs on plain Python ints: one numpy-scalar extraction per level, int bit
+# ops after that (each np.uint64 op costs ~10x an int op).
+_P = int(BIT_PRESENT)
+_RW = int(BIT_RW)
+_PS = int(BIT_PS)
+_A = int(BIT_ACCESSED)
+_D = int(BIT_DIRTY)
+_AD = _A | _D
+_PFN_MASK = int(PFN_MASK)
+_PFN_SHIFT = int(PFN_SHIFT)
+_SUB_MASK = (1 << HUGE_PAGE_ORDER) - 1
 
 FAULT_NOT_PRESENT = "not_present"
 FAULT_WRITE_PROTECTED = "write_protected"
@@ -86,35 +104,39 @@ class Walker:
         writable = True
         level = LEVEL_PGD
         path = [pgd.pfn]
+        resolve = self._resolve
         while True:
-            index = table_index(vaddr, level)
-            entry = table.entries[index]
-            if not is_present(entry):
+            index = (vaddr >> (3 + 9 * level)) & 0x1FF
+            entries = table.entries
+            entry = int(entries[index])
+            if not entry & _P:
                 raise MMUFault(vaddr, is_write, level, FAULT_NOT_PRESENT)
-            writable = writable and bool(is_writable(entry))
-            if level == LEVEL_PMD and is_huge(entry):
+            if writable and not entry & _RW:
+                writable = False
+            if level == LEVEL_PMD and entry & _PS:
                 if is_write and not writable:
                     raise MMUFault(vaddr, is_write, level, FAULT_WRITE_PROTECTED)
                 if set_accessed:
-                    table.entries[index] = entry | BIT_ACCESSED | (
-                        BIT_DIRTY if is_write else 0
-                    )
-                head = int(entry_pfn(entry))
-                sub = (vaddr >> 12) & ((1 << HUGE_PAGE_ORDER) - 1)
+                    want = entry | (_AD if is_write else _A)
+                    if want != entry:
+                        entries[index] = want
+                head = (entry & _PFN_MASK) >> _PFN_SHIFT
+                sub = (vaddr >> 12) & _SUB_MASK
                 self.path = path
                 return Translation(head + sub, writable, True, LEVEL_PMD)
             if level == LEVEL_PTE:
                 if is_write and not writable:
                     raise MMUFault(vaddr, is_write, level, FAULT_WRITE_PROTECTED)
                 if set_accessed:
-                    table.entries[index] = entry | BIT_ACCESSED | (
-                        BIT_DIRTY if is_write else 0
-                    )
+                    want = entry | (_AD if is_write else _A)
+                    if want != entry:
+                        entries[index] = want
                 self.path = path
-                return Translation(int(entry_pfn(entry)), writable, False, LEVEL_PTE)
-            if set_accessed:
-                table.entries[index] = entry | BIT_ACCESSED
-            table = self._resolve(int(entry_pfn(entry)))
+                return Translation((entry & _PFN_MASK) >> _PFN_SHIFT,
+                                   writable, False, LEVEL_PTE)
+            if set_accessed and not entry & _A:
+                entries[index] = entry | _A
+            table = resolve((entry & _PFN_MASK) >> _PFN_SHIFT)
             path.append(table.pfn)
             level -= 1
 

@@ -65,6 +65,29 @@ class NoiseModel:
         self._pos += 1
         return ns * factor
 
+    def take(self, n):
+        """Consume ``n`` draws exactly as ``n`` ``perturb`` calls would.
+
+        Returns a length-``n`` factor array, or ``None`` when the model is
+        configured silent (``perturb`` short-circuits without consuming a
+        draw).  Buffer refills happen at the same points a sequential
+        per-charge consumer would hit them, so the underlying RNG stream —
+        which ``syscall_jitter`` also reads — stays bit-identical between
+        the per-event and the batched charge paths.
+        """
+        if self.sigma == 0 and self.spike_prob == 0:
+            return None
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            if self._pos >= len(self._buffer):
+                self._refill()
+            take = min(len(self._buffer) - self._pos, n - filled)
+            out[filled:filled + take] = self._buffer[self._pos:self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
     def syscall_jitter(self):
         """One-sided relative overrun for a whole syscall invocation.
 

@@ -421,13 +421,20 @@ class TestMachineStats:
 
 def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
              huge_ms=0.2, odf_fault_ms=0.012, p99=960.0,
-             fleet_p99=0.12, numa_speedup=30.0):
+             fleet_p99=0.12, numa_speedup=30.0, odf_100gb_ms=1.8,
+             wall_s=12.0):
     return [
         {"exp_id": "fig7", "title": "fig7",
          "headers": ["size_gb", "fork_ms", "fork_huge_ms", "odfork_ms",
                      "speedup_x", "paper_fork_ms", "paper_odf_ms"],
          "rows": [[0.5, 3.0, 2.0, 0.05, 60.0, 0, 0],
-                  [1, fork_ms, 4.0, odfork_ms, speedup, 0, 0]],
+                  [1, fork_ms, 4.0, odfork_ms, speedup, 0, 0],
+                  [100, "", "", odf_100gb_ms, "", "", ""]],
+         "notes": ""},
+        {"exp_id": "bench", "title": "harness wall-clock",
+         "headers": ["metric", "seconds"],
+         "rows": [["fig7_wall_s", wall_s * 0.7],
+                  ["smoke_wall_s", wall_s]],
          "notes": ""},
         {"exp_id": "table1", "title": "table1",
          "headers": ["type", "measured_ms", "paper_ms"],
@@ -474,6 +481,17 @@ class TestCompareGate:
         assert "fig7.fork_ms@1gb" in regressions[0]
         assert "2.00x" in regressions[0]
 
+    def test_wall_clock_and_100gb_point_gate(self):
+        # The two fast-path sentinels: host wall-clock and the 100 GB
+        # odfork showcase row both fail the gate when they blow up.
+        base = compare.extract_all(_payload())
+        _, regressions = compare.compare_payloads(
+            _payload(wall_s=30.0), base)
+        assert any("bench.smoke_wall_s" in r for r in regressions)
+        _, regressions = compare.compare_payloads(
+            _payload(odf_100gb_ms=9.0), base)
+        assert any("fig7.odfork_ms@100gb" in r for r in regressions)
+
     def test_speedup_is_higher_is_better(self):
         base = compare.extract_all(_payload())
         # speedup halving is a regression; speedup doubling is not
@@ -508,7 +526,8 @@ class TestCompareGate:
         assert compare.main([str(current), str(baseline),
                              "--write-baseline"]) == 0
         assert compare.main([str(current), str(baseline)]) == 0
-        assert "all 9 tracked metrics" in capsys.readouterr().out
+        assert (f"all {len(compare.TRACKED)} tracked metrics"
+                in capsys.readouterr().out)
         current.write_text(json.dumps(_payload(odfork_ms=0.3)))
         assert compare.main([str(current), str(baseline)]) == 1
         assert "REGRESSED" in capsys.readouterr().out

@@ -1,0 +1,234 @@
+"""Differential equivalence: analytic fast path vs per-event reference.
+
+Every scenario below runs twice on twin machines — one with the analytic
+fast path enabled (the default), one forced per-event with
+``Machine(fastpath=False)`` — and asserts a *complete* fingerprint match:
+logical memory content, per-process RSS, vmstat counters, kernel stats,
+and the virtual clock down to the nanosecond.  The clock assertion is the
+strong one: the fast path replays the per-event charge stream through the
+same noise draws, so even the jittered virtual time must agree exactly.
+
+The per-event fingerprints are additionally frozen as golden constants.
+When a scenario fails, the golden tells you which backend moved: a
+fingerprint mismatch with an unchanged golden means the fast path
+regressed; a changed golden means the per-event reference itself changed
+and the golden needs a deliberate reseed.
+"""
+
+import hashlib
+
+from repro import Machine
+from repro.kernel.kernel import MADV_DONTNEED, MADV_HUGEPAGE
+
+MIB = 1024 * 1024
+
+
+def fingerprint(machine, procs_and_regions):
+    """Digest everything the equivalence contract promises is identical."""
+    h = hashlib.sha256()
+    for process, regions in procs_and_regions:
+        if not process.alive:
+            h.update(b"dead")
+            continue
+        h.update(str(process.rss_bytes).encode())
+        for addr, length in regions:
+            h.update(process.read(addr, length))
+    for key in sorted(machine.vmstat()):
+        h.update(f"{key}={machine.vmstat()[key]}".encode())
+    stats = machine.stats
+    for name in ("forks", "odforks", "page_faults", "cow_faults",
+                 "demand_zero_faults", "tables_shared"):
+        h.update(f"{name}={getattr(stats, name)}".encode())
+    h.update(str(machine.kernel.clock.now_ns).encode())
+    h.update(str(machine.used_frames()).encode())
+    return h.hexdigest()[:16]
+
+
+def run_paired(scenario, golden=None, **machine_kwargs):
+    prints = {}
+    for label, fastpath in (("fast", True), ("per-event", False)):
+        machine = Machine(fastpath=fastpath, **machine_kwargs)
+        tracked = scenario(machine)
+        prints[label] = fingerprint(machine, tracked)
+    assert prints["fast"] == prints["per-event"], (
+        f"fast path diverged from the per-event reference: {prints}")
+    if golden is not None:
+        assert prints["per-event"] == golden, (
+            f"the per-event reference itself moved (got "
+            f"{prints['per-event']!r}); reseed the golden only if the "
+            f"change is deliberate")
+    return prints["per-event"]
+
+
+# ---------------------------------------------------------------------- #
+# scenarios
+
+
+def classic_fork_flow(machine):
+    parent = machine.spawn_process("parent")
+    addr = parent.mmap(4 * MIB)
+    parent.touch_range(addr, 4 * MIB, write=True)
+    parent.write(addr + 123, b"parent-before-fork")
+    child = parent.fork("child")
+    child.write(addr + 123, b"child-after-fork!!")
+    parent.touch_range(addr, 1 * MIB, write=True)
+    grandchild = child.fork("grandchild")
+    grandchild.write(addr + 2 * MIB, b"gc")
+    tracked = [(parent, [(addr, 4 * MIB)]), (child, [(addr, 4 * MIB)]),
+               (grandchild, [(addr, 4 * MIB)])]
+    child.exit()
+    return tracked
+
+
+def odfork_flow(machine):
+    parent = machine.spawn_process("parent")
+    addr = parent.mmap(6 * MIB)
+    parent.touch_range(addr, 6 * MIB, write=True)
+    parent.write(addr, b"shared tables ahead")
+    child = parent.odfork("child")
+    # Table-COW: first writes through shared tables copy one table each.
+    child.write(addr + 1 * MIB, b"child table cow")
+    parent.write(addr + 3 * MIB, b"parent table cow")
+    sibling = parent.odfork("sibling")
+    sibling.touch_range(addr, 2 * MIB, write=True)
+    tracked = [(parent, [(addr, 6 * MIB)]), (child, [(addr, 6 * MIB)]),
+               (sibling, [(addr, 6 * MIB)])]
+    sibling.exit()
+    return tracked
+
+
+def fault_mix_flow(machine):
+    proc = machine.spawn_process("faulty")
+    a = proc.mmap(2 * MIB)
+    b = proc.mmap(3 * MIB)
+    proc.touch_range(a, 2 * MIB, write=False)   # demand-zero, read
+    proc.touch_range(a, 1 * MIB, write=True)    # upgrade to dirty
+    proc.touch_range(b, 3 * MIB, write=True)
+    proc.madvise(b, 1 * MIB, MADV_DONTNEED)     # zap, then refault
+    proc.touch_range(b, 1 * MIB, write=True)
+    child = proc.fork("reader")
+    child.touch_range(a, 2 * MIB, write=False)
+    child.write(b + 5000, b"cow one page")
+    return [(proc, [(a, 2 * MIB), (b, 3 * MIB)]),
+            (child, [(a, 2 * MIB), (b, 3 * MIB)])]
+
+
+def reclaim_flow(machine):
+    # Small machine: the later allocations push past the watermark and
+    # wake reclaim, swapping cold pages out; the fork fast path must
+    # bail (headroom rule) and the exit fast path must bail on swap
+    # entries, so this scenario exercises the engagement predicate.
+    proc = machine.spawn_process("hog")
+    a = proc.mmap(8 * MIB)
+    proc.touch_range(a, 8 * MIB, write=True)
+    b = proc.mmap(8 * MIB)
+    proc.touch_range(b, 8 * MIB, write=True)
+    child = proc.fork("c")
+    child.touch_range(a, 1 * MIB, write=True)
+    child.exit()
+    proc.touch_range(a, 2 * MIB, write=False)
+    return [(proc, [(a, 8 * MIB), (b, 8 * MIB)])]
+
+
+def thp_flow(machine):
+    proc = machine.spawn_process("huge")
+    addr = proc.mmap(8 * MIB)
+    proc.madvise(addr, 8 * MIB, MADV_HUGEPAGE)
+    proc.touch_range(addr, 8 * MIB, write=True)
+    proc.write(addr + 4096, b"huge page payload")
+    child = proc.fork("child")       # huge entries copied with refcounts
+    child.write(addr + 2 * MIB + 7, b"huge cow in child")
+    sib = proc.odfork("sib")
+    sib.touch_range(addr, 4 * MIB, write=False)
+    tracked = [(proc, [(addr, 8 * MIB)]), (child, [(addr, 8 * MIB)]),
+               (sib, [(addr, 8 * MIB)])]
+    child.exit()
+    return tracked
+
+
+def numa_flow(machine):
+    # With a NUMA topology the fast path must disengage entirely
+    # (fast_path_ok requires kernel.numa is None); the paired machines
+    # still have different `fastpath` attributes, proving the knob is
+    # inert when the predicate says no.
+    proc = machine.spawn_process("numa")
+    addr = proc.mmap(4 * MIB)
+    proc.touch_range(addr, 4 * MIB, write=True)
+    child = proc.odfork("child")
+    child.write(addr + MIB, b"replicated tables")
+    tracked = [(proc, [(addr, 4 * MIB)]), (child, [(addr, 4 * MIB)])]
+    child.exit()
+    return tracked
+
+
+# ---------------------------------------------------------------------- #
+# golden per-event fingerprints (see module docstring for reseed policy)
+
+GOLDEN = {
+    "classic": "3222f1857e8472c6",
+    "odfork": "5289d2a9052b416e",
+    "fault_mix": "f299722d2beef818",
+    "reclaim": "21c0383a7f9429d1",
+    "thp": "6d25909a7c898384",
+    "numa": "f3140b6a0f20b844",
+}
+
+
+class TestFastPathEquivalence:
+    def test_classic_fork_flow(self):
+        run_paired(classic_fork_flow, GOLDEN["classic"], phys_mb=128)
+
+    def test_odfork_flow(self):
+        run_paired(odfork_flow, GOLDEN["odfork"], phys_mb=128)
+
+    def test_fault_mix_flow(self):
+        run_paired(fault_mix_flow, GOLDEN["fault_mix"], phys_mb=128)
+
+    def test_reclaim_flow(self):
+        run_paired(reclaim_flow, GOLDEN["reclaim"], phys_mb=24, swap_mb=32)
+
+    def test_thp_flow(self):
+        run_paired(thp_flow, GOLDEN["thp"], phys_mb=128)
+
+    def test_numa_flow(self):
+        from repro.numa.topology import NumaTopology
+        run_paired(numa_flow, GOLDEN["numa"], phys_mb=128,
+                   numa=NumaTopology(nodes=2))
+
+
+class TestEngagementPredicate:
+    def test_env_var_forces_per_event(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        machine = Machine(phys_mb=64)
+        assert machine.kernel.fastpath is False
+
+    def test_knob_defaults_on(self):
+        machine = Machine(phys_mb=64)
+        assert machine.kernel.fastpath is True
+
+    def test_tracing_disengages(self):
+        from repro.kernel.fastpath import fast_path_ok
+        from repro.trace import points
+        from repro.trace.tracer import Tracer
+
+        machine = Machine(phys_mb=64)
+        assert fast_path_ok(machine.kernel)
+        prev = points.current()
+        points.attach(Tracer())
+        try:
+            assert not fast_path_ok(machine.kernel)
+        finally:
+            points.detach()
+            if prev is not None:
+                points.attach(prev)
+
+    def test_armed_failpoints_disengage(self):
+        from repro.kernel.fastpath import fast_path_ok
+
+        machine = Machine(phys_mb=64)
+        machine.kernel.failpoints.arm("fork.copy_slot", 1)
+        try:
+            assert not fast_path_ok(machine.kernel)
+        finally:
+            machine.kernel.failpoints.disarm()
+        assert fast_path_ok(machine.kernel)
