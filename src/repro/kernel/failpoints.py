@@ -22,6 +22,44 @@ from __future__ import annotations
 
 from ..errors import OutOfMemoryError
 
+#: Every failpoint site in the tree, ``<module>.<operation>``.  The
+#: static checker resolves each literal ``hit()``/``fails()`` call
+#: against this registry (and flags stale entries), so the verify
+#: harness's enumeration driver can trust the list is complete.
+SITES = frozenset({
+    "bulkops.bulk_cow",
+    "bulkops.file_fill",
+    "bulkops.fill_absent",
+    "bulkops.huge_alloc",
+    "bulkops.huge_cow",
+    "bulkops.leaf_table",
+    "dlm.acquire_timeout",
+    "fault.cow_copy",
+    "fault.demand_zero",
+    "fault.file_cow",
+    "fault.huge_alloc",
+    "fault.huge_cow",
+    "fault.pte_table_alloc",
+    "fault.swap_in",
+    "fork.copy_slot",
+    "fork.upper_table",
+    "gateway.queue_overflow",
+    "mitosis.replica_alloc",
+    "mm.pgd_alloc",
+    "mm.upper_table_alloc",
+    "mremap.move_slot",
+    "mremap.target_leaf",
+    "nic.tx_drop",
+    "numa.node_alloc",
+    "odfork.share_table",
+    "pagecache.fill",
+    "reclaim.swap_slot",
+    "tableops.table_cow",
+    "thp.collapse",
+    "thp.split",
+    "thp.split_table",
+})
+
 
 class FailPoints:
     """Per-kernel injection registry (inert unless a harness enables it)."""

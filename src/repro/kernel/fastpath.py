@@ -86,6 +86,34 @@ _EXIT_FNS = [FN_ZAP_PTE, FN_TABLE_UNSHARE_DEC, FN_TABLE_FREE]
 _ID_ZAP, _ID_PUT, _ID_FREE = 0, 1, 2
 
 
+#: Which slow paths each analytic fast path replaces.  The
+#: fastpath-sound rule walks the slow paths' layer-0 call closure,
+#: collects every kernel feature attribute they consult, and demands
+#: that ``fast_path_ok`` tests each one (or that FASTPATH_HANDLED below
+#: justifies why engaging with the feature live cannot diverge).
+FASTPATH_REPLACES = {
+    "fast_copy_mm_classic": "copy_mm_classic",
+    "fast_exit_release_pmd_table": "_exit_release_pmd_table",
+}
+
+#: Features the slow paths consult that ``fast_path_ok`` deliberately
+#: does NOT bail on, with the soundness argument for each.
+FASTPATH_HANDLED = {
+    "mitosis": "only live when NUMA replication is configured; the "
+               "numa-is-None bail keeps the fast path off Mitosis machines",
+    "pt_sharers": "the analytic paths maintain sharer lists themselves "
+                  "(drop_table_sharer per surviving leaf), pinned "
+                  "bit-identical by the equivalence suite",
+    "rmap": "rmap_add_bulk/rmap_remove_bulk perform the same reverse-map "
+            "updates the per-event walk would, batched",
+    "swap": "fork duplicates swap entries via swap_dup_entries; exit bails "
+            "to the per-event walk when any live swap entry is present",
+    "reclaim": "_fork_headroom_ok proves the copy finishes above wm_low, so "
+               "neither kswapd nor direct reclaim can engage; exit only "
+               "frees frames",
+}
+
+
 def fast_path_ok(kernel):
     """Whether the analytic fast path may replace the per-event walk."""
     return (

@@ -25,7 +25,12 @@ from ..paging.table import (
     LEVEL_SPAN,
 )
 from .tableops import count_file_pages, private_cow_mask, table_present_pfns
-from ..sancheck.annotations import acquires, must_hold, tlb_deferred
+from ..sancheck.annotations import (
+    acquires,
+    charge_deferred,
+    must_hold,
+    tlb_deferred,
+)
 from ..trace import points
 
 
@@ -65,6 +70,8 @@ class ChildTreeBuilder:
         self.upper_tables_created = 0
 
     @must_hold("mmap_lock")
+    @charge_deferred("the fork copy loops charge per-table costs; "
+                     "upper-table construction is in the fork fixed cost")
     def pmd_for(self, slot_start):
         """The child PMD table and index covering ``slot_start``."""
         pmd_key = slot_start // LEVEL_SPAN[LEVEL_PUD]
@@ -92,6 +99,7 @@ class ChildTreeBuilder:
         return pmd, pmd_index
 
     @must_hold("mmap_lock")
+    @charge_deferred("thin wrapper over pmd_for; same caller obligation")
     def pmd_table_for(self, table_base):
         """The child PMD table mirroring the parent table at ``table_base``."""
         return self.pmd_for(table_base)[0]

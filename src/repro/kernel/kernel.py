@@ -12,7 +12,12 @@ reroutes plain ``fork`` for unmodified applications.
 """
 
 from __future__ import annotations
-from ..sancheck.annotations import acquires, must_hold, tlb_deferred
+from ..sancheck.annotations import (
+    acquires,
+    charge_deferred,
+    must_hold,
+    tlb_deferred,
+)
 
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -459,6 +464,8 @@ class Kernel:
                     pass
             raise OutOfMemoryError("out of memory allocating a page table") from None
 
+    @charge_deferred("compound teardown is priced by the zap/exit cost "
+                     "models at the call site")
     def free_huge_frame(self, head):
         """Free a compound block and its contents."""
         self.pages.on_free(head)
@@ -490,6 +497,7 @@ class Kernel:
                 # The cache's page reference goes with the slot.
                 if self.pages.ref_dec(pfn) == 0:
                     from .rmap import free_one_anon_frame
+                    # sancheck: ignore[clock-charge] -- dropping the swap cache's last page rides the fault/zap cost models at the swap_put call sites
                     free_one_anon_frame(self, pfn)
             dev.release_slot(slot)
 
@@ -736,6 +744,7 @@ class Kernel:
                                      slot_start)
                     entry = pmd_table.entries[pmd_index]
                 else:
+                    # sancheck: ignore[clock-charge] -- one PMD-entry write covers 2 MiB; mprotect prices per-PTE clears and the shootdown that follows
                     pmd_table.entries[pmd_index] = entry & drop
                     self.note_table_write(pmd_table)
                     continue

@@ -16,7 +16,7 @@ module provides the structural plumbing they share:
 from __future__ import annotations
 
 from ..errors import InvalidArgumentError, KernelBug
-from ..sancheck.annotations import must_hold
+from ..sancheck.annotations import charge_deferred, must_hold
 from ..mem.page import HUGE_PAGE_SIZE, PAGE_SIZE, PG_PAGETABLE
 from ..paging.entries import entry_pfn, is_huge, is_present, make_entry
 from ..paging.table import (
@@ -41,6 +41,8 @@ MMAP_CEILING = VA_LIMIT
 class MMStruct:
     """One process's address space."""
 
+    @charge_deferred("address-space construction (PGD alloc) is priced "
+                     "by fork/boot via their fixed setup costs")
     def __init__(self, kernel, owner_pid=0):
         self.kernel = kernel
         self.owner_pid = owner_pid
@@ -75,6 +77,8 @@ class MMStruct:
 
     # ---- page-table node lifecycle -------------------------------------
 
+    @charge_deferred("callers charge table construction — "
+                     "charge_pte_table_alloc / the upper-table models")
     def alloc_table(self, level):
         """Allocate a page-table node backed by a fresh frame.
 
@@ -101,6 +105,8 @@ class MMStruct:
         return table
 
     @must_hold("mmap_lock")
+    @charge_deferred("callers charge teardown via charge_table_free / "
+                     "charge_table_put")
     def free_table_frame(self, table):
         """Release a table node's frame (callers handle entry accounting)."""
         kernel = self.kernel

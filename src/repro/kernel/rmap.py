@@ -22,7 +22,7 @@ clean-cache reclaim handles their eviction separately.
 """
 
 from __future__ import annotations
-from ..sancheck.annotations import must_hold
+from ..sancheck.annotations import charge_deferred, must_hold
 
 import numpy as np
 
@@ -164,6 +164,7 @@ def rmap_move(kernel, pfn, old_leaf_pfn, new_leaf_pfn):
     rmap.move(pfn, old_leaf_pfn, new_leaf_pfn)
 
 
+@charge_deferred("the LRU aging loops charge charge_lru_scan per probe")
 def test_and_clear_referenced(kernel, pfn):
     """Aging probe: was any PTE mapping ``pfn`` accessed since last clear?
 
@@ -185,6 +186,8 @@ def test_and_clear_referenced(kernel, pfn):
     return referenced
 
 
+@charge_deferred("frame release is priced by the zap/unmap cost models "
+                 "at the call site")
 def free_one_anon_frame(kernel, pfn):
     """Free one anonymous frame whose refcount reached zero."""
     if kernel.pages.flags[pfn] & PG_FILE:

@@ -209,6 +209,7 @@ class Snapshot:
             pfns = entry_pfn(saved[present_mask(saved)]).astype(np.int64)
             if len(pfns):
                 zeroed = kernel.pages.ref_dec_bulk(pfns)
+                # sancheck: ignore[clock-charge] -- snapshot teardown is priced by the discard syscall / fork-unwind blanket costs
                 free_anon_frames(kernel, zeroed)
             kernel.swap_put_entries(saved)
         self.saved.clear()

@@ -36,7 +36,7 @@ from ..paging.entries import (
     present_mask,
 )
 from ..paging.table import LEVEL_PTE, PMD_REGION_SIZE
-from ..sancheck.annotations import must_hold
+from ..sancheck.annotations import charge_deferred, must_hold
 from ..trace import points
 
 
@@ -106,6 +106,7 @@ def count_file_pages(kernel, pfns):
     return int(np.count_nonzero(kernel.pages.flags[pfns] & PG_FILE))
 
 
+@charge_deferred("callers charge charge_zap_entries for the batch")
 def free_anon_frames(kernel, pfns):
     """Free anonymous frames whose refcount reached zero."""
     if len(pfns) == 0:
@@ -132,6 +133,7 @@ def release_table_references(kernel, mm, table, charge=True):
     kernel.swap_put_entries(table.entries)
     if charge:
         kernel.cost.charge_table_free()
+    # sancheck: ignore[clock-charge] -- the charge=False arm is the exit fast path, priced by its caller's blanket teardown cost
     mm.free_table_frame(table)
 
 

@@ -138,6 +138,7 @@ class Khugepaged:
         # promotion — the region simply stays 4 KiB-mapped, as in Linux.
         try:
             kernel.failpoints.hit("thp.collapse")
+            # sancheck: ignore[clock-charge] -- a backed-out collapse returns the unused frame; khugepaged's failed scans are deliberately unpriced
             head = kernel.alloc_huge_frame(mm)
         except OutOfMemoryError:
             return False

@@ -124,10 +124,12 @@ class PageTable:
         """Read the entry at ``index``."""
         return self.entries[index]
 
+    # sancheck: ignore[clock-charge] -- raw entry accessor below the cost discipline: kernel callers charge via their per-operation models
     def set(self, index, entry):
         """Write the entry at ``index``."""
         self.entries[index] = entry
 
+    # sancheck: ignore[clock-charge] -- raw entry accessor below the cost discipline: kernel callers charge via their per-operation models
     def clear(self, index):
         """Zero the entry at ``index``."""
         self.entries[index] = ENTRY_NONE

@@ -92,6 +92,7 @@ class Walker:
         #: distance-weight each level of the walk.
         self.path = ()
 
+    # sancheck: ignore[clock-charge] -- accessed/dirty bits are set by the MMU in hardware; fault handlers charge the walk via their own cost models
     def translate(self, pgd, vaddr, is_write, set_accessed=True):
         """Translate ``vaddr`` or raise :class:`MMUFault`.
 

@@ -3,12 +3,19 @@
 Two halves, mirroring how Linux enforces its own discipline:
 
 * **Static checker** (``python -m repro.sancheck``) — sparse/Coccinelle
-  in miniature.  An AST/call-graph pass over ``src/repro`` enforcing four
-  rule families: lock-context (``@must_hold``/``@acquires``/``@releases``
-  annotations verified along the call graph), failpoint coverage (every
-  raw allocation sits next to a ``failpoints.hit``), refcount pairing
-  (no reference pin survives an exception exit), and TLB discipline
-  (every PTE/PMD clear or downgrade reaches a flush on all paths).
+  in miniature.  Per-function CFGs + a worklist dataflow engine + a
+  layer-filtered call graph (``cfg``/``engine``/``summaries``) drive
+  seven rule families over ``src/repro``: lock-context
+  (``@must_hold``/``@acquires``/``@releases`` verified along the call
+  graph), failpoint coverage (every raw allocation sits next to a
+  ``failpoints.hit``), refcount pairing (no reference pin survives an
+  exception exit), TLB discipline (every PTE/PMD clear or downgrade
+  reaches a flush on all paths), clock-charge discipline (every
+  frame/PTE mutation charges the virtual clock on all normal paths),
+  metrics-conservation (paired counters balance across exception edges;
+  metric/failpoint names resolve against their registries), and
+  fastpath-soundness (``fast_path_ok`` must test every kernel feature
+  the slow paths it replaces consult).
 
 * **Dynamic sanitizers** (``Machine(sanitize=...)``) — KASAN-style frame
   poisoning + quarantine in the buddy allocator and a KCSAN-style data
@@ -17,10 +24,20 @@ Two halves, mirroring how Linux enforces its own discipline:
 See MECHANISM.md §12 for the annotation vocabulary and rule semantics.
 """
 
-from .annotations import acquires, must_hold, releases, releases_refs, tlb_deferred
+from .annotations import (
+    acquires,
+    charge_deferred,
+    counters_deferred,
+    must_hold,
+    releases,
+    releases_refs,
+    tlb_deferred,
+)
 
 __all__ = [
     "acquires",
+    "charge_deferred",
+    "counters_deferred",
     "must_hold",
     "releases",
     "releases_refs",

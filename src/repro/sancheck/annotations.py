@@ -33,6 +33,27 @@ the per-mm rwsem and ``"ptl"`` for the split per-leaf-table locks):
     Calling this function releases every open reference of the given
     kinds held by the caller (e.g. ``Snapshot.discard``); the refcount
     rule treats a call as closing those pins on the paths it covers.
+    The same vocabulary covers the paired *counters* the
+    metrics-conservation rule tracks (``rss``, ``pt_sharers``,
+    ``table``, ``replica``): annotating an unwind helper with
+    ``@releases_refs("rss")`` tells the checker it restores the caller's
+    RSS debt.
+
+``@charge_deferred("reason")``
+    The function mutates frames or PTEs but intentionally leaves the
+    virtual-clock charge to its caller (batched charging, as the
+    ``charge_many`` fast paths do).  The clock-charge rule then treats
+    every *call* to it as a mutation the caller must cover with a
+    charge on all normal paths — the exact shape of ``@tlb_deferred``,
+    for the clock instead of the TLB.
+
+``@counters_deferred("rss", "pt_sharers", reason="...")``
+    The function may raise with the named counters incremented; a
+    caller-side unwind (e.g. ``_abort_fork`` tearing the half-built
+    child down) restores them.  The metrics-conservation rule stops
+    reporting the raise exits of the annotated function and instead
+    obliges every *caller* to balance those kinds on its own exception
+    paths (via a matching decrement or a ``@releases_refs`` helper).
 """
 
 from __future__ import annotations
@@ -41,6 +62,8 @@ from __future__ import annotations
 KNOWN_LOCKS = frozenset({"mmap_lock", "ptl"})
 #: Reference kinds tracked by the refcount-pairing rule.
 KNOWN_REF_KINDS = frozenset({"page", "ptref", "swap"})
+#: Paired-counter kinds tracked by the metrics-conservation rule.
+KNOWN_COUNTER_KINDS = frozenset({"rss", "pt_sharers", "table", "replica"})
 
 
 def _tag(func, key, value):
@@ -90,12 +113,38 @@ def tlb_deferred(reason):
     return decorate
 
 
+def charge_deferred(reason):
+    """Mutates frames/PTEs but defers the clock charge to the caller."""
+    if not isinstance(reason, str) or not reason:
+        raise ValueError("charge_deferred needs a non-empty reason string")
+
+    def decorate(func):
+        return _tag(func, "charge_deferred", reason)
+
+    return decorate
+
+
+def counters_deferred(*kinds, reason):
+    """May raise with ``kinds`` counters incremented; callers balance."""
+    unknown = set(kinds) - KNOWN_COUNTER_KINDS
+    if unknown:
+        raise ValueError(f"unknown counter kind(s) {sorted(unknown)}; "
+                         f"known: {sorted(KNOWN_COUNTER_KINDS)}")
+    if not isinstance(reason, str) or not reason:
+        raise ValueError("counters_deferred needs a non-empty reason string")
+
+    def decorate(func):
+        return _tag(func, "counters_deferred", tuple(kinds))
+
+    return decorate
+
+
 def releases_refs(*kinds):
     """Calling this closes the caller's open reference pins of ``kinds``."""
-    unknown = set(kinds) - KNOWN_REF_KINDS
+    unknown = set(kinds) - (KNOWN_REF_KINDS | KNOWN_COUNTER_KINDS)
     if unknown:
-        raise ValueError(f"unknown ref kind(s) {sorted(unknown)}; "
-                         f"known: {sorted(KNOWN_REF_KINDS)}")
+        raise ValueError(f"unknown ref kind(s) {sorted(unknown)}; known: "
+                         f"{sorted(KNOWN_REF_KINDS | KNOWN_COUNTER_KINDS)}")
 
     def decorate(func):
         return _tag(func, "releases_refs", tuple(kinds))

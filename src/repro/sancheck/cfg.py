@@ -1,0 +1,215 @@
+"""Per-function control-flow graphs for the dataflow engine.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` body into a graph of
+small :class:`Node` objects the worklist engine (:mod:`.engine`) walks:
+
+* ``stmt``   — one simple statement (or expression); calls inside it may
+  fork exception flow to the node's ``exc`` edge.
+* ``branch`` — an ``if`` test; ``succs[0]`` is the true edge,
+  ``succs[1]`` the false edge.
+* ``loophead`` — a ``for``/``while`` head; ``succs[0]`` enters the body,
+  ``succs[1]`` is the zero-iteration / loop-exhausted edge.  Body-fall
+  and ``continue`` edges return to the head marked **back** so the
+  engine can bound unrolling.
+* ``catch``  — an ``except`` handler entry: the domain clears the
+  pending-exception bookkeeping here.
+* ``raise``  — an explicit ``raise``; its successor is the enclosing
+  exception continuation (handler dispatch, ``finally`` copy, or the
+  RAISE exit).
+* ``jump``   — structural glue (handler dispatch fan-out, ``break``).
+* ``exit``   — one of the three function exits: ``fall`` (end of body),
+  ``return``, ``raise``.
+
+Exception edges are explicit: every statement that can raise carries an
+``exc`` edge pointing at the innermost handler dispatch (``try``), the
+exceptional ``finally`` copy, or the RAISE exit.  ``finally`` blocks are
+duplicated once per continuation kind (fall / raise / return / break /
+continue) — the classic lowering that keeps the walked state precise
+about *why* the finally ran — and handler dispatch fans a raising state
+out to every handler (exception types are not tracked; the checker
+over-approximates which handler runs).
+
+Nested ``def``/``class`` statements are opaque: their bodies are
+harvested and checked as functions in their own right, not inlined into
+the enclosing flow.
+"""
+
+from __future__ import annotations
+
+import ast
+
+EXIT_FALL, EXIT_RETURN, EXIT_RAISE = "fall", "return", "raise"
+
+
+class Node:
+    """One CFG node.  ``succs`` holds ``(target, is_back)`` edges."""
+
+    __slots__ = ("id", "kind", "ast", "succs", "exc", "outcome")
+
+    def __init__(self, nid, kind, ast_node=None, outcome=None):
+        self.id = nid
+        self.kind = kind
+        self.ast = ast_node
+        self.succs = []
+        self.exc = None       # (target, is_back) exception edge, if any
+        self.outcome = outcome
+
+    def __repr__(self):
+        return f"<Node {self.id} {self.kind}>"
+
+
+class CFG:
+    """The graph for one function: entry edge plus the three exits."""
+
+    def __init__(self, entry, nodes, exits):
+        self.entry = entry         # (node, is_back) — is_back always False
+        self.nodes = nodes
+        self.exits = exits         # outcome -> exit Node
+
+
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class _Builder:
+    def __init__(self):
+        self.nodes = []
+
+    def node(self, kind, ast_node=None, outcome=None):
+        n = Node(len(self.nodes), kind, ast_node, outcome)
+        self.nodes.append(n)
+        return n
+
+    def build(self, func_node):
+        exits = {
+            EXIT_FALL: self.node("exit", outcome=EXIT_FALL),
+            EXIT_RETURN: self.node("exit", outcome=EXIT_RETURN),
+            EXIT_RAISE: self.node("exit", outcome=EXIT_RAISE),
+        }
+        ctx = {
+            "raise": (exits[EXIT_RAISE], False),
+            "return": (exits[EXIT_RETURN], False),
+            "break": None,
+            "continue": None,
+        }
+        entry = self.stmts(func_node.body, (exits[EXIT_FALL], False), ctx)
+        return CFG(entry, self.nodes, exits)
+
+    # -- statement lowering (built back-to-front: succ is the
+    #    continuation edge the statement falls through to) --------------
+
+    def stmts(self, body, succ, ctx):
+        edge = succ
+        for stmt in reversed(body):
+            edge = self.stmt(stmt, edge, ctx)
+        return edge
+
+    def _simple(self, ast_node, succ, ctx):
+        n = self.node("stmt", ast_node)
+        n.succs = [succ]
+        n.exc = ctx["raise"]
+        return (n, False)
+
+    def stmt(self, stmt, succ, ctx):
+        method = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if method is not None:
+            return method(stmt, succ, ctx)
+        if isinstance(stmt, _OPAQUE):
+            return succ
+        return self._simple(stmt, succ, ctx)
+
+    def _stmt_Return(self, stmt, succ, ctx):
+        n = self.node("stmt", stmt.value)
+        n.succs = [ctx["return"]]
+        n.exc = ctx["raise"]
+        return (n, False)
+
+    def _stmt_Raise(self, stmt, succ, ctx):
+        n = self.node("raise", stmt)
+        n.succs = [ctx["raise"]]
+        return (n, False)
+
+    def _stmt_Break(self, stmt, succ, ctx):
+        n = self.node("jump")
+        n.succs = [ctx["break"] if ctx["break"] is not None else succ]
+        return (n, False)
+
+    def _stmt_Continue(self, stmt, succ, ctx):
+        n = self.node("jump")
+        n.succs = [ctx["continue"] if ctx["continue"] is not None else succ]
+        return (n, False)
+
+    def _stmt_If(self, stmt, succ, ctx):
+        n = self.node("branch", stmt.test)
+        n.succs = [self.stmts(stmt.body, succ, ctx),
+                   self.stmts(stmt.orelse, succ, ctx)]
+        n.exc = ctx["raise"]
+        return (n, False)
+
+    def _stmt_While(self, stmt, succ, ctx):
+        return self._loop(stmt.test, stmt.body, stmt.orelse, succ, ctx)
+
+    def _stmt_For(self, stmt, succ, ctx):
+        return self._loop(stmt.iter, stmt.body, stmt.orelse, succ, ctx)
+
+    _stmt_AsyncFor = _stmt_For
+
+    def _loop(self, head_expr, body, orelse, succ, ctx):
+        head = self.node("loophead", head_expr)
+        head.exc = ctx["raise"]
+        orelse_edge = self.stmts(orelse, succ, ctx)
+        body_ctx = dict(ctx, **{"break": succ, "continue": (head, True)})
+        body_edge = self.stmts(body, (head, True), body_ctx)
+        head.succs = [body_edge, orelse_edge]
+        return (head, False)
+
+    def _stmt_With(self, stmt, succ, ctx):
+        edge = self.stmts(stmt.body, succ, ctx)
+        for item in reversed(stmt.items):
+            edge = self._simple(item.context_expr, edge, ctx)
+        return edge
+
+    _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Try(self, stmt, succ, ctx):
+        inner_succ, inner_ctx = succ, ctx
+        if stmt.finalbody:
+            # One copy of the finally per continuation kind, each wired
+            # to the continuation it resumes after running.
+            inner_ctx = dict(ctx)
+            inner_succ = self.stmts(stmt.finalbody, succ, ctx)
+            inner_ctx["raise"] = self.stmts(stmt.finalbody, ctx["raise"], ctx)
+            inner_ctx["return"] = self.stmts(stmt.finalbody, ctx["return"], ctx)
+            if ctx["break"] is not None:
+                inner_ctx["break"] = self.stmts(
+                    stmt.finalbody, ctx["break"], ctx)
+            if ctx["continue"] is not None:
+                inner_ctx["continue"] = self.stmts(
+                    stmt.finalbody, ctx["continue"], ctx)
+
+        body_ctx = inner_ctx
+        if stmt.handlers:
+            dispatch = self.node("jump")
+            for handler in stmt.handlers:
+                catch = self.node("catch", handler)
+                catch.succs = [self.stmts(handler.body, inner_succ, inner_ctx)]
+                dispatch.succs.append((catch, False))
+            body_ctx = dict(inner_ctx, **{"raise": (dispatch, False)})
+
+        orelse_edge = self.stmts(stmt.orelse, inner_succ, inner_ctx)
+        return self.stmts(stmt.body, orelse_edge, body_ctx)
+
+    _stmt_TryStar = _stmt_Try
+
+    def _stmt_Match(self, stmt, succ, ctx):
+        # Conservative: evaluate the subject, then nondeterministically
+        # enter any case body (or fall through when no case matches).
+        n = self.node("stmt", stmt.subject)
+        n.exc = ctx["raise"]
+        n.succs = [self.stmts(case.body, succ, ctx) for case in stmt.cases]
+        n.succs.append(succ)
+        return (n, False)
+
+
+def build_cfg(func_node):
+    """Lower ``func_node`` (an ``ast.FunctionDef``) to a :class:`CFG`."""
+    return _Builder().build(func_node)

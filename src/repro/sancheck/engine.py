@@ -1,0 +1,194 @@
+"""Generic worklist dataflow over :mod:`.cfg` graphs.
+
+Two runners, two domain styles:
+
+:func:`run_paths` — **disjunctive path-state enumeration**.  The domain
+value is a *set* of small per-path states (reference pins, pending TLB
+flag, memoized branch decisions...).  Joins are set union with
+signature-level dedup; the worklist is a delta queue (only states not
+yet seen at a node are propagated), and loop unrolling is bounded by
+letting each state traverse any given back edge at most once — the CFG
+generalisation of the old walker's zero-or-one-iteration rule, which
+keeps the refcount rule free of loop-count false positives.
+
+:func:`run_lattice` — a **must-analysis** over a small join-semilattice
+(e.g. "has this path-prefix charged the clock?": booleans under AND).
+Back edges are iterated to a fixpoint the usual way; exception flow is
+deliberately not followed (raise successors are skipped), because its
+consumers reason about *normal* paths only.
+
+Domains are duck-typed; see :class:`PathDomain` / :class:`LatticeDomain`
+for the contracts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .cfg import EXIT_FALL, EXIT_RAISE, EXIT_RETURN
+
+#: Per-node cap on distinct abstract states.  A function that overflows
+#: is skipped by the rules (under-approximation, never a false
+#: positive); nothing in the tree comes close.
+STATE_BUDGET = 1024
+
+#: Global cap on worklist items processed per function — a backstop
+#: against pathological graphs, far above anything real.
+WORK_BUDGET = 200_000
+
+
+class PathDomain:
+    """Contract for :func:`run_paths` domains (documentation only).
+
+    ``initial() -> state``
+        The state at function entry.
+    ``on_stmt(ast_node, state) -> (fall_states, raise_states)``
+        Execute one simple statement/expression.  May mutate and return
+        ``state`` itself among the falls; raise states route to the
+        node's ``exc`` edge.  ``ast_node`` may be ``None``.
+    ``on_branch(test_expr, state, memo) -> (true, false, raise_states)``
+        Evaluate a branch test.  ``memo=False`` for loop heads (their
+        "test" re-evaluates every iteration, so remembering one outcome
+        would be wrong).
+    ``on_catch(handler, state) -> state``
+        Entering an ``except`` handler: clear pending-raise bookkeeping.
+    ``on_raise(stmt, state) -> state``
+        An explicit ``raise`` statement.
+    ``signature(state) -> hashable``
+        Dedup identity.
+    ``copy(state) -> state``
+    """
+
+
+class LatticeDomain:
+    """Contract for :func:`run_lattice` domains (documentation only).
+
+    ``initial() -> value`` — value at function entry.
+    ``join(a, b) -> value`` — merge at control-flow joins.
+    ``transfer(node, value) -> value`` — flow through one node.
+    Values must support ``==``.
+    """
+
+
+def run_paths(cfg, domain):
+    """Enumerate path states over ``cfg``.
+
+    Returns ``(exits, overflowed)`` where ``exits`` maps each exit
+    outcome (``fall``/``return``/``raise``) to its list of states.
+    """
+    exits = {EXIT_FALL: [], EXIT_RETURN: [], EXIT_RAISE: []}
+    seen = {}          # node id -> set of (signature, back-edges-taken)
+    overflowed = False
+    work = deque()
+
+    def push(edge, state, back_taken):
+        nonlocal overflowed
+        node, is_back = edge
+        if is_back:
+            key = edge[0].id
+            if key in back_taken:
+                return            # bounded unrolling: once per back edge
+            back_taken = back_taken | {key}
+        if node.kind == "exit":
+            exits[node.outcome].append(state)
+            return
+        sigs = seen.setdefault(node.id, set())
+        sig = (domain.signature(state), back_taken)
+        if sig in sigs:
+            return
+        if len(sigs) >= STATE_BUDGET:
+            overflowed = True
+            return
+        sigs.add(sig)
+        work.append((node, state, back_taken))
+
+    push(cfg.entry, domain.initial(), frozenset())
+    processed = 0
+    while work:
+        processed += 1
+        if processed > WORK_BUDGET:
+            overflowed = True
+            break
+        node, state, back_taken = work.popleft()
+        kind = node.kind
+        if kind == "stmt":
+            falls, raises = domain.on_stmt(node.ast, state)
+            _fan_out(domain, node.succs, falls, back_taken, push)
+            if node.exc is not None:
+                for r in raises:
+                    push(node.exc, r, back_taken)
+        elif kind in ("branch", "loophead"):
+            if kind == "loophead" and node.id in back_taken:
+                # A state returning over the back edge has run the body
+                # once; route it straight out (zero-or-one iterations,
+                # without re-evaluating the head expression).
+                push(node.succs[1], state, back_taken)
+                continue
+            trues, falses, raises = domain.on_branch(
+                node.ast, state, memo=(kind == "branch"))
+            for st in trues:
+                push(node.succs[0], st, back_taken)
+            for st in falses:
+                push(node.succs[1], st, back_taken)
+            if node.exc is not None:
+                for r in raises:
+                    push(node.exc, r, back_taken)
+        elif kind == "catch":
+            _fan_out(domain, node.succs,
+                     [domain.on_catch(node.ast, state)], back_taken, push)
+        elif kind == "raise":
+            _fan_out(domain, node.succs,
+                     [domain.on_raise(node.ast, state)], back_taken, push)
+        elif kind == "jump":
+            _fan_out(domain, node.succs, [state], back_taken, push)
+    return exits, overflowed
+
+
+def _fan_out(domain, edges, states, back_taken, push):
+    """Route ``states`` to every successor edge, copying as needed."""
+    if not edges:
+        return
+    for state in states:
+        for edge in edges[:-1]:
+            push(edge, domain.copy(state), back_taken)
+        push(edges[-1], state, back_taken)
+
+
+def run_lattice(cfg, domain):
+    """Forward must-analysis to fixpoint; normal control flow only.
+
+    Returns ``{outcome: joined exit value}`` for the exits reached by
+    normal flow (``raise`` successors and ``exc`` edges are skipped, so
+    the RAISE exit never accumulates a value).
+    """
+    entry_node, _ = cfg.entry
+    values = {entry_node.id: domain.initial()}
+    exit_values = {}
+    work = deque([entry_node])
+    queued = {entry_node.id}
+
+    def flow(edge, value):
+        node, _ = edge
+        if node.kind == "exit":
+            old = exit_values.get(node.outcome)
+            new = value if old is None else domain.join(old, value)
+            if old is None or new != old:
+                exit_values[node.outcome] = new
+            return
+        old = values.get(node.id)
+        new = value if old is None else domain.join(old, value)
+        if old is None or new != old:
+            values[node.id] = new
+            if node.id not in queued:
+                queued.add(node.id)
+                work.append(node)
+
+    while work:
+        node = work.popleft()
+        queued.discard(node.id)
+        if node.kind == "raise":
+            continue              # exceptional flow: not a normal path
+        out = domain.transfer(node, values[node.id])
+        for edge in node.succs:
+            flow(edge, out)
+    return exit_values

@@ -54,6 +54,8 @@ class FunctionInfo:
     acquires: tuple = ()
     releases: tuple = ()
     tlb_deferred: str | None = None
+    charge_deferred: str | None = None
+    counters_deferred: tuple = ()   # (kinds...), empty when unannotated
     releases_refs: tuple = ()
     calls: list = field(default_factory=list)   # [CallSite]
     source: str = ""   # unparsed body text, for cheap substring probes
@@ -83,6 +85,11 @@ class SourceFile:
     module: str
     functions: list
     ignores: list      # [IgnoreComment]
+    #: Module-level ``NAME = <literal>`` assignments (dicts, sets, tuples,
+    #: strings...).  The fastpath-soundness rule reads declaration tables
+    #: (``FASTPATH_REPLACES``/``FASTPATH_HANDLED``) and the failpoint
+    #: site registry (``SITES``) out of this map.
+    constants: dict = field(default_factory=dict)
 
     def ignore_for(self, rule, lineno, func=None):
         """The ignore comment covering ``rule`` at ``lineno``, if any.
@@ -125,10 +132,14 @@ def _decorator_meta(node):
             locks = tuple(a.value for a in dec.args
                           if isinstance(a, ast.Constant))
             meta[_LOCK_KEYS[name]] = locks
-        elif name == "tlb_deferred":
+        elif name in ("tlb_deferred", "charge_deferred"):
             reason = dec.args[0].value if dec.args and isinstance(
                 dec.args[0], ast.Constant) else ""
-            meta["tlb_deferred"] = reason
+            meta[name] = reason
+        elif name == "counters_deferred":
+            kinds = tuple(a.value for a in dec.args
+                          if isinstance(a, ast.Constant))
+            meta["counters_deferred"] = kinds
         elif name == "releases_refs":
             kinds = tuple(a.value for a in dec.args
                           if isinstance(a, ast.Constant))
@@ -171,6 +182,37 @@ def _harvest_functions(tree, module, path):
     return functions
 
 
+def _literal_value(node):
+    """Evaluate a constant expression, unwrapping ``frozenset({...})``."""
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "frozenset" and len(node.args) == 1):
+        node = node.args[0]
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, TypeError, SyntaxError, MemoryError):
+        return None
+
+
+def _collect_constants(tree):
+    constants = {}
+    for stmt in tree.body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            name = stmt.targets[0].id
+        elif (isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+                and isinstance(stmt.target, ast.Name)):
+            name = stmt.target.id
+        else:
+            continue
+        if not name.isupper():
+            continue
+        value = _literal_value(stmt.value if isinstance(stmt, ast.AnnAssign)
+                               else stmt.value)
+        if value is not None:
+            constants[name] = value
+    return constants
+
+
 def _collect_ignores(text):
     ignores = []
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -202,5 +244,6 @@ def harvest(paths, src_root):
         files.append(SourceFile(
             path=path, module=module,
             functions=_harvest_functions(tree, module, path),
-            ignores=_collect_ignores(text)))
+            ignores=_collect_ignores(text),
+            constants=_collect_constants(tree)))
     return files

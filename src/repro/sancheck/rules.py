@@ -1,32 +1,53 @@
-"""The four rule families of the static checker.
+"""The rule families of the static checker.
 
 Every rule consumes the harvested :class:`~repro.sancheck.model.SourceFile`
-records and yields :class:`Violation`s.  Scoping mirrors where each
-discipline applies:
+records plus the interprocedural :class:`~repro.sancheck.summaries.Summaries`
+and yields :class:`Violation`s.  Scoping mirrors where each discipline
+applies:
 
 * **lock-context** — global: any harvested caller of an annotated
   function is checked.
 * **failpoint**, **refcount**, **tlb** — the kernel proper
   (``repro.kernel``/``repro.smp``) plus any non-``repro`` file passed
-  explicitly (the test fixtures); the mem/paging/core layers sit below
-  the disciplines these rules encode.
+  explicitly (the test fixtures).
+* **clock-charge** — ``repro.kernel`` + ``repro.paging`` (the layers
+  whose mutations must be visible to the virtual clock) + fixtures.
+* **metrics** — paired-counter conservation over the kernel scope plus
+  ``repro.numa`` (the replica registry), and registry resolution for
+  metric namespaces and failpoint site names across the whole tree.
+* **fastpath-sound** — any file declaring ``FASTPATH_REPLACES`` next to
+  a ``fast_path_ok`` predicate.
+* **trace-registry** — every ``tracepoint()`` name, everywhere.
+
+The path-walked families (refcount, tlb, clock-charge, metrics
+conservation) share a single :func:`~repro.sancheck.engine.run_paths`
+pass per function over its CFG; each family reads its own slice of the
+exit states.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .dataflow import (
-    Classifier,
-    FALL,
-    FLUSH_CALLS,
-    FunctionWalker,
-    RAISE,
-    RETURN,
+from .cfg import EXIT_FALL, EXIT_RAISE, EXIT_RETURN
+from .engine import run_paths
+from .events import Classifier, KernelPathDomain
+from .summaries import (
+    ALLOC_WRAPPERS,
+    build_summaries,
+    charge_scope,
+    collect_tested_features,
+    has_failpoint,
+    layer,
+    raw_alloc_calls,
+    strict_kernel_scope,
 )
 
-RULES = ("lock-context", "failpoint", "refcount", "tlb", "trace-registry",
-         "ignore")
+RULES = ("lock-context", "failpoint", "refcount", "tlb", "clock-charge",
+         "metrics", "fastpath-sound", "trace-registry", "ignore")
+
+#: The families evaluated by the shared per-function path walk.
+WALK_RULES = frozenset({"refcount", "tlb", "clock-charge", "metrics"})
 
 
 @dataclass
@@ -48,120 +69,52 @@ class Violation:
 
 
 def _kernel_scope(func):
-    module = func.module
-    return (module.startswith("repro.kernel")
-            or module.startswith("repro.smp")
-            or not module.startswith("repro"))
+    return strict_kernel_scope(func)
+
+
+def _metrics_scope(func):
+    return strict_kernel_scope(func) or func.module.startswith("repro.numa")
 
 
 # ------------------------------------------------------------------ #
-# Project-wide fixpoints
+# Classifier (name-flattened summaries for the path walk)
 
 
-#: The reclaim-on-pressure allocation wrappers: they *are* the fallible
-#: primitives the failpoint rule guards, so they are exempt from needing
-#: a failpoint themselves (their callers carry the sites).
-ALLOC_WRAPPERS = frozenset({
-    "alloc_data_frame", "alloc_data_frames_bulk", "alloc_huge_frame",
-    "alloc_table_frame", "alloc_table",
-    # The NUMA-aware inner halves of the wrappers above: their callers
-    # carry the ``numa.node_alloc`` (or upstream) failpoint sites.
-    "_alloc_one", "_alloc_bulk",
-})
-
-
-def _raw_alloc_calls(func):
-    """Call sites in ``func`` that allocate frames or swap slots."""
-    sites = []
-    for call in func.calls:
-        if call.name in ALLOC_WRAPPERS:
-            sites.append(call)
-        elif call.name in ("alloc", "alloc_bulk") and (
-                "allocator" in call.receiver):
-            sites.append(call)
-        elif call.name == "alloc_slot" and "swap" in call.receiver:
-            sites.append(call)
-    return sites
-
-
-def _has_failpoint(func):
-    return any(call.name in ("hit", "fails") and "failpoints" in call.receiver
-               for call in func.calls)
-
-
-def _raises_oom(func):
-    return ("raise OutOfMemoryError" in func.source
-            or "raise OutOfFramesError" in func.source)
-
-
-def compute_fallible(files):
-    """Names of functions that can raise OOM, to a call-graph fixpoint.
-
-    Only kernel-scope functions seed and propagate the set: the rules
-    that consume it report on kernel scope alone, and the call graph is
-    matched by bare name — an application- or fleet-layer method that
-    happens to share a name with a kernel callee (``acquire``,
-    ``transfer``) must not make every kernel call site look fallible.
-    """
-    by_name = {}
-    fallible = set()
-    for sf in files:
-        for func in sf.functions:
-            if not _kernel_scope(func):
-                continue
-            by_name.setdefault(func.name, []).append(func)
-            if (_raw_alloc_calls(func) or _has_failpoint(func)
-                    or _raises_oom(func)):
-                fallible.add(func.name)
-    changed = True
-    while changed:
-        changed = False
-        for sf in files:
-            for func in sf.functions:
-                if not _kernel_scope(func) or func.name in fallible:
-                    continue
-                if any(c.name in fallible for c in func.calls):
-                    fallible.add(func.name)
-                    changed = True
-    return frozenset(fallible)
-
-
-def compute_flushing(files):
-    """Names of functions that reach a TLB flush, to a fixpoint."""
-    flushing = set()
-    for sf in files:
-        for func in sf.functions:
-            if any(c.name in FLUSH_CALLS for c in func.calls):
-                flushing.add(func.name)
-    changed = True
-    while changed:
-        changed = False
-        for sf in files:
-            for func in sf.functions:
-                if func.name in flushing:
-                    continue
-                if any(c.name in flushing for c in func.calls):
-                    flushing.add(func.name)
-                    changed = True
-    return frozenset(flushing)
-
-
-def build_classifier(files):
+def build_classifier(files, summaries):
     deferred = set()
+    charge_deferred = set()
+    counters_deferred = {}
     releasers = {}
     for sf in files:
         for func in sf.functions:
             if func.tlb_deferred is not None:
                 deferred.add(func.name)
+            if func.charge_deferred is not None and not (
+                    func.name.startswith("__") and func.name.endswith("__")):
+                # Dunder names never flatten: ``super().__init__()`` must
+                # not inherit an annotated constructor's obligation.  The
+                # per-function suppression still applies via the
+                # FunctionInfo attribute.
+                charge_deferred.add(func.name)
+            if func.counters_deferred:
+                kinds = set(counters_deferred.get(func.name, ()))
+                kinds.update(func.counters_deferred)
+                counters_deferred[func.name] = frozenset(kinds)
             if func.releases_refs:
                 kinds = set(releasers.get(func.name, ()))
                 kinds.update(func.releases_refs)
                 releasers[func.name] = frozenset(kinds)
+    functions = summaries.graph.functions
     return Classifier(
-        fallible=compute_fallible(files),
-        flushing=compute_flushing(files),
+        fallible=frozenset(functions[k].name
+                           for k in summaries.fallible_keys),
+        flushing=frozenset(functions[k].name
+                           for k in summaries.flushing_keys),
         deferred=frozenset(deferred),
         releasers=releasers,
+        charge_deferred=frozenset(charge_deferred),
+        counters_deferred=counters_deferred,
+        must_charge=summaries.must_charge_names(),
     )
 
 
@@ -181,19 +134,15 @@ def _inline_acquires(func):
     return held
 
 
-def check_lock_context(files):
-    annotated = {}
-    for sf in files:
-        for func in sf.functions:
-            if func.must_hold or func.releases:
-                annotated.setdefault(func.name, []).append(func)
-
+def check_lock_context(files, summaries):
     violations = []
+    graph = summaries.graph
     for sf in files:
         for func in sf.functions:
             held = None
             for call in func.calls:
-                candidates = annotated.get(call.name)
+                candidates = [c for c in graph.resolve(func, call.name)
+                              if c.must_hold or c.releases]
                 if not candidates:
                     continue
                 required = set(candidates[0].must_hold) | set(
@@ -228,8 +177,8 @@ def check_failpoints(files):
         for func in sf.functions:
             if not _kernel_scope(func) or func.name in ALLOC_WRAPPERS:
                 continue
-            sites = _raw_alloc_calls(func)
-            if sites and not _has_failpoint(func):
+            sites = raw_alloc_calls(func)
+            if sites and not has_failpoint(func):
                 call = sites[0]
                 violations.append(Violation(
                     "failpoint", sf.module, func.qualname, call.lineno,
@@ -290,51 +239,288 @@ def check_trace_registry(files):
 
 
 # ------------------------------------------------------------------ #
-# Rules 3+4: refcount pairing and TLB discipline (shared path walk)
+# Rules refcount / tlb / clock-charge / metrics-conservation
+# (one shared CFG path walk per function)
 
 
-def check_dataflow(files, classifier):
+def walk_function(func, classifier, cfg=None, rules=WALK_RULES):
+    """Run the shared path walk over one function; yield violations."""
+    from .cfg import build_cfg
+
+    if cfg is None:
+        cfg = build_cfg(func.node)
+    domain = KernelPathDomain(func, classifier)
+    exits, overflowed = run_paths(cfg, domain)
+    if overflowed:
+        return []  # under-approximate rather than guess
+
     violations = []
-    for sf in files:
-        for func in sf.functions:
-            if not _kernel_scope(func):
+    raise_states = exits[EXIT_RAISE]
+    normal_states = exits[EXIT_FALL] + exits[EXIT_RETURN]
+
+    if "refcount" in rules and _kernel_scope(func):
+        seen_ref = set()
+        for state in raise_states:
+            if state.bug or not state.pins:
                 continue
-            walker = FunctionWalker(func, classifier)
-            exits = walker.run()
-            if walker.overflowed:
-                continue  # under-approximate rather than guess
-            seen_ref = set()
-            seen_tlb = False
-            for outcome, state in exits:
-                if outcome is RAISE and state.pins and not state.bug:
-                    for (kind, key), (count, line) in state.pins.items():
-                        if (kind, key) in seen_ref:
-                            continue
-                        seen_ref.add((kind, key))
-                        violations.append(Violation(
-                            "refcount", sf.module, func.qualname,
-                            state.raise_line or line,
-                            f"{kind} reference '{key}' (taken at line "
-                            f"{line}) is still held when an exception "
-                            f"path leaves the function — release it in "
-                            f"the unwind or transfer ownership first"))
-                if (outcome in (FALL, RETURN) and state.tlb_line is not None
-                        and func.tlb_deferred is None and not seen_tlb):
-                    seen_tlb = True
-                    violations.append(Violation(
-                        "tlb", sf.module, func.qualname, state.tlb_line,
-                        "PTE/PMD cleared or downgraded (line "
-                        f"{state.tlb_line}) with no TLB flush before a "
-                        "normal exit — flush, or mark @tlb_deferred and "
-                        "flush in the caller"))
+            for (kind, key), (count, line) in state.pins.items():
+                if (kind, key) in seen_ref:
+                    continue
+                seen_ref.add((kind, key))
+                violations.append(Violation(
+                    "refcount", func.module, func.qualname,
+                    state.raise_line or line,
+                    f"{kind} reference '{key}' (taken at line "
+                    f"{line}) is still held when an exception "
+                    f"path leaves the function — release it in "
+                    f"the unwind or transfer ownership first"))
+
+    if ("tlb" in rules and _kernel_scope(func)
+            and func.tlb_deferred is None):
+        for state in normal_states:
+            if state.tlb_line is not None:
+                violations.append(Violation(
+                    "tlb", func.module, func.qualname, state.tlb_line,
+                    "PTE/PMD cleared or downgraded (line "
+                    f"{state.tlb_line}) with no TLB flush before a "
+                    "normal exit — flush, or mark @tlb_deferred and "
+                    "flush in the caller"))
+                break
+
+    if ("clock-charge" in rules and charge_scope(func)
+            and func.charge_deferred is None):
+        for state in normal_states:
+            if state.mut_line is not None and not state.charged:
+                violations.append(Violation(
+                    "clock-charge", func.module, func.qualname,
+                    state.mut_line,
+                    f"frame/PTE mutation (line {state.mut_line}) reaches "
+                    f"a normal exit with no virtual-clock charge on the "
+                    f"path — charge the cost model, or mark "
+                    f"@charge_deferred and charge in the caller"))
+                break
+
+    if "metrics" in rules and _metrics_scope(func):
+        declared = frozenset(func.counters_deferred)
+        seen_kind = set()
+        for state in raise_states:
+            if state.bug or not state.counts:
+                continue
+            for kind, (count, line) in state.counts.items():
+                if kind in declared or kind in seen_kind:
+                    continue
+                seen_kind.add(kind)
+                violations.append(Violation(
+                    "metrics", func.module, func.qualname,
+                    state.raise_line or line,
+                    f"counter '{kind}' (incremented at line {line}) is "
+                    f"left unbalanced when an exception path leaves the "
+                    f"function — decrement it in the unwind, or mark "
+                    f"@counters_deferred({kind!r}, ...) and balance in "
+                    f"the caller"))
     return violations
 
 
-def run_all_rules(files):
-    classifier = build_classifier(files)
+def check_walk(files, summaries, classifier, rules=WALK_RULES):
     violations = []
-    violations += check_lock_context(files)
-    violations += check_failpoints(files)
-    violations += check_trace_registry(files)
-    violations += check_dataflow(files, classifier)
+    walk_scope_rules = rules & WALK_RULES
+    if not walk_scope_rules:
+        return violations
+    for sf in files:
+        for func in sf.functions:
+            if not (_kernel_scope(func) or charge_scope(func)
+                    or _metrics_scope(func)):
+                continue
+            violations.extend(walk_function(
+                func, classifier, cfg=summaries.cfg(func),
+                rules=walk_scope_rules))
+    return violations
+
+
+# ------------------------------------------------------------------ #
+# Rule: fastpath-sound
+
+
+def _feature_covered(required, tokens):
+    """Whether ``required`` is satisfied by any token (prefix match in
+    either direction: a test on ``numa`` covers ``numa.zones`` reads,
+    and a test on ``failpoints.active`` covers the ``failpoints``
+    machinery)."""
+    for token in tokens:
+        if (token == required or token.startswith(required + ".")
+                or required.startswith(token + ".")):
+            return True
+    return False
+
+
+def check_fastpath_sound(files, summaries):
+    """``fast_path_ok`` must test (or declare handled) every kernel
+    feature the slow paths it replaces consult."""
+    violations = []
+    for sf in files:
+        replaces = sf.constants.get("FASTPATH_REPLACES")
+        if not isinstance(replaces, dict) or not replaces:
+            continue
+        guard = next((f for f in sf.functions if f.name == "fast_path_ok"),
+                     None)
+        if guard is None:
+            violations.append(Violation(
+                "fastpath-sound", sf.module, "<module>", 1,
+                "FASTPATH_REPLACES is declared but no fast_path_ok() "
+                "predicate exists to guard the fast paths"))
+            continue
+        handled = sf.constants.get("FASTPATH_HANDLED")
+        handled = handled if isinstance(handled, dict) else {}
+
+        root_keys = set()
+        for fast_name, slow_name in sorted(replaces.items()):
+            candidates = [c for c in summaries.graph.by_name.get(slow_name, [])
+                          if layer(c.module) == 0]
+            if not candidates:
+                violations.append(Violation(
+                    "fastpath-sound", sf.module, guard.qualname, guard.lineno,
+                    f"FASTPATH_REPLACES maps {fast_name!r} to unknown slow "
+                    f"path {slow_name!r}"))
+                continue
+            root_keys.update(c.key for c in candidates)
+
+        tokens, reaches_fp, reaches_tp = summaries.slow_path_requirements(
+            root_keys)
+        required = set(tokens)
+        required.add("fastpath")          # the master engagement switch
+        if reaches_fp:
+            required.add("failpoints")
+        if reaches_tp:
+            required.add("points.enabled")
+
+        tested = collect_tested_features(guard)
+        handled_keys = frozenset(handled)
+        for req in sorted(required):
+            if _feature_covered(req, tested):
+                continue
+            if _feature_covered(req, handled_keys):
+                continue
+            violations.append(Violation(
+                "fastpath-sound", sf.module, guard.qualname, guard.lineno,
+                f"slow path consults kernel feature '{req}' but "
+                f"fast_path_ok() neither tests it nor declares it in "
+                f"FASTPATH_HANDLED — the fast path can engage with the "
+                f"feature live and silently diverge"))
+
+        # Shrink-only symmetry for the declaration table itself.
+        for key in sorted(handled_keys):
+            if not handled[key] or not isinstance(handled[key], str):
+                violations.append(Violation(
+                    "fastpath-sound", sf.module, guard.qualname, guard.lineno,
+                    f"FASTPATH_HANDLED[{key!r}] has no justification string"))
+            elif any(key == t or key.startswith(t + ".") for t in tested):
+                violations.append(Violation(
+                    "fastpath-sound", sf.module, guard.qualname, guard.lineno,
+                    f"FASTPATH_HANDLED[{key!r}] is redundant: fast_path_ok() "
+                    f"already bails on that feature — remove the entry"))
+            elif not any(req == key or req.startswith(key + ".")
+                         for req in required):
+                violations.append(Violation(
+                    "fastpath-sound", sf.module, guard.qualname, guard.lineno,
+                    f"FASTPATH_HANDLED[{key!r}] is stale: no slow path "
+                    f"consults that feature any more — remove the entry"))
+    return violations
+
+
+# ------------------------------------------------------------------ #
+# Rule: metrics registry resolution (the string half of the metrics
+# family — MetricsRegistry namespaces and failpoint site names)
+
+
+def check_metrics_registry(files):
+    import ast
+
+    violations = []
+    registered = set()
+    consults = []      # (sf, func, call, kind)
+    for sf in files:
+        if sf.module == "repro.trace.metrics":
+            continue   # the registry implementation iterates itself
+        for func in sf.functions:
+            for call in func.calls:
+                if "metrics" not in call.receiver:
+                    continue
+                if call.name == "register":
+                    node = call.node
+                    if node.args and isinstance(node.args[0], ast.Constant):
+                        registered.add(node.args[0].value)
+                elif call.name in ("collect", "unregister"):
+                    consults.append((sf, func, call))
+    for sf, func, call in consults:
+        node = call.node
+        if not node.args or not isinstance(node.args[0], ast.Constant):
+            violations.append(Violation(
+                "metrics", sf.module, func.qualname, call.lineno,
+                f"metrics.{call.name}() namespace must be a string literal "
+                f"so the registry check can verify it"))
+            continue
+        name = node.args[0].value
+        if name not in registered:
+            violations.append(Violation(
+                "metrics", sf.module, func.qualname, call.lineno,
+                f"metrics.{call.name}({name!r}) does not resolve: no "
+                f"metrics.register({name!r}, ...) exists in the tree"))
+
+    # Failpoint site names resolve against the SITES registry.
+    sites_owner = next(
+        (sf for sf in files if isinstance(sf.constants.get("SITES"),
+                                          (set, frozenset, tuple, list))),
+        None)
+    if sites_owner is not None:
+        sites = frozenset(sites_owner.constants["SITES"])
+        used = set()
+        for sf in files:
+            for func in sf.functions:
+                for call in func.calls:
+                    if (call.name not in ("hit", "fails")
+                            or "failpoints" not in call.receiver):
+                        continue
+                    node = call.node
+                    if not node.args or not isinstance(node.args[0],
+                                                       ast.Constant):
+                        continue   # programmatic site (verify harness)
+                    site = node.args[0].value
+                    used.add(site)
+                    if site not in sites:
+                        violations.append(Violation(
+                            "metrics", sf.module, func.qualname, call.lineno,
+                            f"failpoint site {site!r} is not declared in "
+                            f"{sites_owner.module}.SITES — declare it so "
+                            f"the fault-injection harness can enumerate it"))
+        for site in sorted(sites - used):
+            violations.append(Violation(
+                "metrics", sites_owner.module, "<module>", 1,
+                f"SITES declares failpoint site {site!r} but no "
+                f"failpoints.hit()/fails() call uses it — remove the "
+                f"stale declaration"))
+    return violations
+
+
+# ------------------------------------------------------------------ #
+
+
+def run_all_rules(files, summaries=None, rules=None):
+    enabled = frozenset(rules) if rules is not None else frozenset(RULES)
+    if summaries is None:
+        summaries = build_summaries(files)
+    violations = []
+    if "lock-context" in enabled:
+        violations += check_lock_context(files, summaries)
+    if "failpoint" in enabled:
+        violations += check_failpoints(files)
+    if "trace-registry" in enabled:
+        violations += check_trace_registry(files)
+    if "fastpath-sound" in enabled:
+        violations += check_fastpath_sound(files, summaries)
+    if "metrics" in enabled:
+        violations += check_metrics_registry(files)
+    if enabled & WALK_RULES:
+        classifier = build_classifier(files, summaries)
+        violations += check_walk(files, summaries, classifier,
+                                 rules=enabled & WALK_RULES)
     return violations

@@ -1,0 +1,11 @@
+"""Known-bad clock-charge fixture.
+
+``install_block`` writes a PTE and returns without charging the virtual
+clock — work the cost model never sees, so latency results silently
+understate the operation.  The checker must flag the normal exit.
+"""
+
+
+def install_block(leaf, index, entry):
+    leaf.entries[index] = entry
+    return leaf

@@ -1,0 +1,27 @@
+"""Known-bad fastpath-soundness fixture.
+
+The slow path consults a (fake) ``compaction`` subsystem flag; the fast
+path does not, and ``fast_path_ok`` neither tests the flag nor declares
+it handled.  On a machine with compaction configured the fast path would
+engage anyway and silently diverge — the checker must flag the guard.
+"""
+
+FASTPATH_REPLACES = {"fast_copy_range": "copy_range"}
+
+
+def copy_range(kernel, mm, start, end):
+    if kernel.compaction is not None:
+        kernel.compaction.defrag(mm)
+    n = end - start
+    kernel.cost.charge_many(n)
+    return n
+
+
+def fast_copy_range(kernel, mm, start, end):
+    n = end - start
+    kernel.cost.charge_many(n)
+    return n
+
+
+def fast_path_ok(kernel):
+    return kernel.fastpath and kernel.smp is None

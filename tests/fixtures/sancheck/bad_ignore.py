@@ -8,6 +8,7 @@ report rule ``ignore`` instead.
 ENTRY_NONE = 0
 
 
-def zap_entry(leaf, index):
+def zap_entry(cost, leaf, index):
     leaf.entries[index] = ENTRY_NONE  # sancheck: ignore[tlb]
+    cost.charge_zap_entries(1)
     return leaf

@@ -9,9 +9,10 @@ from repro.sancheck.annotations import must_hold
 
 
 @must_hold("ptl")
-def install_entry(leaf, index, entry):
+def install_entry(cost, leaf, index, entry):
     leaf.entries[index] = entry
+    cost.charge_fault_base()
 
 
-def racy_fault(leaf, index, entry):
-    install_entry(leaf, index, entry)
+def racy_fault(cost, leaf, index, entry):
+    install_entry(cost, leaf, index, entry)

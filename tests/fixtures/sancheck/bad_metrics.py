@@ -1,0 +1,13 @@
+"""Known-bad metrics-conservation fixture.
+
+``map_one_page`` bumps RSS and then hits a fallible step: the injected
+OOM leaves the function with the counter incremented and nothing mapped,
+so every later RSS assertion drifts by one.  The checker must flag the
+exception exit.
+"""
+
+
+def map_one_page(kernel, mm, pfn):
+    mm.add_rss(1, file_backed=False)
+    kernel.failpoints.hit("fixture.map_page")
+    return pfn

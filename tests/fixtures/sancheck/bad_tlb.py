@@ -8,6 +8,7 @@ must flag the normal exit.
 ENTRY_NONE = 0
 
 
-def zap_entry(leaf, index):
+def zap_entry(cost, leaf, index):
     leaf.entries[index] = ENTRY_NONE
+    cost.charge_zap_entries(1)
     return leaf

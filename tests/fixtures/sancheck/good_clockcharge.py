@@ -1,0 +1,21 @@
+"""Known-good clock-charge fixtures: charge inline, or defer to the
+caller with ``@charge_deferred`` and charge there."""
+
+from repro.sancheck.annotations import charge_deferred
+
+
+def install_block(cost, leaf, index, entry):
+    leaf.entries[index] = entry
+    cost.charge_fault_base()
+    return leaf
+
+
+@charge_deferred("the batched caller charges once for the whole range")
+def install_block_batched(leaf, index, entry):
+    leaf.entries[index] = entry
+
+
+def install_range(cost, leaf, entries):
+    for index, entry in enumerate(entries):
+        install_block_batched(leaf, index, entry)
+    cost.charge_many(len(entries))

@@ -1,0 +1,36 @@
+"""Known-good fastpath-soundness fixture: the guard tests the
+``compaction`` flag the slow path consults, and the ``stats`` feature it
+deliberately engages with is declared (with a why) in FASTPATH_HANDLED.
+"""
+
+FASTPATH_REPLACES = {"fast_copy_range": "copy_range"}
+
+FASTPATH_HANDLED = {
+    "stats": "the fast path bumps the same counters the slow path does",
+}
+
+
+def copy_range(kernel, mm, start, end):
+    if kernel.compaction is not None:
+        kernel.compaction.defrag(mm)
+    if kernel.stats is not None:
+        kernel.stats.pages_copied += 1
+    n = end - start
+    kernel.cost.charge_many(n)
+    return n
+
+
+def fast_copy_range(kernel, mm, start, end):
+    if kernel.stats is not None:
+        kernel.stats.pages_copied += 1
+    n = end - start
+    kernel.cost.charge_many(n)
+    return n
+
+
+def fast_path_ok(kernel):
+    return (
+        kernel.fastpath
+        and kernel.smp is None
+        and kernel.compaction is None
+    )

@@ -3,7 +3,8 @@
 ENTRY_NONE = 0
 
 
-def zap_entry(leaf, index):
+def zap_entry(cost, leaf, index):
     # sancheck: ignore[tlb] -- fixture models a caller-side batched flush
     leaf.entries[index] = ENTRY_NONE
+    cost.charge_zap_entries(1)
     return leaf

@@ -9,17 +9,18 @@ from repro.sancheck.annotations import acquires, must_hold
 
 
 @must_hold("ptl")
-def install_entry(leaf, index, entry):
+def install_entry(cost, leaf, index, entry):
     leaf.entries[index] = entry
+    cost.charge_fault_base()
 
 
 @acquires("ptl")
-def locked_fault(leaf, index, entry):
-    install_entry(leaf, index, entry)
+def locked_fault(cost, leaf, index, entry):
+    install_entry(cost, leaf, index, entry)
 
 
-def flow_fault(sched, leaf, index, entry, Acquire, Release):
+def flow_fault(sched, cost, leaf, index, entry, Acquire, Release):
     ptl = sched.pt_lock(int(leaf.pfn))
     yield Acquire(ptl)
-    install_entry(leaf, index, entry)
+    install_entry(cost, leaf, index, entry)
     yield Release(ptl)

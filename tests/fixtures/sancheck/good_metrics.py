@@ -1,0 +1,38 @@
+"""Known-good metrics-conservation fixtures.
+
+Three balanced shapes: an inline unwind (``map_one_page``), a declared
+deferral whose caller balances through a ``@releases_refs`` helper
+(``map_many`` / ``fork_driver``), and the helper itself.
+"""
+
+from repro.sancheck.annotations import counters_deferred, releases_refs
+
+
+def map_one_page(kernel, mm, pfn):
+    mm.add_rss(1, file_backed=False)
+    try:
+        kernel.failpoints.hit("fixture.map_page")
+    except Exception:
+        mm.sub_rss(1, file_backed=False)
+        raise
+    return pfn
+
+
+@counters_deferred("rss", reason="fork_driver unwinds via abort_map")
+def map_many(kernel, mm, pfns):
+    for pfn in pfns:
+        mm.add_rss(1, file_backed=False)
+        kernel.failpoints.hit("fixture.map_many")
+
+
+def fork_driver(kernel, mm, pfns):
+    try:
+        map_many(kernel, mm, pfns)
+    except Exception:
+        abort_map(mm, pfns)
+        raise
+
+
+@releases_refs("rss")
+def abort_map(mm, pfns):
+    mm.sub_rss(len(pfns), file_backed=False)

@@ -7,11 +7,13 @@ ENTRY_NONE = 0
 
 def zap_entry(kernel, mm, leaf, index, vaddr):
     leaf.entries[index] = ENTRY_NONE
+    kernel.cost.charge_zap_entries(1)
     kernel.tlbs.shootdown_page(mm, vaddr)
     return leaf
 
 
 @tlb_deferred("the caller shoots the whole range down after the walk")
-def zap_entry_batched(leaf, index):
+def zap_entry_batched(cost, leaf, index):
     leaf.entries[index] = ENTRY_NONE
+    cost.charge_zap_entries(1)
     return leaf

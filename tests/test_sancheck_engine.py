@@ -1,0 +1,222 @@
+"""Unit tests for the CFG lowering and the two dataflow runners.
+
+A tiny trace domain records, per path state, the label of every node it
+flowed through — so each test can assert exactly which paths reach which
+exit, including exception edges, ``finally`` duplication, and the
+zero-or-one-iteration loop bound.
+"""
+
+import ast
+
+from repro.sancheck.cfg import build_cfg
+from repro.sancheck.engine import (
+    STATE_BUDGET,
+    run_lattice,
+    run_paths,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return build_cfg(func)
+
+
+def label(node):
+    """First Name/attribute identifier inside ``node`` (or '' if none)."""
+    if node is None:
+        return ""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            return sub.id
+    return ""
+
+
+class TraceDomain:
+    """Path states are tuples of labels; calls named ``boom`` fork an
+    exception state in addition to falling through."""
+
+    def initial(self):
+        return ()
+
+    def on_stmt(self, node, state):
+        name = label(node)
+        fell = state + (name,) if name else state
+        raises = []
+        if node is not None and any(
+                isinstance(s, ast.Call) and label(s.func) == "boom"
+                for s in ast.walk(node)):
+            raises.append(fell + ("<exc>",))
+        return [fell], raises
+
+    def on_branch(self, test, state, memo):
+        name = label(test)
+        return ([state + (f"{name}=T",)], [state + (f"{name}=F",)], [])
+
+    def on_catch(self, handler, state):
+        return state + ("<catch>",)
+
+    def on_raise(self, stmt, state):
+        return state + ("<raise>",)
+
+    def signature(self, state):
+        return state
+
+    def copy(self, state):
+        return state
+
+
+def paths(source):
+    exits, overflowed = run_paths(cfg_of(source), TraceDomain())
+    assert not overflowed
+    return {outcome: sorted(states) for outcome, states in exits.items()}
+
+
+class TestRunPaths:
+    def test_straight_line_is_one_fall_path(self):
+        got = paths("def f():\n    a\n    b\n")
+        assert got["fall"] == [("a", "b")]
+        assert got["return"] == [] and got["raise"] == []
+
+    def test_if_forks_both_arms(self):
+        got = paths("def f():\n"
+                    "    if c:\n        a\n"
+                    "    else:\n        b\n"
+                    "    d\n")
+        assert got["fall"] == [("c=F", "b", "d"), ("c=T", "a", "d")]
+
+    def test_return_routes_to_the_return_exit(self):
+        got = paths("def f():\n"
+                    "    if c:\n        return a\n"
+                    "    b\n")
+        assert got["return"] == [("c=T", "a")]
+        assert got["fall"] == [("c=F", "b")]
+
+    def test_explicit_raise_reaches_the_raise_exit(self):
+        got = paths("def f():\n    a\n    raise Err\n")
+        assert got["raise"] == [("a", "<raise>")]
+        assert got["fall"] == []
+
+    def test_exception_edge_enters_the_handler(self):
+        got = paths("def f():\n"
+                    "    try:\n        boom()\n"
+                    "    except Err:\n        h\n"
+                    "    d\n")
+        # The call both falls through (no exception) and forks a raising
+        # state into the handler.
+        assert got["fall"] == [("boom", "<exc>", "<catch>", "h", "d"),
+                               ("boom", "d")]
+
+    def test_finally_runs_on_fall_and_raise_continuations(self):
+        got = paths("def f():\n"
+                    "    try:\n        boom()\n"
+                    "    finally:\n        fin\n")
+        assert got["fall"] == [("boom", "fin")]
+        assert got["raise"] == [("boom", "<exc>", "fin")]
+
+    def test_finally_runs_on_return_continuation(self):
+        got = paths("def f():\n"
+                    "    try:\n        return a\n"
+                    "    finally:\n        fin\n")
+        assert got["return"] == [("a", "fin")]
+
+    def test_loop_runs_zero_or_one_iterations(self):
+        got = paths("def f():\n"
+                    "    while c:\n        body\n"
+                    "    d\n")
+        assert got["fall"] == [("c=F", "d"), ("c=T", "body", "d")]
+
+    def test_back_edge_does_not_reevaluate_the_head(self):
+        # The one-iteration path exits directly on the back edge: no
+        # second ``c=T``/``c=F`` decision, so raise forks seeded at the
+        # loop top can't be double-counted against first-iteration state.
+        got = paths("def f():\n"
+                    "    while c:\n        body\n")
+        one_iter = next(p for p in got["fall"] if "body" in p)
+        assert one_iter.count("c=T") == 1
+        assert "c=F" not in one_iter
+
+    def test_continue_takes_the_back_edge(self):
+        got = paths("def f():\n"
+                    "    for i in xs:\n"
+                    "        if c:\n            continue\n"
+                    "        body\n"
+                    "    d\n")
+        assert ("xs=T", "c=T", "d") in got["fall"]       # continue, exit
+        assert ("xs=T", "c=F", "body", "d") in got["fall"]
+
+    def test_break_exits_past_the_else(self):
+        got = paths("def f():\n"
+                    "    while c:\n"
+                    "        break\n"
+                    "    d\n")
+        assert ("c=T", "d") in got["fall"]
+
+    def test_state_budget_overflow_is_reported(self):
+        # 2^11 path states at the join exceed STATE_BUDGET=1024; nine
+        # diamonds (512) stay under it.
+        def diamonds(n):
+            body = "".join(f"    if c{i}:\n        a{i}\n" for i in range(n))
+            return f"def f():\n{body}    tail\n"
+
+        assert STATE_BUDGET == 1024
+        _, overflowed = run_paths(cfg_of(diamonds(11)), TraceDomain())
+        assert overflowed
+        _, overflowed = run_paths(cfg_of(diamonds(9)), TraceDomain())
+        assert not overflowed
+
+
+class ChargedDomain:
+    """Must-analysis: True iff every normal path so far has charged."""
+
+    def initial(self):
+        return False
+
+    def join(self, a, b):
+        return a and b
+
+    def transfer(self, node, value):
+        if node.ast is not None and any(
+                isinstance(s, ast.Name) and s.id == "charge"
+                for s in ast.walk(node.ast)):
+            return True
+        return value
+
+
+class TestRunLattice:
+    def test_both_arms_charging_is_must(self):
+        exit_values = run_lattice(cfg_of(
+            "def f():\n"
+            "    if c:\n        charge()\n"
+            "    else:\n        charge()\n"), ChargedDomain())
+        assert exit_values["fall"] is True
+
+    def test_one_uncharged_arm_breaks_must(self):
+        exit_values = run_lattice(cfg_of(
+            "def f():\n"
+            "    if c:\n        charge()\n"
+            "    else:\n        skip()\n"), ChargedDomain())
+        assert exit_values["fall"] is False
+
+    def test_raising_paths_are_not_normal_paths(self):
+        # The uncharged arm raises, so the only *normal* exit charged.
+        exit_values = run_lattice(cfg_of(
+            "def f():\n"
+            "    if c:\n        raise Err\n"
+            "    charge()\n"), ChargedDomain())
+        assert exit_values["fall"] is True
+        assert "raise" not in exit_values
+
+    def test_loop_body_charge_is_not_must(self):
+        # The zero-iteration path skips the body: fixpoint joins it away.
+        exit_values = run_lattice(cfg_of(
+            "def f():\n"
+            "    while c:\n        charge()\n"), ChargedDomain())
+        assert exit_values["fall"] is False
+
+    def test_charge_before_loop_survives_the_fixpoint(self):
+        exit_values = run_lattice(cfg_of(
+            "def f():\n"
+            "    charge()\n"
+            "    while c:\n        spin()\n"), ChargedDomain())
+        assert exit_values["fall"] is True

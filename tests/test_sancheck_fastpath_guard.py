@@ -1,0 +1,83 @@
+"""Guard-the-guard: deleting any single conjunct from ``fast_path_ok``
+must turn the repo's fastpath-soundness run red.
+
+Each test copies ``src/repro`` to a scratch tree, rewrites ``fastpath.py``
+with one clause of the guard's ``and``-chain removed, and reruns the
+``fastpath-sound`` rule over the copy.  If any of these ever passes
+clean, the rule has a blind spot exactly where the paper's correctness
+argument lives (the fast path engaging on a machine whose slow path
+consults a feature the guard no longer tests).
+"""
+
+import ast
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.sancheck.checker import check_repo, repo_src_root
+
+FASTPATH = Path(repo_src_root()) / "repro" / "kernel" / "fastpath.py"
+
+
+def _guard_clauses():
+    tree = ast.parse(FASTPATH.read_text())
+    func = next(n for n in tree.body
+                if isinstance(n, ast.FunctionDef) and n.name == "fast_path_ok")
+    ret = next(n for n in func.body if isinstance(n, ast.Return))
+    assert isinstance(ret.value, ast.BoolOp) and isinstance(
+        ret.value.op, ast.And), "fast_path_ok is no longer an and-chain"
+    return [ast.unparse(v) for v in ret.value.values]
+
+
+CLAUSES = _guard_clauses()
+
+
+def _without_clause(index):
+    """fastpath.py source with conjunct ``index`` dropped from the guard."""
+    tree = ast.parse(FASTPATH.read_text())
+    func = next(n for n in tree.body
+                if isinstance(n, ast.FunctionDef) and n.name == "fast_path_ok")
+    ret = next(n for n in func.body if isinstance(n, ast.Return))
+    del ret.value.values[index]
+    if len(ret.value.values) == 1:
+        ret.value = ret.value.values[0]
+    return ast.unparse(tree) + "\n"
+
+
+@pytest.fixture(scope="module")
+def scratch_src(tmp_path_factory):
+    root = tmp_path_factory.mktemp("guard") / "src"
+    shutil.copytree(Path(repo_src_root()) / "repro", root / "repro")
+    return root
+
+
+def _fastpath_violations(scratch_src):
+    return [v for v in check_repo(src_root=scratch_src,
+                                  rules=frozenset({"fastpath-sound"}))
+            if v.rule == "fastpath-sound"]
+
+
+def test_guard_has_the_expected_shape():
+    assert len(CLAUSES) >= 8
+    joined = " ".join(CLAUSES)
+    for feature in ("fastpath", "points.enabled", "smp", "san",
+                    "sanitizer", "failpoints", "numa"):
+        assert feature in joined
+
+
+def test_unmodified_copy_is_clean(scratch_src):
+    (scratch_src / "repro" / "kernel" / "fastpath.py").write_text(
+        FASTPATH.read_text())
+    assert _fastpath_violations(scratch_src) == []
+
+
+@pytest.mark.parametrize("index", range(len(CLAUSES)),
+                         ids=[c.replace(" ", "_") for c in CLAUSES])
+def test_deleting_any_clause_turns_the_run_red(scratch_src, index):
+    (scratch_src / "repro" / "kernel" / "fastpath.py").write_text(
+        _without_clause(index))
+    violations = _fastpath_violations(scratch_src)
+    assert violations, (
+        f"dropping guard clause {CLAUSES[index]!r} went undetected")
+    assert all(v.func == "fast_path_ok" for v in violations)

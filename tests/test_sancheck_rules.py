@@ -25,11 +25,15 @@ BAD = {
     "bad_ignore.py": "ignore",
     "bad_tracepoint.py": "trace-registry",
     "bad_replica.py": "refcount",
+    "bad_clockcharge.py": "clock-charge",
+    "bad_metrics.py": "metrics",
+    "bad_fastpath.py": "fastpath-sound",
 }
 
 GOOD = ["good_lock.py", "good_failpoint.py", "good_refcount.py",
         "good_tlb.py", "good_ignore.py", "good_tracepoint.py",
-        "good_replica.py"]
+        "good_replica.py", "good_clockcharge.py", "good_metrics.py",
+        "good_fastpath.py"]
 
 
 def run_fixture(name):
@@ -80,6 +84,24 @@ class TestViolationShape:
     def test_unjustified_ignore_demands_reason(self):
         (violation,) = run_fixture("bad_ignore.py")
         assert "justification" in violation.message
+
+    def test_clock_charge_names_the_mutation_site(self):
+        (violation,) = run_fixture("bad_clockcharge.py")
+        assert violation.func == "install_block"
+        assert "virtual-clock charge" in violation.message
+        assert "charge_deferred" in violation.message
+
+    def test_metrics_violation_names_counter_and_unwind(self):
+        (violation,) = run_fixture("bad_metrics.py")
+        assert violation.func == "map_one_page"
+        assert "'rss'" in violation.message
+        assert "counters_deferred" in violation.message
+
+    def test_fastpath_violation_names_the_missing_feature(self):
+        (violation,) = run_fixture("bad_fastpath.py")
+        assert violation.func == "fast_path_ok"
+        assert "'compaction'" in violation.message
+        assert "FASTPATH_HANDLED" in violation.message
 
     def test_violation_identity_is_line_independent(self):
         # Baseline entries key on rule:module:func, not line numbers.

@@ -1,0 +1,109 @@
+"""Interprocedural summary precision.
+
+The headline regression: PR 6 added fleet-layer modules whose function
+names collide with kernel ones (the old name-set heuristic then marked
+the fleet twins OOM-fallible, demanding failpoint sites in code that
+never allocates frames).  Fallibility is now a *key*-level fact computed
+over the layer-filtered call graph: the kernel twin is fallible, the
+same-named fleet twin is not.
+"""
+
+from pathlib import Path
+
+from repro.sancheck.model import harvest
+from repro.sancheck.summaries import Summaries, build_summaries, layer
+
+
+def _tree(tmp_path, modules):
+    src_root = tmp_path / "src"
+    paths = []
+    for rel, text in modules.items():
+        path = src_root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        paths.append(path)
+    return harvest(sorted(paths), src_root)
+
+
+def _key(files, module, name):
+    sf = next(s for s in files if s.module == module)
+    return next(f for f in sf.functions if f.qualname == name).key
+
+
+class TestFleetKernelCollision:
+    MODULES = {
+        "repro/kernel/frames.py": (
+            "def grab_frame(kernel):\n"
+            "    return kernel.allocator.alloc()\n"
+            "\n"
+            "def copy_tree(kernel):\n"
+            "    return grab_frame(kernel)\n"),
+        "repro/cluster/pool.py": (
+            "def grab_frame(pool):\n"
+            "    return pool.free_list.pop()\n"
+            "\n"
+            "def serve(pool):\n"
+            "    return grab_frame(pool)\n"),
+    }
+
+    def test_fallibility_is_per_key_not_per_name(self, tmp_path):
+        files = _tree(tmp_path, self.MODULES)
+        summaries = Summaries(files)
+        kernel_grab = _key(files, "repro.kernel.frames", "grab_frame")
+        fleet_grab = _key(files, "repro.cluster.pool", "grab_frame")
+        assert kernel_grab in summaries.fallible_keys
+        assert fleet_grab not in summaries.fallible_keys
+
+    def test_kernel_caller_inherits_fleet_caller_does_not(self, tmp_path):
+        files = _tree(tmp_path, self.MODULES)
+        summaries = Summaries(files)
+        assert _key(files, "repro.kernel.frames",
+                    "copy_tree") in summaries.fallible_keys
+        assert _key(files, "repro.cluster.pool",
+                    "serve") not in summaries.fallible_keys
+
+    def test_kernel_caller_never_resolves_into_the_fleet(self, tmp_path):
+        # Even when only the fleet defines the name, a layer-0 caller
+        # resolves to nothing — the kernel never calls up.
+        files = _tree(tmp_path, {
+            "repro/kernel/core.py": (
+                "def dispatch(kernel):\n"
+                "    return route_request(kernel)\n"),
+            "repro/cluster/gateway.py": (
+                "def route_request(gw):\n"
+                "    return gw.pick_replica()\n"),
+        })
+        summaries = Summaries(files)
+        caller = summaries.graph.functions[
+            _key(files, "repro.kernel.core", "dispatch")]
+        assert summaries.graph.callees(caller) == []
+
+
+class TestLayerClassification:
+    def test_kernelish_prefixes_are_layer_zero(self):
+        for module in ("repro.kernel.fork", "repro.paging.table",
+                       "repro.smp", "repro.numa.topology",
+                       "repro.trace.points"):
+            assert layer(module) == 0, module
+
+    def test_fleet_is_layer_one(self):
+        assert layer("repro.cluster.gateway") == 1
+        assert layer("repro.cluster") == 1
+
+    def test_fixture_modules_are_layer_zero(self):
+        # Stem-named fixture files (no repro. prefix) act as kernel code
+        # so the bad/good twins exercise the kernel rules.
+        assert layer("bad_clockcharge") == 0
+
+
+class TestRepoSummaries:
+    def test_repo_fallible_set_spans_layers_correctly(self):
+        from repro.sancheck.checker import repo_files
+
+        paths, src_root = repo_files()
+        summaries = build_summaries(harvest(paths, src_root))
+        fallible_modules = {key.split(":")[0]
+                            for key in summaries.fallible_keys}
+        assert any(m.startswith("repro.kernel") for m in fallible_modules)
+        assert not any(m.startswith("repro.cluster")
+                       for m in fallible_modules)
