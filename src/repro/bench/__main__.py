@@ -17,6 +17,7 @@ import time
 
 from . import (
     ablations,
+    faas_bench,
     fleet_bench,
     parallel,
     reclaim_bench,
@@ -79,6 +80,7 @@ EXPERIMENTS = {
     "ext-snapshot": _fixed(snapshot_bench.run, duration_s=3.0),
     "ext-reclaim": _fixed(reclaim_bench.run),
     "fleet": _quickable(fleet_bench.run),
+    "faas": _quickable(faas_bench.run),
 }
 
 #: Fast subset exercised by CI: one figure, one table, and the reclaim
@@ -90,6 +92,7 @@ SMOKE_EXPERIMENTS = {
     "ext-reclaim": _fixed(reclaim_bench.run, rounds=4,
                           overcommits=(0.5, 2.0)),
     "fleet": _quickable(fleet_bench.run),
+    "faas": _quickable(faas_bench.run),
 }
 
 

@@ -72,6 +72,10 @@ TRACKED = (
            "p99 (us)", LOWER_IS_BETTER),
     Metric("fleet.p99_ms@staggered-odfork", "fleet",
            ("config", "staggered/odfork"), "p99_ms", LOWER_IS_BETTER),
+    Metric("faas.cold_start_p99_us", "faas", ("flavor", "odfork"),
+           "cold_start_p99_us", LOWER_IS_BETTER),
+    Metric("faas.density_fn_per_gb", "faas", ("flavor", "odfork"),
+           "density_fn_per_gb", HIGHER_IS_BETTER),
     Metric("numa.odfork_speedup@replicated", "fig7-numa",
            ("mode", "numa-replicated"), "odfork_speedup_x",
            HIGHER_IS_BETTER),
@@ -205,6 +209,55 @@ def format_delta_table(deltas, threshold=DEFAULT_THRESHOLD):
     return "\n".join(lines)
 
 
+def format_delta_markdown(deltas, regressions, threshold=DEFAULT_THRESHOLD):
+    """The GitHub-step-summary view: a markdown table plus the verdict.
+
+    Written on success *and* failure so a red gate shows the per-metric
+    old/new/delta numbers right on the run page, not buried in logs.
+    """
+    lines = ["### Perf gate: tracked bench metrics", "",
+             "| metric | baseline | current | ratio | verdict |",
+             "| --- | ---: | ---: | ---: | --- |"]
+    for d in deltas:
+        if d.regressed():
+            verdict = ":x: regressed"
+        elif d.improved():
+            verdict = ":chart_with_upwards_trend: improved"
+        else:
+            verdict = ":white_check_mark: ok"
+        lines.append(f"| `{d.key}` | {d.baseline:.4g} | {d.current:.4g} "
+                     f"| {d.ratio:.2f}x | {verdict} |")
+    lines.append("")
+    missing = [r for r in regressions if "->" not in r]
+    for line in missing:
+        lines.append(f"- :x: {line}")
+    if regressions:
+        lines.append(f"\n**{len(regressions)} tracked metric(s) failed the "
+                     f"{threshold:.0%} gate.**")
+    else:
+        lines.append(f"\nAll {len(deltas)} tracked metrics within the "
+                     f"{threshold:.0%} gate.")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(deltas, regressions, threshold=DEFAULT_THRESHOLD):
+    """Append the markdown delta table to ``$GITHUB_STEP_SUMMARY``.
+
+    A no-op outside GitHub Actions; never raises (a broken summary file
+    must not mask the gate's real exit code).
+    """
+    import os
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    try:
+        with open(path, "a") as fh:
+            fh.write(format_delta_markdown(deltas, regressions, threshold))
+        return True
+    except OSError:
+        return False
+
+
 def write_baseline(payload, path, metrics=TRACKED):
     """Seed/refresh a baseline file from a bench ``--json`` payload."""
     values = extract_all(payload, metrics)
@@ -258,6 +311,7 @@ def main(argv=None):
     deltas, regressions = compare_payloads(
         payload, baseline_doc.get("metrics", {}), threshold=threshold)
     print(format_delta_table(deltas, threshold))
+    write_step_summary(deltas, regressions, threshold)
     if regressions:
         print(f"\n{len(regressions)} tracked metric(s) regressed beyond "
               f"the {threshold:.0%} gate:", file=sys.stderr)

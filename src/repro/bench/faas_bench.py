@@ -1,0 +1,70 @@
+"""FaaS scenario: cold-start latency and packing density per fork flavour.
+
+The serverless analogue of the paper's request-path claim: a farm of
+warm templates serves open-loop burst traffic by forking one instance
+per invocation (:mod:`repro.faas`).  Rows cover both fork flavours over
+the *same* arrival schedule; the CI perf gate tracks the odfork
+cold-start p99 (``faas.cold_start_p99_us``, lower is better) and the
+packing density at the memory peak (``faas.density_fn_per_gb``, higher
+is better — table sharing is what lets more instances fit per GB).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..faas import FarmConfig, run_farm
+from .runner import ExperimentResult
+
+#: Both campaigns replay this schedule: a short burst well above the
+#: classic-fork service rate, so queues grow at the offered rate and the
+#: cold-start difference shows up in the end-to-end tail.
+SMOKE_CONFIG = FarmConfig(rate_rps=80_000.0, n_requests=1200, seed=1234)
+FULL_CONFIG = FarmConfig(rate_rps=50_000.0, n_requests=20_000, seed=1234)
+
+
+def run(quick=True):
+    """Regenerate the farm grid (quick: short burst campaign)."""
+    base = SMOKE_CONFIG if quick else FULL_CONFIG
+    rows = []
+    extras = {}
+    for flavor in ("fork", "odfork"):
+        config = dataclasses.replace(base, use_odfork=(flavor == "odfork"))
+        result = run_farm(config)
+        assert result.conserved(), (
+            f"farm accounting broken for {flavor}: "
+            f"generated={result.generated} completed={result.completed} "
+            f"dropped={result.dropped} failed={result.failed}")
+        rows.append([
+            flavor,
+            round(result.percentile_us(result.cold_start_ns, 50), 2),
+            round(result.percentile_us(result.cold_start_ns, 99), 2),
+            round(result.percentile_us(result.latencies_ns, 99) / 1e3, 4),
+            round(result.density_fn_per_gb, 2),
+            len(result.cold_start_ns),
+            result.warm_served,
+            result.dropped,
+            result.failed,
+        ])
+        extras[flavor] = {
+            "per_image": result.per_image,
+            "vmstat": result.vmstat,
+            "peak_instances": result.peak_instances,
+            "peak_used_gb": round(result.peak_used_gb, 4),
+        }
+    by_flavor = {row[0]: row for row in rows}
+    p99_idx = 2
+    headline = by_flavor["odfork"][p99_idx]
+    baseline = by_flavor["fork"][p99_idx]
+    return ExperimentResult(
+        exp_id="faas",
+        title=f"Serverless farm, {len(base.images)} images @ "
+              f"{base.rate_rps:.0f} inv/s, {base.n_requests} arrivals",
+        headers=["flavor", "cold_p50_us", "cold_start_p99_us", "e2e_p99_ms",
+                 "density_fn_per_gb", "cold", "warm", "drops", "failed"],
+        rows=rows,
+        notes=f"cold-start p99 odfork {headline:.2f} us vs classic fork "
+              f"{baseline:.2f} us "
+              f"({'OK' if headline < baseline else 'INVERTED'})",
+        extras=extras,
+    )

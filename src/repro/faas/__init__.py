@@ -1,0 +1,15 @@
+"""Serverless snapshot-spawn farm: odfork-per-invocation cold starts.
+
+Warm template processes (one per :class:`~repro.faas.image.FunctionImage`)
+serve open-loop burst traffic by forking an instance per invocation —
+the workload that cashes in the paper's claim that table-level COW makes
+fork cheap enough to sit on the request path.  See MECHANISM.md §18.
+"""
+
+from .image import FunctionImage, ImageRegistry, Template
+from .invoker import DEFAULT_IMAGES, FarmConfig, FarmResult, Invoker, \
+    place_images, run_farm
+
+__all__ = ["FunctionImage", "ImageRegistry", "Template", "DEFAULT_IMAGES",
+           "FarmConfig", "FarmResult", "Invoker", "place_images",
+           "run_farm"]

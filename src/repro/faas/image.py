@@ -1,0 +1,291 @@
+"""Function images and their warm templates.
+
+A serverless platform keeps one **warm template** process per function
+image: the runtime is initialised, the code and pre-warmed heap are
+resident, and every invocation is a fork off that template — SOCK's
+"zygote" and the design space μFork surveys.  The template is the unit
+this module owns:
+
+* :class:`FunctionImage` is the immutable spec — code/heap footprint, the
+  handler's per-invocation working set, and whether the heap is backed by
+  2 MiB huge pages.
+* :class:`Template` spawns the process, maps + pre-faults the image, and
+  takes an in-place pristine :class:`~repro.kernel.snapshot.Snapshot` so
+  **warm** invocations (run inside the template itself, the keep-alive
+  path real platforms prefer) can be rolled back: after ``reset_every``
+  warm invocations the template restores to the pristine image, exactly
+  the snapshot/reset machinery the fuzzing workload uses.  Huge-page
+  images cannot be snapshotted (the snapshot layer refuses huge
+  mappings), so they serve every invocation cold — the restriction is
+  inherited, not papered over.
+* :class:`ImageRegistry` owns every template on one machine (one farm
+  node) and tears them down leak-free.
+
+Cold starts go through :meth:`Template.invoke_cold`: a fail-point-guarded
+fork/odfork, the handler run in the child, and a deferred reap once the
+instance's keep-alive expires — children COW their writes against the
+shared template pages, so rmap and reclaim see real dedup pressure under
+overcommit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.machine import MIB
+from ..errors import InvalidArgumentError
+from ..mem.page import PAGE_SIZE
+from ..trace import points
+
+#: Handler bookkeeping cost per invocation (runtime dispatch, argument
+#: decode) — deliberately small so paging work dominates, as it does in
+#: the paper's fork-bound workloads.
+HANDLER_BASE_NS = 900
+
+
+@dataclass(frozen=True)
+class FunctionImage:
+    """One deployable function image."""
+
+    name: str
+    code_mb: int = 4        # runtime + code, read-only at invocation time
+    heap_mb: int = 32       # pre-warmed state faulted in at template spawn
+    read_kb: int = 256      # handler working set read per invocation
+    write_kb: int = 32      # handler pages dirtied per invocation (COW)
+    huge: bool = False      # back the heap with 2 MiB huge pages
+
+    def __post_init__(self):
+        if self.code_mb <= 0 or self.heap_mb <= 0:
+            raise InvalidArgumentError("image needs code and heap")
+        if self.read_kb < 0 or self.write_kb < 0:
+            raise InvalidArgumentError("working-set sizes cannot be negative")
+
+    @property
+    def heap_bytes(self):
+        return self.heap_mb * MIB
+
+    @property
+    def code_bytes(self):
+        return self.code_mb * MIB
+
+
+class Template:
+    """A warm template process for one image on one machine."""
+
+    def __init__(self, machine, image, seed=0):
+        self.machine = machine
+        self.image = image
+        self.pristine = None
+        self._rng = np.random.RandomState(seed)
+        self.cold_starts = 0
+        self.warm_served = 0
+        self.resets = 0
+        self.warm_since_reset = 0
+        self.ready_at_ns = 0          # farm time the template next frees
+        self._completions = []        # farm-time completion stamps (sorted)
+        self._children = []           # (Process, reap_deadline_ns)
+        kernel = machine.kernel
+        watch = machine.clock.stopwatch()
+        kernel.failpoints.hit("faas.template_alloc")
+        self.proc = machine.spawn_process(f"faas-{image.name}")
+        try:
+            self.code = self.proc.mmap(image.code_bytes,
+                                       name=f"{image.name}-code")
+            self.proc.populate(self.code, image.code_bytes)
+            if image.huge:
+                self.heap = self.proc.mmap_huge(image.heap_bytes,
+                                                populate=True)
+            else:
+                self.heap = self.proc.mmap(image.heap_bytes,
+                                           name=f"{image.name}-heap")
+                self.proc.populate(self.heap, image.heap_bytes)
+                # Pristine snapshot: warm invocations dirty the template
+                # in place; restore() rolls it back to this image.
+                self.pristine = self.proc.snapshot()
+        except BaseException:
+            # A mid-spawn OOM (real or injected at faas.template_alloc's
+            # downstream allocations) must not leak the half-built
+            # process.
+            self.proc.exit()
+            machine.init_process.wait(self.proc.pid)
+            raise
+        if points.enabled:
+            points.tracepoint("faas.template_spawn",
+                              dur_ns=watch.elapsed_ns, image=image.name,
+                              rss_mb=self.proc.rss_bytes // MIB,
+                              huge=image.huge)
+
+    # ---- queue accounting ------------------------------------------------
+
+    def queue_len(self, now_ns):
+        """Invocations assigned but not completed at farm time ``now``."""
+        pending = self._completions
+        drop = 0
+        for stamp in pending:
+            if stamp <= now_ns:
+                drop += 1
+            else:
+                break
+        if drop:
+            del pending[:drop]
+        return len(pending)
+
+    def note_completion(self, end_ns):
+        self._completions.append(end_ns)
+        self.ready_at_ns = end_ns
+
+    # ---- invocation paths ------------------------------------------------
+
+    def _handler(self, process):
+        """Run the image's handler inside ``process``.
+
+        Reads ``read_kb`` of the warm heap at a seeded offset and dirties
+        ``write_kb`` — in a cold child the writes COW against the shared
+        template pages (and, under odfork, first copy the shared leaf
+        tables they land in).
+        """
+        image = self.image
+        self.machine.cost.charge("faas_handler", HANDLER_BASE_NS)
+        heap_pages = image.heap_bytes // PAGE_SIZE
+        read_bytes = min(image.read_kb * 1024, image.heap_bytes)
+        write_bytes = min(image.write_kb * 1024, image.heap_bytes)
+        span = max(read_bytes, write_bytes, PAGE_SIZE)
+        max_page = max(heap_pages - span // PAGE_SIZE, 1)
+        offset = int(self._rng.randint(0, max_page)) * PAGE_SIZE
+        if read_bytes:
+            process.touch_range(self.heap + offset, read_bytes, write=False)
+        if write_bytes:
+            process.touch_range(self.heap + offset, write_bytes, write=True)
+
+    def invoke_cold(self, odfork=True):
+        """Fork an instance off the template and run the handler in it.
+
+        Returns ``(child, fork_ns)``; the caller schedules the reap.
+        Raises :class:`~repro.errors.OutOfMemoryError` if the armed
+        ``faas.invoke_fork`` fail-point (or a genuine fork-path OOM)
+        fires — the invocation fails, the template survives.
+        """
+        kernel = self.machine.kernel
+        kernel.failpoints.hit("faas.invoke_fork")
+        child = (self.proc.odfork("fn-instance") if odfork
+                 else self.proc.fork("fn-instance"))
+        fork_ns = self.proc.last_fork_ns
+        self.cold_starts += 1
+        if points.enabled:
+            points.tracepoint("faas.cold_start", dur_ns=fork_ns,
+                              image=self.image.name, pid=child.pid,
+                              odf=odfork)
+        try:
+            self._handler(child)
+        except BaseException:
+            # A handler that dies mid-flight (OOM under burst pressure)
+            # must not leak its instance: the platform reaps it and
+            # reports the invocation failed.
+            child.exit()
+            self.proc.wait(child.pid)
+            self.cold_starts -= 1
+            raise
+        return child, fork_ns
+
+    def invoke_warm(self):
+        """Serve one invocation inside the template (keep-alive path)."""
+        if self.pristine is None:
+            raise InvalidArgumentError(
+                f"image {self.image.name!r} has no pristine snapshot "
+                f"(huge-page heaps serve cold only)")
+        self._handler(self.proc)
+        self.warm_served += 1
+        self.warm_since_reset += 1
+
+    def reset(self):
+        """Roll the template back to the pristine image; returns entries
+        restored.  A maintenance block: charged to the template's
+        availability like any other service window."""
+        if self.pristine is None:
+            return 0
+        restored = self.pristine.restore()
+        self.resets += 1
+        self.warm_since_reset = 0
+        if points.enabled:
+            points.tracepoint("faas.warm_reset", image=self.image.name,
+                              restored=restored)
+        return restored
+
+    # ---- instance lifecycle ----------------------------------------------
+
+    def schedule_reap(self, child, deadline_ns):
+        self._children.append((child, deadline_ns))
+
+    @property
+    def live_instances(self):
+        """Forked instances not yet reaped."""
+        return len(self._children)
+
+    def reap_due(self, now_ns, force=False):
+        """Tear down instances whose keep-alive expired.
+
+        Teardown runs off the serving path (another core): background
+        cost, like the KV store's snapshot-children reaping.
+        """
+        still = []
+        reaped = 0
+        for child, deadline in self._children:
+            if force or deadline <= now_ns:
+                with self.machine.cost.background():
+                    child.exit()
+                    self.proc.wait(child.pid)
+                reaped += 1
+                if points.enabled:
+                    points.tracepoint("faas.teardown",
+                                      image=self.image.name, pid=child.pid)
+            else:
+                still.append((child, deadline))
+        self._children = still
+        return reaped
+
+    def teardown(self):
+        """Reap every instance, drop the snapshot, exit the template."""
+        self.reap_due(0, force=True)
+        if self.pristine is not None:
+            self.pristine.discard()
+            self.pristine = None
+        if self.proc.alive:
+            self.proc.exit()
+            self.machine.init_process.wait(self.proc.pid)
+
+
+class ImageRegistry:
+    """Every warm template on one farm node."""
+
+    def __init__(self, machine, seed=0):
+        self.machine = machine
+        self.seed = seed
+        self.templates = {}
+
+    def register(self, image):
+        """Spawn and warm the template for ``image``; returns it."""
+        if image.name in self.templates:
+            raise InvalidArgumentError(
+                f"image {image.name!r} already registered")
+        template = Template(self.machine, image,
+                            seed=self.seed + len(self.templates))
+        self.templates[image.name] = template
+        return template
+
+    def get(self, name):
+        return self.templates[name]
+
+    def __len__(self):
+        return len(self.templates)
+
+    @property
+    def live_instances(self):
+        return sum(t.live_instances for t in self.templates.values())
+
+    def teardown(self):
+        """Tear every template down (instances first)."""
+        for template in self.templates.values():
+            template.teardown()
+        self.templates.clear()

@@ -1,0 +1,325 @@
+"""The invoker: open-loop burst traffic served odfork-per-invocation.
+
+One :class:`Invoker` drives a farm of warm templates with the same
+open-loop arrival model the fleet layer uses (:mod:`repro.apps.traffic`):
+requests arrive on their own Poisson/deterministic schedule whether or
+not the templates keep up, so a slow cold start grows queues at the
+offered rate — the serverless tail story.  Per arrival:
+
+1. the target image is drawn (seeded), its template located via the
+   per-image placement (consistent-hash over farm nodes when
+   ``nodes > 1``);
+2. admission: a full per-template queue (or the armed
+   ``faas.queue_overflow`` fail-point) drops the request, counted never
+   silently lost;
+3. a **cold** invocation forks an instance off the template
+   (``faas.invoke_fork`` guards the fork), runs the handler in the
+   child, and schedules the instance's reap after its keep-alive — the
+   fork block is the cold-start sample;
+4. a **warm** invocation (probability ``warm_ratio``) runs inside the
+   template, dirtying it; after ``reset_every`` warm hits the template
+   rolls back to its pristine snapshot (a maintenance block on the
+   serving path).
+
+Density is sampled at every cold start: live function instances
+(templates + un-reaped children) per GB of allocated machine memory, and
+the reported figure is taken at the peak-memory sample — the honest
+packing number under burst.  Overcommitted farms (``phys_mb`` below the
+fleet's footprint, ``swap_mb`` set) push cold instances through reclaim:
+COW bursts evict template pages to swap straight through the shared
+leaf tables.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps.traffic import ArrivalProcess
+from ..core.machine import GIB, Machine
+from ..errors import InvalidArgumentError, OutOfMemoryError
+from ..mem.page import PAGE_SIZE
+from ..trace import points
+from .image import FunctionImage, ImageRegistry
+
+#: Default per-image smoke mix: a mid-size service, a small hot function,
+#: and a huge-page analytics image (cold-only: no snapshot over THP).
+DEFAULT_IMAGES = (
+    FunctionImage("api", code_mb=4, heap_mb=48, read_kb=256, write_kb=32),
+    FunctionImage("thumb", code_mb=2, heap_mb=16, read_kb=64, write_kb=16),
+    # Read-mostly by design: a write into a huge heap COWs a whole 2 MiB
+    # page (an order-9 block), and under instance churn the buddy
+    # fragments until no order-9 block exists — the model has no
+    # compaction, so write-heavy huge images hit a hard OOM cliff.  See
+    # MECHANISM.md §18.
+    FunctionImage("etl", code_mb=4, heap_mb=32, read_kb=512, write_kb=0,
+                  huge=True),
+)
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """One farm campaign, fully seeded."""
+
+    images: tuple = DEFAULT_IMAGES
+    use_odfork: bool = True
+    rate_rps: float = 50_000.0
+    n_requests: int = 4000
+    distribution: str = "poisson"
+    warm_ratio: float = 0.25      # fraction served in the template
+    reset_every: int = 32         # warm invocations between template resets
+    keepalive_ms: float = 2.0     # instance lifetime past its completion
+    queue_limit: int = None       # per-template admission bound
+    nodes: int = 1                # farm machines; images placed by hash
+    phys_mb: int = None           # per node (default: sized to fit)
+    swap_mb: int = None           # per node (default: one footprint's worth)
+    seed: int = 1234
+
+    def __post_init__(self):
+        if not self.images:
+            raise InvalidArgumentError("farm needs at least one image")
+        if not 0 <= self.warm_ratio <= 1:
+            raise InvalidArgumentError("warm ratio must be in [0, 1]")
+        if self.nodes < 1:
+            raise InvalidArgumentError("farm needs at least one node")
+        if self.reset_every < 1:
+            raise InvalidArgumentError("reset_every must be >= 1")
+
+    def footprint_mb(self):
+        """Mapped code+heap across every image (before COW growth)."""
+        return sum(i.code_mb + i.heap_mb for i in self.images)
+
+    def node_phys_mb(self):
+        """Per-node physical memory: explicit, or sized to the placement."""
+        if self.phys_mb is not None:
+            return self.phys_mb
+        # Headroom for COW bursts and instance tables, split over nodes;
+        # rounded up to the buddy allocator's max-block granule (4 MiB).
+        sized = max(192, int(self.footprint_mb() * 6 / self.nodes))
+        return (sized + 3) // 4 * 4
+
+    def node_swap_mb(self):
+        """Per-node swap: explicit, or one image footprint's worth so a
+        burst that outgrows RAM degrades through reclaim, not hard OOM."""
+        if self.swap_mb is not None:
+            return self.swap_mb
+        return self.footprint_mb()
+
+
+def place_images(images, nodes, seed=0):
+    """Deterministic per-image placement: ``{image name: node index}``.
+
+    The same crc32 scheme as the cluster's consistent-hash striper, keyed
+    by image name so a farm resize only remaps the images whose arc
+    moved.
+    """
+    placement = {}
+    for image in images:
+        data = f"{seed}:{image.name}".encode()
+        placement[image.name] = zlib.crc32(data) % nodes
+    return placement
+
+
+@dataclass
+class FarmResult:
+    """Outcome of one farm campaign."""
+
+    flavor: str
+    generated: int = 0
+    dropped: int = 0
+    failed: int = 0               # fork-path OOM (armed or genuine)
+    warm_served: int = 0
+    resets: int = 0
+    latencies_ns: np.ndarray = None        # completed invocations, e2e
+    cold_start_ns: np.ndarray = None       # fork blocks only
+    density_fn_per_gb: float = 0.0
+    peak_instances: int = 0
+    peak_used_gb: float = 0.0
+    per_image: dict = field(default_factory=dict)
+    vmstat: dict = field(default_factory=dict)
+
+    @property
+    def completed(self):
+        return len(self.latencies_ns)
+
+    def conserved(self):
+        """Every arrival is completed, dropped, or failed — no loss."""
+        return (self.completed + self.dropped + self.failed
+                == self.generated)
+
+    def percentile_us(self, samples, pct):
+        if samples is None or not len(samples):
+            return 0.0
+        return float(np.percentile(samples, pct)) / 1e3
+
+
+class Invoker:
+    """Drives one campaign over a farm of warm templates."""
+
+    def __init__(self, config):
+        self.config = config
+        self.machines = [
+            Machine(phys_mb=config.node_phys_mb(),
+                    swap_mb=config.node_swap_mb(),
+                    seed=config.seed + node)
+            for node in range(config.nodes)
+        ]
+        self.registries = [ImageRegistry(m, seed=config.seed)
+                           for m in self.machines]
+        self.placement = place_images(config.images, config.nodes,
+                                      seed=config.seed)
+        self.deployed = False
+
+    def deploy(self):
+        """Spawn and warm every template (idempotent).
+
+        Separate from construction so a harness can arm fail-points (or
+        snapshot pre-farm memory) on the bare machines first — the
+        ``faas.template_alloc`` site fires in here.
+        """
+        if self.deployed:
+            return
+        for image in self.config.images:
+            node = self.placement[image.name]
+            self._bind_tracer(self.machines[node])
+            self.registries[node].register(image)
+        self.deployed = True
+
+    # ---- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _bind_tracer(machine):
+        if points.enabled:
+            tracer = points.current()
+            if tracer is not None:
+                tracer.bind(machine)
+
+    def _template(self, image_name):
+        node = self.placement[image_name]
+        return node, self.registries[node].get(image_name)
+
+    def failpoints(self):
+        """Every node's fail-point registry (armed/record in lockstep)."""
+        return [m.kernel.failpoints for m in self.machines]
+
+    def live_instances(self):
+        return sum(r.live_instances for r in self.registries)
+
+    def used_gb(self):
+        return sum(m.used_frames() for m in self.machines) \
+            * PAGE_SIZE / GIB
+
+    # ---- the campaign ----------------------------------------------------
+
+    def run(self):
+        """One open-loop campaign; returns a :class:`FarmResult`."""
+        self.deploy()
+        config = self.config
+        flavor = "odfork" if config.use_odfork else "fork"
+        arrivals = ArrivalProcess(config.rate_rps,
+                                  distribution=config.distribution,
+                                  seed=config.seed)
+        stamps = arrivals.arrivals(config.n_requests)
+        rng = np.random.RandomState(config.seed + 1)
+        image_names = [i.name for i in config.images]
+        warm_ok = [i.name for i in config.images if not i.huge]
+        picks = rng.randint(0, len(image_names), size=config.n_requests)
+        warm_draw = rng.random_sample(config.n_requests)
+        keepalive_ns = int(config.keepalive_ms * 1e6)
+
+        latencies = []
+        cold_ns = []
+        result = FarmResult(flavor=flavor, generated=config.n_requests,
+                            latencies_ns=None, cold_start_ns=None)
+        n_templates = sum(len(r) for r in self.registries)
+        for i in range(config.n_requests):
+            arrival = int(stamps[i])
+            name = image_names[picks[i]]
+            node, template = self._template(name)
+            machine = self.machines[node]
+            self._bind_tracer(machine)
+            qlen = template.queue_len(arrival)
+            overflow = (config.queue_limit is not None
+                        and qlen >= config.queue_limit)
+            if overflow or machine.kernel.failpoints.fails(
+                    "faas.queue_overflow"):
+                result.dropped += 1
+                continue
+            start = max(arrival, template.ready_at_ns)
+            template.reap_due(start)
+            clock = machine.clock
+            clock.advance_to(start)
+            before = clock.now_ns
+            warm = (warm_draw[i] < config.warm_ratio and name in warm_ok)
+            if warm:
+                template.invoke_warm()
+                result.warm_served += 1
+                if template.warm_since_reset >= config.reset_every:
+                    template.reset()
+                    result.resets += 1
+            else:
+                try:
+                    child, fork_ns = template.invoke_cold(
+                        odfork=config.use_odfork)
+                except OutOfMemoryError:
+                    result.failed += 1
+                    continue
+                cold_ns.append(fork_ns)
+                service_sample = clock.now_ns - before
+                template.schedule_reap(
+                    child, start + service_sample + keepalive_ns)
+                instances = n_templates + self.live_instances()
+                used = self.used_gb()
+                if used > result.peak_used_gb:
+                    result.peak_used_gb = used
+                    result.peak_instances = instances
+            service = clock.now_ns - before
+            end = start + service
+            template.note_completion(end)
+            latencies.append(end - arrival)
+            if points.enabled:
+                points.tracepoint("faas.invoke", dur_ns=service,
+                                  image=name, cold=not warm, node=node)
+
+        result.latencies_ns = np.asarray(latencies, dtype=np.int64)
+        result.cold_start_ns = np.asarray(cold_ns, dtype=np.int64)
+        if result.peak_used_gb > 0:
+            result.density_fn_per_gb = (result.peak_instances
+                                        / result.peak_used_gb)
+        result.per_image = {
+            t.image.name: {"cold_starts": t.cold_starts,
+                           "warm_served": t.warm_served,
+                           "resets": t.resets,
+                           "rss_mb": t.proc.rss_bytes // (1024 * 1024)}
+            for r in self.registries for t in r.templates.values()
+        }
+        result.vmstat = self._vmstat_totals()
+        return result
+
+    def _vmstat_totals(self):
+        keys = ("pswpout", "pswpin", "pgsteal_kswapd", "pgsteal_direct",
+                "shared_table_unmaps")
+        totals = dict.fromkeys(keys, 0)
+        for machine in self.machines:
+            stats = machine.vmstat()
+            for key in keys:
+                totals[key] += stats.get(key, 0)
+        return totals
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def shutdown(self):
+        """Tear the whole farm down; templates reap their instances."""
+        for registry in self.registries:
+            registry.teardown()
+
+
+def run_farm(config):
+    """Build, run, and shut down one farm; returns its result."""
+    invoker = Invoker(config)
+    try:
+        return invoker.run()
+    finally:
+        invoker.shutdown()

@@ -34,6 +34,9 @@ SITES = frozenset({
     "bulkops.huge_cow",
     "bulkops.leaf_table",
     "dlm.acquire_timeout",
+    "faas.invoke_fork",
+    "faas.queue_overflow",
+    "faas.template_alloc",
     "fault.cow_copy",
     "fault.demand_zero",
     "fault.file_cow",

@@ -170,6 +170,22 @@ EVENTS = {spec.name: spec for spec in (
     _spec("snap.wave_end", KIND_SPAN,
           "Epoch grant to the slowest replica's fork return (longest path)",
           ("dur_ns", "wave", "sub", "max_block_ns")),
+    # ---- FaaS farm (repro.faas): odfork-per-invocation cold starts -----
+    _spec("faas.template_spawn", KIND_SPAN,
+          "A warm template process was built and pre-faulted for an image",
+          ("dur_ns", "image", "rss_mb", "huge")),
+    _spec("faas.cold_start", KIND_SPAN,
+          "One cold start: the fork/odfork block off the warm template",
+          ("dur_ns", "image", "pid", "odf")),
+    _spec("faas.invoke", KIND_SPAN,
+          "One invocation end to end: queueing excluded, fork + handler",
+          ("dur_ns", "image", "cold", "node")),
+    _spec("faas.warm_reset", KIND_INSTANT,
+          "Template rolled back to its pristine snapshot after warm drift",
+          ("image", "restored")),
+    _spec("faas.teardown", KIND_INSTANT,
+          "An invocation instance was reaped after its keep-alive expired",
+          ("image", "pid")),
 )}
 
 

@@ -105,6 +105,12 @@ def main(argv=None):
                              "each fleet fail-point site over a small "
                              "fleet campaign and assert conserved "
                              "accounting, clean audits, clean teardown")
+    parser.add_argument("--faas", action="store_true",
+                        help="run the serverless-farm leg: unarmed "
+                             "baseline, fork-vs-odfork differential over "
+                             "one schedule, and an armed sweep of every "
+                             "faas fail-point site — conservation, clean "
+                             "audits, memory back to pre-deploy levels")
     parser.add_argument("--replay", metavar="PATH",
                         help="replay a trace file or directory of *.json "
                              "instead of generating")
@@ -205,6 +211,18 @@ def main(argv=None):
               f"{fleet_meta['sampled_out']} recorded hits sampled out, "
               f"{len(fleet_findings)} findings "
               f"(sites: {fleet_meta['sites']})")
+
+    if args.faas:
+        from .faas import check_faas
+        faas_findings, faas_meta = check_faas(
+            seed=args.seed, max_hits_per_site=args.max_failpoint_hits)
+        hard_findings += len(faas_findings)
+        for finding in faas_findings[:8]:
+            print(f"FAIL faas: {finding}")
+        print(f"  faas leg: {faas_meta['runs']} campaigns, "
+              f"{faas_meta['sampled_out']} recorded hits sampled out, "
+              f"{len(faas_findings)} findings "
+              f"(sites: {faas_meta['sites']})")
 
     elapsed = time.perf_counter() - started
     print(f"checked {len(traces)} traces in {elapsed:.1f}s: "

@@ -1,0 +1,235 @@
+"""FaaS fault-injection leg: a failed invocation must never corrupt the
+farm.
+
+The serverless layer carries three fail-point sites —
+``faas.template_alloc`` (raising, fired while a template deploys),
+``faas.invoke_fork`` (raising, fired before every cold-start fork), and
+``faas.queue_overflow`` (value-reporting, a request bounced at
+admission).  This leg runs four kinds of campaign over one small farm
+shape:
+
+* **unarmed baseline** (record mode) — the happy path must complete with
+  zero drops and zero failures while enumerating the hit space;
+* **differential** — classic fork and odfork replay the *same* arrival
+  schedule and must agree on every count that is not a latency: cold
+  starts, warm hits, resets, drops, failures, and per-image splits
+  (table-COW changes *when* copies happen, never *what* the farm does);
+* **armed sweep** — each recorded hit of each site is armed in turn; the
+  farm must absorb the failure (conservation: completed + dropped +
+  failed == generated), pass :func:`~repro.verify.audit.audit_machine`
+  on every node, and tear down leak-free;
+* **memory round-trip** — after ``shutdown()`` every node returns to its
+  pre-deploy frame count: no stale page tables, no leaked snapshot or
+  instance frames.
+
+An armed ``faas.template_alloc`` aborts deployment itself; the leg then
+asserts the half-deployed farm still tears down to pristine machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import OutOfMemoryError
+from ..faas.invoker import DEFAULT_IMAGES, FarmConfig, Invoker
+from .audit import audit_machine
+from .oracle import Finding
+
+#: The serverless-layer sites this leg sweeps (MECHANISM.md §18).
+FAAS_SITES = ("faas.template_alloc", "faas.invoke_fork",
+              "faas.queue_overflow")
+
+#: Counters both fork flavours must agree on over a shared schedule.
+DIFFERENTIAL_FIELDS = ("generated", "dropped", "failed", "warm_served",
+                       "resets")
+
+
+def _small_config(seed, use_odfork=True):
+    """A seconds-scale farm: 3 images, 400 arrivals, no admission bound.
+
+    Unbounded admission is deliberate: whether a request is dropped at a
+    queue limit depends on how fast earlier requests completed, which is
+    exactly what the two fork flavours differ on — a bounded queue would
+    make the differential compare different request mixes.  The
+    ``faas.queue_overflow`` site still fires per admission (and the armed
+    sweep injects the drop), so the bounce path stays covered.
+    """
+    return FarmConfig(images=DEFAULT_IMAGES, use_odfork=use_odfork,
+                      rate_rps=60_000.0, n_requests=400, queue_limit=None,
+                      keepalive_ms=1.0, seed=seed)
+
+
+def _pre_deploy_frames(invoker):
+    """Per-node used-frame baseline the farm must return to.
+
+    A probe spawn/exit cycle first, so one-time lazy kernel allocations
+    (init's reaper structures) are charged to the baseline, not
+    mistaken for a farm leak.
+    """
+    frames = []
+    for machine in invoker.machines:
+        probe = machine.spawn_process("faas-probe")
+        probe.exit()
+        machine.init_process.wait(probe.pid)
+        frames.append(machine.used_frames())
+    return frames
+
+
+def _audit_nodes(invoker, findings, label, when):
+    for node, machine in enumerate(invoker.machines):
+        try:
+            audit_machine(machine)
+        except AssertionError as exc:
+            findings.append(Finding(
+                "audit", -1, f"node{node} {when}: {exc}", label))
+
+
+def _check_teardown(invoker, findings, label, baseline_frames):
+    """Shutdown must reap every instance and return memory to baseline."""
+    invoker.shutdown()
+    if invoker.live_instances():
+        findings.append(Finding(
+            "leak", -1,
+            f"{invoker.live_instances()} instances survived shutdown",
+            label))
+    for node, machine in enumerate(invoker.machines):
+        used = machine.used_frames()
+        if used != baseline_frames[node]:
+            findings.append(Finding(
+                "leak", -1,
+                f"node{node}: {used} frames used after teardown, "
+                f"expected the pre-deploy {baseline_frames[node]} "
+                f"(stale tables or instance frames)", label))
+    _audit_nodes(invoker, findings, label, "post-shutdown")
+
+
+def _run_and_audit(config, arm=None, record=False):
+    """One campaign; returns (findings, failpoint counts, result)."""
+    findings = []
+    label = f"faas/{arm[0]}#{arm[1]}" if arm else "faas/baseline"
+    invoker = Invoker(config)
+    baseline_frames = _pre_deploy_frames(invoker)
+    registries = invoker.failpoints()
+    for fp in registries:
+        if record:
+            fp.record()
+        elif arm is not None:
+            fp.arm(*arm)
+    result = None
+    try:
+        result = invoker.run()
+    except OutOfMemoryError:
+        # Only a deploy-time injection (faas.template_alloc) may escape:
+        # the run loop absorbs invocation failures itself.
+        if arm is None or arm[0] != "faas.template_alloc":
+            findings.append(Finding(
+                "invariant", -1,
+                "campaign raised OutOfMemoryError outside the "
+                "template-deploy window", label))
+    except Exception as exc:                           # noqa: BLE001
+        findings.append(Finding(
+            "crash", -1, f"farm campaign raised {exc!r}", label))
+    counts = {}
+    fired = False
+    for fp in registries:
+        for site, n in fp.counts.items():
+            counts[site] = counts.get(site, 0) + n
+        fired = fired or fp.fired
+        fp.disarm()
+
+    if arm is not None and not fired:
+        findings.append(Finding(
+            "invariant", -1,
+            f"armed hit never fired (site saw "
+            f"{counts.get(arm[0], 0)} hits)", label))
+    if result is not None and not result.conserved():
+        findings.append(Finding(
+            "invariant", -1,
+            f"accounting not conserved: generated={result.generated} "
+            f"completed={result.completed} dropped={result.dropped} "
+            f"failed={result.failed}", label))
+    _audit_nodes(invoker, findings, label, "post-campaign")
+    _check_teardown(invoker, findings, label, baseline_frames)
+    return findings, counts, result
+
+
+def _check_differential(seed):
+    """Classic fork vs odfork over one schedule: identical accounting."""
+    findings = []
+    label = "faas/differential"
+    results = {}
+    for use_odfork in (False, True):
+        config = _small_config(seed, use_odfork=use_odfork)
+        run_findings, _, result = _run_and_audit(config)
+        findings.extend(run_findings)
+        if result is not None:
+            results[config.use_odfork] = result
+    if len(results) != 2:
+        return findings
+    fork, odf = results[False], results[True]
+    for field_name in DIFFERENTIAL_FIELDS:
+        lhs = getattr(fork, field_name)
+        rhs = getattr(odf, field_name)
+        if lhs != rhs:
+            findings.append(Finding(
+                "divergence", -1,
+                f"{field_name}: fork={lhs} odfork={rhs} over the same "
+                f"schedule", label))
+    if fork.completed != odf.completed:
+        findings.append(Finding(
+            "divergence", -1,
+            f"completed: fork={fork.completed} odfork={odf.completed}",
+            label))
+    for name, stats in fork.per_image.items():
+        odf_stats = odf.per_image.get(name)
+        if odf_stats is None:
+            findings.append(Finding(
+                "divergence", -1, f"image {name!r} missing under odfork",
+                label))
+            continue
+        for key in ("cold_starts", "warm_served", "resets"):
+            if stats[key] != odf_stats[key]:
+                findings.append(Finding(
+                    "divergence", -1,
+                    f"{name}.{key}: fork={stats[key]} "
+                    f"odfork={odf_stats[key]}", label))
+    return findings
+
+
+def check_faas(seed=0, max_hits_per_site=3):
+    """Baseline + differential + armed sweep; returns ``(findings, meta)``.
+
+    ``meta`` mirrors the fleet leg: total campaigns run and how many
+    recorded hits were sampled out by ``max_hits_per_site``.
+    """
+    config = _small_config(seed)
+    findings, counts, baseline = _run_and_audit(config, record=True)
+    runs = 1
+    sampled_out = 0
+    if baseline is not None:
+        if baseline.dropped:
+            findings.append(Finding(
+                "invariant", -1,
+                f"unarmed baseline dropped {baseline.dropped} requests",
+                "faas/baseline"))
+        if baseline.failed:
+            findings.append(Finding(
+                "invariant", -1,
+                f"unarmed baseline failed {baseline.failed} invocations",
+                "faas/baseline"))
+
+    findings.extend(_check_differential(seed))
+    runs += 2
+
+    for site in FAAS_SITES:
+        hits = counts.get(site, 0)
+        if hits == 0:
+            continue    # site never reached by this campaign shape
+        armed = min(hits, max_hits_per_site)
+        sampled_out += hits - armed
+        for nth in range(1, armed + 1):
+            armed_findings, _, _ = _run_and_audit(config, arm=(site, nth))
+            findings.extend(armed_findings)
+            runs += 1
+    return findings, {"runs": runs, "sampled_out": sampled_out,
+                      "sites": {s: counts.get(s, 0) for s in FAAS_SITES}}

@@ -1,0 +1,19 @@
+"""Known-bad farm fail-point fixture: an unregistered ``faas.*`` site.
+
+``spawn_template`` guards its allocation with a declared site, but
+``cold_fork`` hits ``faas.cold_fork``, which is missing from the SITES
+registry below — the checker must flag the undeclared name so the verify
+harness's enumeration driver can trust the registry is complete.
+"""
+
+SITES = frozenset({"faas.template_alloc"})
+
+
+def spawn_template(kernel):
+    kernel.failpoints.hit("faas.template_alloc")
+    return int(kernel.allocator.alloc(0))
+
+
+def cold_fork(kernel):
+    kernel.failpoints.hit("faas.cold_fork")
+    return int(kernel.allocator.alloc(0))

@@ -1,0 +1,17 @@
+"""Known-good farm fail-point fixture: every ``faas.*`` site declared.
+
+Both fallible paths hit sites present in the SITES registry, and every
+declared site is used — no undeclared names, no stale entries.
+"""
+
+SITES = frozenset({"faas.template_alloc", "faas.invoke_fork"})
+
+
+def spawn_template(kernel):
+    kernel.failpoints.hit("faas.template_alloc")
+    return int(kernel.allocator.alloc(0))
+
+
+def cold_fork(kernel):
+    kernel.failpoints.hit("faas.invoke_fork")
+    return int(kernel.allocator.alloc(0))

@@ -60,5 +60,5 @@ class TestCLI:
 
     def test_registry_complete(self):
         # 13 paper experiments + fig2-concurrent + fig7-numa +
-        # 3 ablations + 6 extensions + the fleet sweep.
-        assert len(EXPERIMENTS) == 25
+        # 3 ablations + 6 extensions + the fleet sweep + the faas farm.
+        assert len(EXPERIMENTS) == 26

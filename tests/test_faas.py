@@ -1,0 +1,294 @@
+"""Serverless farm tests: template lifecycle, invoker accounting, tracing.
+
+The contract under test (MECHANISM.md §18): a warm template serves N
+cold invocations without its own footprint drifting, snapshot-reset
+rolls warm dirt back to the pristine image, teardown leaves zero stale
+tables, and the invoker's open-loop accounting conserves every arrival
+— under both fork flavours, armed fail-points, and admission drops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.errors import InvalidArgumentError, OutOfMemoryError
+from repro.faas import (DEFAULT_IMAGES, FarmConfig, FunctionImage,
+                        ImageRegistry, Invoker, place_images, run_farm)
+from repro.trace import points
+from repro.trace.tracer import Tracer
+from repro.verify.audit import audit_machine
+
+SMALL = FunctionImage("small", code_mb=2, heap_mb=8, read_kb=64,
+                      write_kb=16)
+HUGE = FunctionImage("huge", code_mb=2, heap_mb=8, read_kb=64,
+                     write_kb=0, huge=True)
+
+
+def small_farm(**overrides):
+    defaults = dict(images=(SMALL,), rate_rps=40_000.0, n_requests=200,
+                    keepalive_ms=1.0, seed=7)
+    defaults.update(overrides)
+    return FarmConfig(**defaults)
+
+
+def machine_with(image, phys_mb=128):
+    machine = Machine(phys_mb=phys_mb, seed=3)
+    registry = ImageRegistry(machine, seed=3)
+    template = registry.register(image)
+    return machine, registry, template
+
+
+class TestFunctionImage:
+    def test_rejects_empty_footprint(self):
+        with pytest.raises(InvalidArgumentError):
+            FunctionImage("x", code_mb=0, heap_mb=8)
+
+    def test_rejects_negative_working_set(self):
+        with pytest.raises(InvalidArgumentError):
+            FunctionImage("x", read_kb=-1)
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            FarmConfig(images=())
+        with pytest.raises(InvalidArgumentError):
+            FarmConfig(warm_ratio=1.5)
+        with pytest.raises(InvalidArgumentError):
+            FarmConfig(nodes=0)
+        with pytest.raises(InvalidArgumentError):
+            FarmConfig(reset_every=0)
+
+    def test_placement_is_deterministic_and_total(self):
+        placement = place_images(DEFAULT_IMAGES, nodes=3, seed=5)
+        again = place_images(DEFAULT_IMAGES, nodes=3, seed=5)
+        assert placement == again
+        assert set(placement) == {i.name for i in DEFAULT_IMAGES}
+        assert all(0 <= node < 3 for node in placement.values())
+
+    def test_phys_sizing_honours_buddy_granule(self):
+        for n_images in (1, 2, 3, 5):
+            config = FarmConfig(images=DEFAULT_IMAGES[:1] * 1
+                                if n_images == 1 else tuple(
+                                    dataclasses.replace(SMALL, name=f"i{k}")
+                                    for k in range(n_images)))
+            assert config.node_phys_mb() % 4 == 0
+
+
+class TestTemplateLifecycle:
+    def test_cold_reuse_conserves_template_footprint(self):
+        """N cold invocations + reaps: template RSS and machine frames
+        return to the post-deploy baseline every cycle."""
+        machine, registry, template = machine_with(SMALL)
+        rss0 = template.proc.rss_bytes
+        frames0 = machine.used_frames()
+        for _ in range(8):
+            child, fork_ns = template.invoke_cold(odfork=True)
+            assert fork_ns > 0
+            template.schedule_reap(child, deadline_ns=0)
+            assert template.live_instances == 1
+            template.reap_due(machine.clock.now_ns)
+            assert template.live_instances == 0
+            assert template.proc.rss_bytes == rss0
+            assert machine.used_frames() == frames0
+        assert template.cold_starts == 8
+        audit_machine(machine)
+        registry.teardown()
+
+    def test_warm_reset_restores_pristine_frames(self):
+        machine, registry, template = machine_with(SMALL)
+        frames0 = machine.used_frames()
+        for _ in range(4):
+            template.invoke_warm()
+        # Warm invocations COW against the pristine snapshot: dirt
+        # accumulates until the reset rolls it back.
+        assert machine.used_frames() > frames0
+        restored = template.reset()
+        assert restored > 0
+        assert machine.used_frames() == frames0
+        assert template.warm_since_reset == 0
+        audit_machine(machine)
+        registry.teardown()
+
+    def test_teardown_leaves_zero_stale_tables(self):
+        machine = Machine(phys_mb=128, seed=3)
+        probe = machine.spawn_process("probe")
+        probe.exit()
+        machine.init_process.wait(probe.pid)
+        frames0 = machine.used_frames()
+        registry = ImageRegistry(machine, seed=3)
+        template = registry.register(SMALL)
+        children = [template.invoke_cold(odfork=True)[0] for _ in range(3)]
+        for child in children:
+            template.schedule_reap(child, deadline_ns=0)
+        registry.teardown()
+        assert machine.used_frames() == frames0
+        assert len(registry) == 0
+        audit_machine(machine)
+
+    def test_huge_image_serves_cold_only(self):
+        machine, registry, template = machine_with(HUGE)
+        assert template.pristine is None
+        with pytest.raises(InvalidArgumentError):
+            template.invoke_warm()
+        child, _ = template.invoke_cold(odfork=True)
+        template.schedule_reap(child, deadline_ns=0)
+        assert template.reset() == 0
+        registry.teardown()
+        audit_machine(machine)
+
+    def test_duplicate_image_rejected(self):
+        machine, registry, _ = machine_with(SMALL)
+        with pytest.raises(InvalidArgumentError):
+            registry.register(SMALL)
+        registry.teardown()
+
+
+class TestInvokerAccounting:
+    def test_headline_odfork_beats_classic_fork(self):
+        import numpy as np
+        p99 = {}
+        for use_odfork in (False, True):
+            result = run_farm(small_farm(use_odfork=use_odfork))
+            assert result.conserved()
+            assert result.failed == 0
+            p99[use_odfork] = np.percentile(result.cold_start_ns, 99)
+        assert p99[True] < p99[False]
+
+    def test_flavours_agree_on_accounting_over_one_schedule(self):
+        results = {f: run_farm(small_farm(use_odfork=f))
+                   for f in (False, True)}
+        for field_name in ("generated", "dropped", "failed",
+                           "warm_served", "resets", "completed"):
+            assert (getattr(results[False], field_name)
+                    == getattr(results[True], field_name)), field_name
+
+    def test_queue_limit_drops_are_counted(self):
+        result = run_farm(small_farm(queue_limit=2, rate_rps=200_000.0,
+                                     use_odfork=False))
+        assert result.dropped > 0
+        assert result.conserved()
+
+    def test_density_sampled_at_peak(self):
+        result = run_farm(small_farm())
+        assert result.density_fn_per_gb > 0
+        assert result.peak_instances >= 1
+        assert result.peak_used_gb > 0
+
+    def test_multi_node_placement_spreads_templates(self):
+        config = FarmConfig(images=DEFAULT_IMAGES, nodes=2,
+                            rate_rps=40_000.0, n_requests=150, seed=7)
+        invoker = Invoker(config)
+        try:
+            invoker.deploy()
+            assert len(invoker.machines) == 2
+            per_node = [len(r) for r in invoker.registries]
+            assert sum(per_node) == len(DEFAULT_IMAGES)
+            placement = invoker.placement
+            for image in DEFAULT_IMAGES:
+                node = placement[image.name]
+                assert image.name in invoker.registries[node].templates
+            result = invoker.run()
+            assert result.conserved()
+            for machine in invoker.machines:
+                audit_machine(machine)
+        finally:
+            invoker.shutdown()
+        assert invoker.live_instances() == 0
+
+
+class TestFailpoints:
+    def test_armed_invoke_fork_is_absorbed(self):
+        config = small_farm()
+        invoker = Invoker(config)
+        try:
+            invoker.deploy()
+            for fp in invoker.failpoints():
+                fp.arm("faas.invoke_fork", nth=3)
+            result = invoker.run()
+            assert result.failed == 1
+            assert result.conserved()
+            for machine in invoker.machines:
+                audit_machine(machine)
+        finally:
+            invoker.shutdown()
+
+    def test_armed_queue_overflow_drops_one(self):
+        config = small_farm()
+        invoker = Invoker(config)
+        try:
+            invoker.deploy()
+            for fp in invoker.failpoints():
+                fp.arm("faas.queue_overflow", nth=5)
+            result = invoker.run()
+            assert result.dropped == 1
+            assert result.conserved()
+        finally:
+            invoker.shutdown()
+
+    def test_armed_template_alloc_aborts_deploy_cleanly(self):
+        config = small_farm()
+        invoker = Invoker(config)
+        frames0 = [m.used_frames() for m in invoker.machines]
+        for fp in invoker.failpoints():
+            fp.arm("faas.template_alloc", nth=1)
+        with pytest.raises(OutOfMemoryError):
+            invoker.deploy()
+        for fp in invoker.failpoints():
+            fp.disarm()
+        invoker.shutdown()
+        for machine, frames in zip(invoker.machines, frames0):
+            assert machine.used_frames() == frames
+            audit_machine(machine)
+
+
+class TestTracing:
+    def test_farm_tracepoints_emitted(self):
+        tracer = Tracer()
+        points.attach(tracer)
+        try:
+            result = run_farm(small_farm(n_requests=120, reset_every=8))
+            assert result.conserved()
+        finally:
+            points.detach()
+        names = {e.name for e in tracer.drain()}
+        for expected in ("faas.template_spawn", "faas.cold_start",
+                         "faas.invoke", "faas.warm_reset",
+                         "faas.teardown"):
+            assert expected in names, f"missing {expected}"
+
+    def test_untraced_run_unaffected(self):
+        baseline = run_farm(small_farm(n_requests=120))
+        tracer = Tracer()
+        points.attach(tracer)
+        try:
+            traced = run_farm(small_farm(n_requests=120))
+        finally:
+            points.detach()
+        assert traced.completed == baseline.completed
+        assert traced.latencies_ns.tolist() == \
+            baseline.latencies_ns.tolist()
+        assert traced.cold_start_ns.tolist() == \
+            baseline.cold_start_ns.tolist()
+
+
+class TestCLI:
+    def test_smoke_cli_headline_and_report(self, tmp_path):
+        from repro.faas.__main__ import main
+        report = tmp_path / "faas.json"
+        code = main(["--smoke", "--requests", "200", "--json",
+                     str(report)])
+        assert code == 0
+        import json
+        doc = json.loads(report.read_text())
+        assert doc["headline_ok"] is True
+        flavors = {r["flavor"] for r in doc["results"]}
+        assert flavors == {"fork", "odfork"}
+
+    def test_verify_faas_leg_is_clean(self):
+        from repro.verify.faas import check_faas
+        findings, meta = check_faas(seed=3, max_hits_per_site=1)
+        assert findings == []
+        assert meta["runs"] >= 4
+        assert meta["sites"]["faas.invoke_fork"] > 0

@@ -28,12 +28,13 @@ BAD = {
     "bad_clockcharge.py": "clock-charge",
     "bad_metrics.py": "metrics",
     "bad_fastpath.py": "fastpath-sound",
+    "bad_faas_site.py": "metrics",
 }
 
 GOOD = ["good_lock.py", "good_failpoint.py", "good_refcount.py",
         "good_tlb.py", "good_ignore.py", "good_tracepoint.py",
         "good_replica.py", "good_clockcharge.py", "good_metrics.py",
-        "good_fastpath.py"]
+        "good_fastpath.py", "good_faas_site.py"]
 
 
 def run_fixture(name):
@@ -96,6 +97,12 @@ class TestViolationShape:
         assert violation.func == "map_one_page"
         assert "'rss'" in violation.message
         assert "counters_deferred" in violation.message
+
+    def test_faas_site_violation_names_the_unregistered_site(self):
+        (violation,) = run_fixture("bad_faas_site.py")
+        assert violation.func == "cold_fork"
+        assert "faas.cold_fork" in violation.message
+        assert "SITES" in violation.message
 
     def test_fastpath_violation_names_the_missing_feature(self):
         (violation,) = run_fixture("bad_fastpath.py")

@@ -422,7 +422,7 @@ class TestMachineStats:
 def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
              huge_ms=0.2, odf_fault_ms=0.012, p99=960.0,
              fleet_p99=0.12, numa_speedup=30.0, odf_100gb_ms=1.8,
-             wall_s=12.0):
+             wall_s=12.0, faas_p99=88.0, faas_density=490.0):
     return [
         {"exp_id": "fig7", "title": "fig7",
          "headers": ["size_gb", "fork_ms", "fork_huge_ms", "odfork_ms",
@@ -453,6 +453,12 @@ def _payload(fork_ms=7.0, odfork_ms=0.1, speedup=70.0, fault_ms=0.003,
                    0.02, 1.7, 1.8],
                   ["staggered/odfork", "staggered", "odfork",
                    0.02, fleet_p99, 0.14]],
+         "notes": ""},
+        {"exp_id": "faas", "title": "faas",
+         "headers": ["flavor", "cold_p50_us", "cold_start_p99_us",
+                     "e2e_p99_ms", "density_fn_per_gb"],
+         "rows": [["fork", 1580.0, 1750.0, 1510.0, 110.0],
+                  ["odfork", 86.0, faas_p99, 80.0, faas_density]],
          "notes": ""},
         {"exp_id": "fig7-numa", "title": "fig7-numa",
          "headers": ["mode", "fork_ms", "odfork_ms", "odfork_speedup_x",
@@ -531,6 +537,45 @@ class TestCompareGate:
         current.write_text(json.dumps(_payload(odfork_ms=0.3)))
         assert compare.main([str(current), str(baseline)]) == 1
         assert "REGRESSED" in capsys.readouterr().out
+
+    def test_faas_density_is_higher_is_better(self):
+        base = compare.extract_all(_payload())
+        # Density halving (fewer functions per GB) is a regression...
+        _, regressions = compare.compare_payloads(
+            _payload(faas_density=245.0), base)
+        assert any("faas.density_fn_per_gb" in r for r in regressions)
+        # ...density doubling is an improvement, not a failure.
+        _, regressions = compare.compare_payloads(
+            _payload(faas_density=980.0), base)
+        assert regressions == []
+
+    def test_faas_cold_start_regression_fails_the_gate(self):
+        base = compare.extract_all(_payload())
+        _, regressions = compare.compare_payloads(
+            _payload(faas_p99=200.0), base)
+        assert any("faas.cold_start_p99_us" in r for r in regressions)
+
+    def test_step_summary_written_on_pass_and_fail(self, tmp_path,
+                                                   monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        base = compare.extract_all(_payload())
+        deltas, regressions = compare.compare_payloads(_payload(), base)
+        assert compare.write_step_summary(deltas, regressions)
+        text = summary.read_text()
+        assert "| `faas.cold_start_p99_us` |" in text
+        assert "within the 25% gate" in text
+        # A failing gate appends the regression verdict, old and new.
+        deltas, regressions = compare.compare_payloads(
+            _payload(faas_p99=200.0), base)
+        assert compare.write_step_summary(deltas, regressions)
+        text = summary.read_text()
+        assert ":x: regressed" in text
+        assert "failed the 25% gate" in text
+
+    def test_step_summary_noop_outside_actions(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert not compare.write_step_summary([], [])
 
     def test_committed_baseline_tracks_every_metric(self):
         baseline = json.loads(
